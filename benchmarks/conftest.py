@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures and result recording.
+
+Every figure benchmark renders its regenerated table with
+:func:`repro.experiments.report.format_figure` and records it under
+``benchmarks/results/<figure_id>.txt`` so the reproduced numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run (pytest
+captures stdout; the files are the canonical output).  EXPERIMENTS.md
+summarises paper-vs-measured values from these tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, sim_scenario, testbed_scenario
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Write a FigureResult's rendered table to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(figure: FigureResult, suffix: str = "") -> str:
+        text = format_figure(figure)
+        name = figure.figure_id + (f"-{suffix}" if suffix else "")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+        return text
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def bench_sim_scenario() -> ScenarioConfig:
+    """256-GPU simulation scenario sized for benchmark wall-clock."""
+    return sim_scenario(num_apps=20, seed=42, duration_scale=0.4)
+
+
+@pytest.fixture(scope="session")
+def bench_testbed_scenario() -> ScenarioConfig:
+    """50-GPU testbed scenario (fast; used by the macrobenchmark)."""
+    return testbed_scenario(num_apps=25, seed=42)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

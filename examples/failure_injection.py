@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Machine failures under Themis (Section 6's future-work study).
+
+Injects a machine outage into a running cluster and shows the recovery
+dynamics the paper anticipates: the victim app stalls, its finish-time
+fairness metric deteriorates, and the next auctions route GPUs back to
+it — possibly displacing other apps — until fairness recovers.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro import ClusterSimulator, SimulationConfig, make_scheduler
+from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
+from repro.metrics.timeline import allocation_series, sample_series
+from repro.simulation.failures import FailureInjector, MachineFailure
+from repro.workload.trace import Trace, TraceApp, TraceJob
+
+
+def main() -> None:
+    cluster = build_cluster(
+        ClusterSpec(
+            machine_specs=(MachineSpec(count=3, gpus_per_machine=4),),
+            num_racks=1,
+            name="demo-12gpu",
+        )
+    )
+
+    def app(app_id, minutes):
+        return TraceApp(
+            app_id,
+            0.0,
+            (TraceJob(job_id=f"{app_id}-j0", model="vgg16",
+                      duration_minutes=minutes, max_parallelism=4),),
+        )
+
+    trace = Trace(apps=(app("victim", 80.0), app("peer-a", 80.0), app("peer-b", 80.0)))
+    sim = ClusterSimulator(
+        cluster=cluster,
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+        config=SimulationConfig(lease_minutes=10.0, record_timeline=True),
+    )
+    # Machine 0 (the victim's machine) dies at t=30 and is repaired at t=70.
+    injector = FailureInjector([MachineFailure(machine_id=0, at=30.0, duration=40.0)])
+    injector.install(sim)
+
+    result = sim.run()
+    print(f"completed={result.completed}; failure+repair events applied: "
+          f"{injector.events_applied}\n")
+
+    probes = [0.0, 20.0, 35.0, 50.0, 75.0, 100.0, 140.0]
+    print("GPUs held over time (machine 0 down during t=30..70):")
+    print("  t(min):   " + "  ".join(f"{t:5.0f}" for t in probes))
+    for app_id in ("victim", "peer-a", "peer-b"):
+        series = allocation_series(result, app_id)
+        values = sample_series(series, probes)
+        print(f"  {app_id:8s}: " + "  ".join(f"{v:5d}" for v in values))
+
+    print("\nfinal finish-time fairness (rho):")
+    for stats in result.app_stats:
+        print(f"  {stats.app_id}: rho={stats.rho:.2f}  "
+              f"finished at t={stats.finished_at:.0f} min")
+    print("\nno app starves: the victim's unbounded rho after the outage wins"
+          "\nit GPUs in the very next auctions.")
+
+
+if __name__ == "__main__":
+    main()

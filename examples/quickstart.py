@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: run Themis over a synthetic trace and read the metrics.
+
+Generates a small enterprise-style workload (Poisson arrivals,
+hyper-parameter exploration apps), schedules it with Themis on the
+paper's 50-GPU testbed cluster, and prints the evaluation metrics of
+Section 8.1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterSimulator,
+    GeneratorConfig,
+    SimulationConfig,
+    generate_trace,
+    make_scheduler,
+    testbed_cluster,
+)
+from repro.metrics import jain_index, jct_summary, max_fairness, score_summary, utilization
+
+
+def main() -> None:
+    cluster = testbed_cluster()
+    trace = generate_trace(
+        GeneratorConfig(
+            num_apps=12,
+            seed=1,
+            duration_scale=0.1,
+            jobs_per_app_median=6.0,
+            jobs_per_app_max=16,
+        )
+    )
+    print(f"cluster : {cluster.num_gpus} GPUs / {cluster.num_machines} machines")
+    print(f"workload: {trace.num_apps} apps, {trace.num_jobs} jobs, "
+          f"peak demand {trace.peak_gpu_demand()} GPUs")
+
+    simulator = ClusterSimulator(
+        cluster=cluster,
+        workload=trace,
+        scheduler=make_scheduler("themis", fairness_knob=0.8),
+        config=SimulationConfig(lease_minutes=20.0),
+    )
+    result = simulator.run()
+
+    rhos = result.rhos()
+    print(f"\ncompleted       : {result.completed} "
+          f"(makespan {result.makespan:.0f} min, {result.num_rounds} auctions)")
+    print(f"peak contention : {result.peak_contention:.2f}x cluster capacity")
+    print(f"max fairness    : {max_fairness(rhos):.2f}  (ideal ~= contention)")
+    print(f"jain index      : {jain_index(rhos):.3f}")
+    print(f"avg completion  : {jct_summary(result.completion_times())['mean']:.1f} min")
+    print(f"placement score : {score_summary(result.placement_scores())['mean']:.3f}")
+    print(f"utilization     : {utilization(result):.2f}")
+
+    print("\nper-app finish-time fairness (rho = shared time / ideal time):")
+    for stats in sorted(result.app_stats, key=lambda s: s.rho, reverse=True)[:5]:
+        print(f"  {stats.app_id}: rho={stats.rho:5.2f}  "
+              f"jct={stats.completion_time:7.1f} min  jobs={stats.num_jobs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments where the ``wheel`` package is unavailable and
+PEP 517 build isolation cannot download it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of *Themis: Fair and Efficient GPU Cluster
+Scheduling for Machine Learning Workloads* (Mahajan et al., NSDI 2020).
+
+The package provides:
+
+* the Themis scheduler itself — finish-time fairness, per-app AGENTs,
+  a central ARBITER running partial-allocation auctions
+  (:mod:`repro.core`, :mod:`repro.schedulers.themis`),
+* every substrate the paper's evaluation needs, built from scratch: a
+  deterministic event simulator (:mod:`repro.simulation`), a GPU
+  cluster topology and placement model (:mod:`repro.cluster`), a
+  synthetic enterprise workload generator (:mod:`repro.workload`),
+  HyperBand/HyperDrive app schedulers (:mod:`repro.hyperparam`),
+* the baselines the paper compares against — Gandiva, Tiresias, SLAQ —
+  plus strawman/DRF/FIFO ablation anchors (:mod:`repro.schedulers`),
+* metrics and a per-figure experiment harness regenerating every
+  figure of the evaluation (:mod:`repro.metrics`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run(scheduler="themis", num_apps=10, seed=1)
+    print(max(result.rhos()))
+"""
+
+from repro.cluster import Cluster, testbed_cluster, themis_sim_cluster
+from repro.schedulers import SCHEDULER_NAMES, make_scheduler
+from repro.simulation import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.workload import GeneratorConfig, Trace, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterSimulator",
+    "GeneratorConfig",
+    "SCHEDULER_NAMES",
+    "SimulationConfig",
+    "SimulationResult",
+    "Trace",
+    "__version__",
+    "generate_trace",
+    "make_scheduler",
+    "quick_run",
+    "testbed_cluster",
+    "themis_sim_cluster",
+]
+
+
+def quick_run(
+    scheduler: str = "themis",
+    num_apps: int = 10,
+    seed: int = 0,
+    cluster: Cluster | None = None,
+    lease_minutes: float = 20.0,
+    duration_scale: float = 0.25,
+    **scheduler_kwargs,
+) -> SimulationResult:
+    """One-call end-to-end run: generate a trace, simulate, return results.
+
+    Convenience wrapper used by the examples and docs; all the pieces
+    are available individually for real experiments.
+    """
+    if cluster is None:
+        cluster = testbed_cluster()
+    trace = generate_trace(
+        GeneratorConfig(num_apps=num_apps, seed=seed, duration_scale=duration_scale)
+    )
+    sim = ClusterSimulator(
+        cluster=cluster,
+        workload=trace,
+        scheduler=make_scheduler(scheduler, **scheduler_kwargs),
+        config=SimulationConfig(lease_minutes=lease_minutes),
+    )
+    return sim.run()

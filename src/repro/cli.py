@@ -1,0 +1,200 @@
+"""Command-line interface: run scenarios, comparisons and paper figures.
+
+Examples::
+
+    python -m repro run --scheduler themis --apps 12 --seed 1
+    python -m repro compare --schedulers themis,tiresias --apps 10
+    python -m repro figure fig02
+    python -m repro trace --apps 30 --out trace.jsonl
+
+The CLI is a thin shell over :mod:`repro.experiments`; everything it
+prints comes from the same figure/report code the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig, sim_scenario, testbed_scenario
+from repro.experiments.figures import (
+    fig01_task_duration_cdf,
+    fig02_placement_throughput,
+    fig04_knob_sweep,
+    fig04c_lease_sweep,
+    fig05_to_07_macrobenchmark,
+    fig08_timeline,
+    fig09_network_sweep,
+    fig10_contention_sweep,
+    fig11_bid_error_sweep,
+)
+from repro.experiments.report import format_figure, format_table
+from repro.experiments.runner import compare_schedulers, run_scenario
+from repro.metrics.fairness import jain_index, max_fairness
+from repro.metrics.jct import average_jct
+from repro.metrics.placement import score_summary
+from repro.schedulers.registry import SCHEDULER_NAMES
+from repro.workload.generator import GeneratorConfig, generate_trace
+
+#: Figure name -> zero-argument callable (scenario-taking ones get a
+#: small default so the CLI stays interactive-speed).
+_FIGURES = {
+    "fig01": lambda s: fig01_task_duration_cdf(s),
+    "fig02": lambda s: fig02_placement_throughput(),
+    "fig04ab": lambda s: fig04_knob_sweep(s, knobs=(0.0, 0.4, 0.8, 1.0)),
+    "fig04c": lambda s: fig04c_lease_sweep(s, leases=(10.0, 20.0, 40.0)),
+    "fig05-07": lambda s: fig05_to_07_macrobenchmark(s),
+    "fig08": lambda s: fig08_timeline(),
+    "fig09": lambda s: fig09_network_sweep(
+        s, fractions=(0.0, 0.5, 1.0), schedulers=("themis", "tiresias")
+    ),
+    "fig10": lambda s: fig10_contention_sweep(s, factors=(1.0, 2.0)),
+    "fig11": lambda s: fig11_bid_error_sweep(s, thetas=(0.0, 0.2)),
+}
+
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    builder = sim_scenario if args.cluster == "sim" else testbed_scenario
+    return builder(
+        num_apps=args.apps,
+        seed=args.seed,
+        duration_scale=args.duration_scale,
+    ).replace(lease_minutes=args.lease)
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser, default_apps: int) -> None:
+    parser.add_argument("--cluster", choices=("sim", "testbed"), default="testbed",
+                        help="256-GPU simulated cluster or 50-GPU testbed")
+    parser.add_argument("--apps", type=int, default=default_apps,
+                        help="number of apps to generate")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument("--duration-scale", type=float, default=None,
+                        help="scale factor on job durations")
+    parser.add_argument("--lease", type=float, default=20.0,
+                        help="GPU lease duration in minutes")
+
+
+def _fill_duration_default(args: argparse.Namespace) -> None:
+    if args.duration_scale is None:
+        args.duration_scale = 0.4 if args.cluster == "sim" else 0.08
+
+
+def _summary_row(name: str, result) -> list:
+    rhos = result.rhos()
+    return [
+        name,
+        max_fairness(rhos),
+        jain_index(rhos),
+        average_jct(result.completion_times()),
+        score_summary(result.placement_scores())["mean"],
+        result.total_gpu_time,
+        result.peak_contention,
+    ]
+
+
+_SUMMARY_HEADERS = [
+    "scheduler", "max_rho", "jain", "avg_jct",
+    "placement", "gpu_time", "contention",
+]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _fill_duration_default(args)
+    scenario = _scenario_from_args(args)
+    kwargs = {}
+    if args.fairness_knob is not None:
+        kwargs["fairness_knob"] = args.fairness_knob
+    result = run_scenario(scenario, args.scheduler, kwargs or None)
+    print(format_table(_SUMMARY_HEADERS, [_summary_row(args.scheduler, result)]))
+    if not result.completed:
+        print("warning: run hit max_minutes before all apps finished")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    _fill_duration_default(args)
+    scenario = _scenario_from_args(args)
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    unknown = [n for n in names if n not in SCHEDULER_NAMES]
+    if unknown:
+        print(f"unknown schedulers: {unknown}; known: {list(SCHEDULER_NAMES)}",
+              file=sys.stderr)
+        return 2
+    results = compare_schedulers(scenario, names)
+    rows = [_summary_row(name, results[name]) for name in names]
+    print(format_table(_SUMMARY_HEADERS, rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    _fill_duration_default(args)
+    if args.name not in _FIGURES:
+        print(f"unknown figure {args.name!r}; known: {sorted(_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    scenario = _scenario_from_args(args)
+    figure = _FIGURES[args.name](scenario)
+    print(format_figure(figure))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    _fill_duration_default(args)
+    trace = generate_trace(
+        GeneratorConfig(
+            num_apps=args.apps, seed=args.seed, duration_scale=args.duration_scale
+        )
+    )
+    trace.to_jsonl(args.out)
+    print(f"wrote {trace.num_apps} apps / {trace.num_jobs} jobs to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Themis (NSDI 2020) reproduction: schedulers, traces, figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scheduler over a scenario")
+    _add_scenario_args(run_parser, default_apps=10)
+    run_parser.add_argument("--scheduler", default="themis", choices=SCHEDULER_NAMES)
+    run_parser.add_argument("--fairness-knob", type=float, default=None)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare several schedulers")
+    _add_scenario_args(compare_parser, default_apps=10)
+    compare_parser.add_argument(
+        "--schedulers", default="themis,gandiva,slaq,tiresias",
+        help="comma-separated scheduler names",
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", help=f"one of {sorted(_FIGURES)}")
+    _add_scenario_args(figure_parser, default_apps=8)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    trace_parser = sub.add_parser("trace", help="generate a trace JSONL file")
+    trace_parser.add_argument("--apps", type=int, default=30)
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument("--duration-scale", type=float, default=None)
+    trace_parser.add_argument("--cluster", choices=("sim", "testbed"), default="sim")
+    trace_parser.add_argument("--out", default="trace.jsonl")
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

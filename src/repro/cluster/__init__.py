@@ -1,0 +1,46 @@
+"""GPU cluster topology and placement model.
+
+This package is the substrate that replaces the paper's physical clusters
+(the 256-GPU simulated cluster and the 50-GPU Azure testbed).  It models
+machines with NVLink slot groups inside racks, immutable GPU allocation
+vectors, the paper's 4-level placement score, and the slowdown factor
+``S`` that makes job throughput placement-sensitive (Section 2.2 / 5.2).
+"""
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.placement import (
+    LocalityLevel,
+    PLACEMENT_SCORES,
+    SensitivityProfile,
+    placement_level,
+    placement_score,
+    slowdown,
+)
+from repro.cluster.topology import (
+    Cluster,
+    ClusterSpec,
+    Gpu,
+    Machine,
+    MachineSpec,
+    build_cluster,
+    testbed_cluster,
+    themis_sim_cluster,
+)
+
+__all__ = [
+    "Allocation",
+    "Cluster",
+    "ClusterSpec",
+    "Gpu",
+    "LocalityLevel",
+    "Machine",
+    "MachineSpec",
+    "PLACEMENT_SCORES",
+    "SensitivityProfile",
+    "build_cluster",
+    "placement_level",
+    "placement_score",
+    "slowdown",
+    "testbed_cluster",
+    "themis_sim_cluster",
+]

@@ -1,0 +1,140 @@
+"""Immutable GPU allocation vectors.
+
+The paper represents an allocation as a vector ``[G_{x,y}]`` over GPUs
+``x`` on machines ``y`` (Section 4) and bids as per-machine fractions of
+free GPUs (Section 5.1).  :class:`Allocation` is the concrete form used
+throughout this reproduction: an immutable, hashable set of
+:class:`~repro.cluster.topology.Gpu` with the aggregate queries the bid
+generator, auction and metrics need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.cluster.placement import LocalityLevel, placement_level, placement_score
+from repro.cluster.topology import Gpu
+
+
+class Allocation:
+    """An immutable set of GPUs with topology-aware aggregate queries.
+
+    Allocations compare equal by GPU membership, hash (usable as dict
+    keys inside bid tables) and combine with ``|`` and ``-``:
+
+    >>> a = Allocation([gpu1, gpu2])          # doctest: +SKIP
+    >>> (a | Allocation([gpu3])).size          # doctest: +SKIP
+    3
+    """
+
+    __slots__ = ("_gpus", "_key")
+
+    def __init__(self, gpus: Iterable[Gpu] = ()) -> None:
+        unique = {gpu.gpu_id: gpu for gpu in gpus}
+        self._gpus: tuple[Gpu, ...] = tuple(unique[g] for g in sorted(unique))
+        self._key = frozenset(unique)
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of GPUs in the allocation."""
+        return len(self._gpus)
+
+    @property
+    def gpus(self) -> tuple[Gpu, ...]:
+        """The member GPUs in ascending gpu_id order."""
+        return self._gpus
+
+    @property
+    def gpu_ids(self) -> frozenset[int]:
+        """The member GPU ids."""
+        return self._key
+
+    def __len__(self) -> int:
+        return len(self._gpus)
+
+    def __iter__(self) -> Iterator[Gpu]:
+        return iter(self._gpus)
+
+    def __bool__(self) -> bool:
+        return bool(self._gpus)
+
+    def __contains__(self, gpu: Gpu) -> bool:
+        return gpu.gpu_id in self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Allocation({sorted(self._key)})"
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def __or__(self, other: "Allocation") -> "Allocation":
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return Allocation(self._gpus + other._gpus)
+
+    def __sub__(self, other: "Allocation") -> "Allocation":
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return Allocation(gpu for gpu in self._gpus if gpu.gpu_id not in other._key)
+
+    def union(self, gpus: Iterable[Gpu]) -> "Allocation":
+        """Allocation extended with additional GPUs."""
+        return Allocation(self._gpus + tuple(gpus))
+
+    def without(self, gpus: Iterable[Gpu]) -> "Allocation":
+        """Allocation with the given GPUs removed (missing ones ignored)."""
+        drop = {gpu.gpu_id for gpu in gpus}
+        return Allocation(gpu for gpu in self._gpus if gpu.gpu_id not in drop)
+
+    def intersects(self, other: "Allocation") -> bool:
+        """True when the two allocations share at least one GPU."""
+        return bool(self._key & other._key)
+
+    # ------------------------------------------------------------------
+    # Topology aggregates
+    # ------------------------------------------------------------------
+    @property
+    def machine_ids(self) -> tuple[int, ...]:
+        """Distinct machines spanned, sorted."""
+        return tuple(sorted({gpu.machine_id for gpu in self._gpus}))
+
+    @property
+    def rack_ids(self) -> tuple[int, ...]:
+        """Distinct racks spanned, sorted."""
+        return tuple(sorted({gpu.rack_id for gpu in self._gpus}))
+
+    def per_machine_counts(self) -> dict[int, int]:
+        """Map machine_id -> number of member GPUs on that machine.
+
+        This is the paper's bid representation: "each dimension in R
+        represents the number of unused GPUs in a given machine".
+        """
+        return dict(Counter(gpu.machine_id for gpu in self._gpus))
+
+    def on_machine(self, machine_id: int) -> tuple[Gpu, ...]:
+        """Member GPUs hosted on one machine."""
+        return tuple(gpu for gpu in self._gpus if gpu.machine_id == machine_id)
+
+    def level(self) -> LocalityLevel:
+        """Worst networking boundary spanned (see :func:`placement_level`)."""
+        return placement_level(self._gpus)
+
+    def score(self) -> float:
+        """4-level placement score of the allocation (Figure 7 metric)."""
+        return placement_score(self._gpus)
+
+
+#: The empty allocation, shared to avoid churn in hot paths.
+EMPTY_ALLOCATION = Allocation()

@@ -1,0 +1,267 @@
+"""Cluster topology: GPUs grouped into NVLink slots, machines and racks.
+
+The paper evaluates on two clusters:
+
+* a **heterogeneous 256-GPU simulated cluster** — "a mixture of 4 GPU,
+  2 GPU, and 1 GPU machines spread across multiple racks" (Section 8.1),
+* a **50-GPU testbed** — "20 instances ... that have 1/2/4 GPUs in each
+  instance" (Section 8.1).
+
+:func:`themis_sim_cluster` and :func:`testbed_cluster` build those two.
+Arbitrary clusters are described with :class:`ClusterSpec` and built with
+:func:`build_cluster`.
+
+Topology is immutable after construction; allocation state (who holds a
+GPU) lives in the simulator, not here, so topology objects can be shared
+freely between scheduler instances under comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Gpu:
+    """A single GPU, identified globally and by its topological position.
+
+    ``slot_id`` identifies the NVLink island within the machine; GPUs in
+    the same slot communicate over NVLink, GPUs in different slots of the
+    same machine over PCIe (paper's 4-level locality, Section 8.1).
+    """
+
+    gpu_id: int
+    machine_id: int
+    rack_id: int
+    slot_id: int
+
+    def __repr__(self) -> str:
+        return f"Gpu({self.gpu_id}@m{self.machine_id}/r{self.rack_id}/s{self.slot_id})"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """How many machines of a given shape to build.
+
+    ``nvlink_group_size`` controls how many GPUs share one NVLink island;
+    a 4-GPU machine with group size 2 has two NVLink pairs bridged over
+    PCIe, which is the common PCIe-server configuration the paper's
+    slot-vs-machine locality distinction implies.
+    """
+
+    count: int
+    gpus_per_machine: int
+    nvlink_group_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"machine count must be >= 0, got {self.count}")
+        if self.gpus_per_machine <= 0:
+            raise ValueError(f"gpus_per_machine must be > 0, got {self.gpus_per_machine}")
+        if self.nvlink_group_size <= 0:
+            raise ValueError(f"nvlink_group_size must be > 0, got {self.nvlink_group_size}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a cluster to build.
+
+    Machines from all specs are built in order and dealt round-robin
+    across ``num_racks`` racks, which spreads machine shapes evenly the
+    way the paper describes ("spread across multiple racks").
+    """
+
+    machine_specs: tuple[MachineSpec, ...]
+    num_racks: int = 4
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.num_racks <= 0:
+            raise ValueError(f"num_racks must be > 0, got {self.num_racks}")
+        if not self.machine_specs:
+            raise ValueError("cluster needs at least one MachineSpec")
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPUs the spec describes."""
+        return sum(spec.count * spec.gpus_per_machine for spec in self.machine_specs)
+
+    @property
+    def total_machines(self) -> int:
+        """Total number of machines the spec describes."""
+        return sum(spec.count for spec in self.machine_specs)
+
+
+class Machine:
+    """A machine holding one or more GPUs, possibly in NVLink slot groups."""
+
+    def __init__(self, machine_id: int, rack_id: int, gpus: list[Gpu]) -> None:
+        if not gpus:
+            raise ValueError("a machine must hold at least one GPU")
+        self.machine_id = machine_id
+        self.rack_id = rack_id
+        self.gpus: tuple[Gpu, ...] = tuple(gpus)
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs installed in this machine."""
+        return len(self.gpus)
+
+    @property
+    def slot_ids(self) -> tuple[int, ...]:
+        """Distinct NVLink slot ids present in this machine."""
+        return tuple(sorted({gpu.slot_id for gpu in self.gpus}))
+
+    def gpus_in_slot(self, slot_id: int) -> tuple[Gpu, ...]:
+        """GPUs belonging to one NVLink island."""
+        return tuple(gpu for gpu in self.gpus if gpu.slot_id == slot_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(m{self.machine_id}, rack={self.rack_id}, gpus={self.num_gpus})"
+
+
+class Cluster:
+    """An immutable GPU cluster topology with fast lookup tables."""
+
+    def __init__(self, machines: Iterable[Machine], name: str = "custom") -> None:
+        self.name = name
+        self.machines: tuple[Machine, ...] = tuple(machines)
+        if not self.machines:
+            raise ValueError("a cluster must contain at least one machine")
+        self._machines_by_id = {m.machine_id: m for m in self.machines}
+        if len(self._machines_by_id) != len(self.machines):
+            raise ValueError("duplicate machine ids in cluster")
+        self._gpus: tuple[Gpu, ...] = tuple(gpu for m in self.machines for gpu in m.gpus)
+        self._gpus_by_id = {gpu.gpu_id: gpu for gpu in self._gpus}
+        if len(self._gpus_by_id) != len(self._gpus):
+            raise ValueError("duplicate gpu ids in cluster")
+        self._racks: dict[int, list[Machine]] = {}
+        for machine in self.machines:
+            self._racks.setdefault(machine.rack_id, []).append(machine)
+
+    # ------------------------------------------------------------------
+    # Size queries
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Total GPUs in the cluster."""
+        return len(self._gpus)
+
+    @property
+    def num_machines(self) -> int:
+        """Total machines in the cluster."""
+        return len(self.machines)
+
+    @property
+    def num_racks(self) -> int:
+        """Total racks in the cluster."""
+        return len(self._racks)
+
+    @property
+    def gpus(self) -> tuple[Gpu, ...]:
+        """All GPUs, ordered by gpu_id construction order."""
+        return self._gpus
+
+    @property
+    def rack_ids(self) -> tuple[int, ...]:
+        """Sorted rack identifiers."""
+        return tuple(sorted(self._racks))
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def gpu(self, gpu_id: int) -> Gpu:
+        """Look a GPU up by id.  Raises ``KeyError`` for unknown ids."""
+        return self._gpus_by_id[gpu_id]
+
+    def machine(self, machine_id: int) -> Machine:
+        """Look a machine up by id.  Raises ``KeyError`` for unknown ids."""
+        return self._machines_by_id[machine_id]
+
+    def machines_in_rack(self, rack_id: int) -> tuple[Machine, ...]:
+        """All machines in one rack."""
+        return tuple(self._racks[rack_id])
+
+    def gpus_on_machine(self, machine_id: int) -> tuple[Gpu, ...]:
+        """All GPUs installed in one machine."""
+        return self._machines_by_id[machine_id].gpus
+
+    def iter_gpus(self) -> Iterator[Gpu]:
+        """Iterate all GPUs in deterministic order."""
+        return iter(self._gpus)
+
+    def __contains__(self, gpu_id: int) -> bool:
+        return gpu_id in self._gpus_by_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({self.name!r}, gpus={self.num_gpus}, "
+            f"machines={self.num_machines}, racks={self.num_racks})"
+        )
+
+
+def build_cluster(spec: ClusterSpec) -> Cluster:
+    """Materialise a :class:`Cluster` from a :class:`ClusterSpec`.
+
+    GPU and machine ids are assigned sequentially, machines are dealt
+    round-robin over racks, and NVLink slots are numbered within each
+    machine, so builds are fully deterministic.
+    """
+    machines: list[Machine] = []
+    gpu_id = 0
+    machine_id = 0
+    for machine_spec in spec.machine_specs:
+        for _ in range(machine_spec.count):
+            rack_id = machine_id % spec.num_racks
+            gpus = []
+            for index in range(machine_spec.gpus_per_machine):
+                slot_id = index // machine_spec.nvlink_group_size
+                gpus.append(
+                    Gpu(gpu_id=gpu_id, machine_id=machine_id, rack_id=rack_id, slot_id=slot_id)
+                )
+                gpu_id += 1
+            machines.append(Machine(machine_id=machine_id, rack_id=rack_id, gpus=gpus))
+            machine_id += 1
+    return Cluster(machines, name=spec.name)
+
+
+def themis_sim_cluster(scale: float = 1.0, num_racks: int = 8) -> Cluster:
+    """The heterogeneous 256-GPU simulation cluster of Section 8.1.
+
+    The composition (40 four-GPU, 32 two-GPU, 32 one-GPU machines, i.e.
+    160 + 64 + 32 = 256 GPUs over 8 racks) follows the paper's
+    description of "a mixture of 4 GPU, 2 GPU, and 1 GPU machines spread
+    across multiple racks".  ``scale`` shrinks or grows every machine
+    count proportionally, which the microbenchmarks use for sweeps.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    spec = ClusterSpec(
+        machine_specs=(
+            MachineSpec(count=max(1, round(40 * scale)), gpus_per_machine=4),
+            MachineSpec(count=max(1, round(32 * scale)), gpus_per_machine=2),
+            MachineSpec(count=max(1, round(32 * scale)), gpus_per_machine=1),
+        ),
+        num_racks=num_racks,
+        name=f"themis-sim-{scale:g}x",
+    )
+    return build_cluster(spec)
+
+
+def testbed_cluster(num_racks: int = 4) -> Cluster:
+    """The 50-GPU / 20-instance Azure testbed of Section 8.1.
+
+    Eight 4-GPU, six 2-GPU and six 1-GPU instances give 20 machines and
+    32 + 12 + 6 = 50 GPUs, matching the paper's NC/NV-series mixture.
+    """
+    spec = ClusterSpec(
+        machine_specs=(
+            MachineSpec(count=8, gpus_per_machine=4),
+            MachineSpec(count=6, gpus_per_machine=2),
+            MachineSpec(count=6, gpus_per_machine=1),
+        ),
+        num_racks=num_racks,
+        name="themis-testbed",
+    )
+    return build_cluster(spec)

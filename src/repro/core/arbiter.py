@@ -1,0 +1,225 @@
+"""The central ARBITER (Section 5, Pseudocode 1).
+
+One scheduling round, triggered whenever GPUs are available:
+
+1. probe every active app's AGENT for its current rho,
+2. sort apps by rho (worst first; starved apps with unbounded rho lead)
+   and keep the top ``1 - f`` fraction — the fairness knob,
+3. offer the pooled GPUs to those apps and collect bids,
+4. run the partial-allocation auction to pick winning bundles,
+5. hand hidden-payment leftovers to *non-participating* apps in a
+   placement-sensitive, work-conserving way,
+6. concretise per-machine GPU counts into actual GPUs (slot-packed).
+
+The ARBITER is scheduler-policy only: leases, job state and event
+bookkeeping belong to the simulator driving it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Cluster, Gpu
+from repro.core.agent import Agent
+from repro.core.assignment import concretise, group_pool
+from repro.core.auction import AuctionOutcome, PartialAllocationAuction
+
+
+@dataclass(frozen=True)
+class ArbiterConfig:
+    """Tunables of the ARBITER.
+
+    ``fairness_knob`` is the paper's ``f``: available GPUs are visible
+    to the worst ``1 - f`` fraction of apps; higher f gives stronger
+    fairness, lower f more placement flexibility (Figure 4a/4b sweeps
+    it; the paper settles on 0.8).  ``hidden_payments`` and
+    ``leftover_allocation`` exist for the ablation benchmarks.
+    """
+
+    fairness_knob: float = 0.8
+    chunk_size: int = 4
+    noise_theta: float = 0.0
+    hidden_payments: bool = True
+    leftover_allocation: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fairness_knob <= 1.0:
+            raise ValueError(f"fairness_knob must be in [0, 1], got {self.fairness_knob}")
+        if not 0.0 <= self.noise_theta < 1.0:
+            raise ValueError(f"noise_theta must be in [0, 1), got {self.noise_theta}")
+
+
+@dataclass
+class RoundStats:
+    """Instrumentation for one scheduling round (overhead benchmarks)."""
+
+    now: float
+    pool_size: int
+    num_active: int
+    num_participants: int
+    leftover_after_payments: int
+    leftover_unassigned: int
+
+
+class Arbiter:
+    """Implements OFFERRESOURCES of Pseudocode 1 over live app AGENTs."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: ArbiterConfig | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or ArbiterConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.auction = PartialAllocationAuction(chunk_size=self.config.chunk_size)
+        self.rounds = 0
+        self.last_outcome: Optional[AuctionOutcome] = None
+        self.history: list[RoundStats] = []
+
+    # ------------------------------------------------------------------
+    # Participant selection (fairness knob)
+    # ------------------------------------------------------------------
+    def select_participants(
+        self, rhos: Mapping[str, float], eligible: Sequence[str]
+    ) -> list[str]:
+        """Worst ``1 - f`` fraction of eligible apps by reported rho.
+
+        At least one app always participates (otherwise the pool could
+        never drain); ties break on app id for determinism.  ``inf``
+        rhos (starved apps) sort first.
+        """
+        if not eligible:
+            return []
+        ordered = sorted(eligible, key=lambda a: (-rhos[a], a))
+        count = max(1, math.ceil((1.0 - self.config.fairness_knob) * len(ordered)))
+        return ordered[:count]
+
+    # ------------------------------------------------------------------
+    # The full round
+    # ------------------------------------------------------------------
+    def offer_resources(
+        self,
+        now: float,
+        pool: Sequence[Gpu],
+        agents: Mapping[str, Agent],
+    ) -> dict[str, list[Gpu]]:
+        """Run one auction round; returns app_id -> concrete GPUs won.
+
+        ``pool`` is the set of available GPUs (unleased + expired
+        leases).  GPUs the round leaves unassigned (no demand anywhere)
+        are simply absent from the result.
+        """
+        self.rounds += 1
+        salt = self.rounds
+        if not pool:
+            return {}
+        pool_by_machine = group_pool(pool)
+        pool_counts = {m: len(gpus) for m, gpus in pool_by_machine.items()}
+
+        # Step 1: probe all apps for rho; only apps that still want GPUs
+        # are eligible bidders.
+        rhos = {app_id: agent.report_rho(now, salt) for app_id, agent in agents.items()}
+        eligible = [
+            app_id for app_id, agent in agents.items() if agent.app.unmet_demand() > 0
+        ]
+        if not eligible:
+            return {}
+
+        # Step 2: fairness knob — visibility limited to worst 1-f apps.
+        participants = self.select_participants(rhos, eligible)
+
+        # Step 3: offers out, bids back.
+        bids = {
+            app_id: agents[app_id].prepare_bid(now, dict(pool_counts), salt)
+            for app_id in participants
+        }
+
+        # Step 4: partial-allocation auction.
+        outcome = self.auction.run(
+            pool_counts, bids, apply_hidden_payments=self.config.hidden_payments
+        )
+        self.last_outcome = outcome
+        for app_id in outcome.winners:
+            agents[app_id].auctions_won += 1
+
+        # Step 5: leftover GPUs to non-participants, placement-sensitively.
+        assignments: dict[str, dict[int, int]] = {
+            app_id: dict(bundle) for app_id, bundle in outcome.winners.items()
+        }
+        leftover_unassigned = 0
+        if self.config.leftover_allocation:
+            leftover_unassigned = self._assign_leftovers(
+                outcome.leftover, participants, agents, assignments
+            )
+        else:
+            leftover_unassigned = sum(outcome.leftover.values())
+
+        self.history.append(
+            RoundStats(
+                now=now,
+                pool_size=len(pool),
+                num_active=len(agents),
+                num_participants=len(participants),
+                leftover_after_payments=outcome.total_leftover,
+                leftover_unassigned=leftover_unassigned,
+            )
+        )
+        return concretise(assignments, pool_by_machine)
+
+    # ------------------------------------------------------------------
+    # Leftover allocation (Section 5.1, stage 3)
+    # ------------------------------------------------------------------
+    def _assign_leftovers(
+        self,
+        leftover: Mapping[int, int],
+        participants: Sequence[str],
+        agents: Mapping[str, Agent],
+        assignments: dict[str, dict[int, int]],
+    ) -> int:
+        """Hand withheld GPUs to non-participants, one GPU at a time.
+
+        Preference order per GPU: a non-participating app that already
+        occupies the GPU's machine (the paper's placement-sensitive
+        rule, random among candidates), then any app with unmet demand
+        (work conservation), else the GPU stays unassigned.  Returns
+        the number of GPUs nobody wanted.
+        """
+        participant_set = set(participants)
+        headroom: dict[str, int] = {}
+        for app_id, agent in agents.items():
+            won = sum(assignments.get(app_id, {}).values())
+            headroom[app_id] = max(0, agent.app.unmet_demand() - won)
+        machines_of: dict[str, set[int]] = {
+            app_id: set(agent.app.allocation().per_machine_counts())
+            for app_id, agent in agents.items()
+        }
+        unassigned = 0
+        for machine_id in sorted(leftover):
+            for _ in range(leftover[machine_id]):
+                candidates = [
+                    app_id
+                    for app_id in sorted(agents)
+                    if app_id not in participant_set
+                    and headroom[app_id] > 0
+                    and machine_id in machines_of[app_id]
+                ]
+                if not candidates:
+                    candidates = [
+                        app_id for app_id in sorted(agents) if headroom[app_id] > 0
+                    ]
+                if not candidates:
+                    unassigned += 1
+                    continue
+                choice = candidates[int(self.rng.integers(len(candidates)))]
+                bundle = assignments.setdefault(choice, {})
+                bundle[machine_id] = bundle.get(machine_id, 0) + 1
+                headroom[choice] -= 1
+                machines_of[choice].add(machine_id)
+        return unassigned
+

@@ -1,0 +1,167 @@
+"""Shared assignment helpers: pool grouping, counts -> GPUs, greedy fill.
+
+Both the Themis ARBITER and the emulated baseline schedulers (Gandiva,
+Tiresias, SLAQ — Section 8's comparison points are all modelled "to fit
+into an auction-based fair market scheme") work with per-machine GPU
+counts and need the same two conversions:
+
+* grouping a concrete GPU pool by machine, slot-sorted, and
+* concretising per-machine count assignments back into GPU grants.
+
+:func:`greedy_utility_assign` is the additive-utility counterpart of
+the auction's Nash-welfare solver, used by baselines that maximise a
+sum (placement score for Gandiva, loss reduction for SLAQ).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.cluster.topology import Gpu
+
+
+def group_pool(pool: Sequence[Gpu]) -> dict[int, list[Gpu]]:
+    """Group pooled GPUs by machine, slot-sorted within each machine."""
+    grouped: dict[int, list[Gpu]] = {}
+    for gpu in sorted(pool, key=lambda g: (g.machine_id, g.slot_id, g.gpu_id)):
+        grouped.setdefault(gpu.machine_id, []).append(gpu)
+    return grouped
+
+
+def pool_counts(pool: Sequence[Gpu]) -> dict[int, int]:
+    """Per-machine free GPU counts — the paper's offer vector R."""
+    counts: dict[int, int] = {}
+    for gpu in pool:
+        counts[gpu.machine_id] = counts.get(gpu.machine_id, 0) + 1
+    return counts
+
+
+def concretise(
+    assignments: Mapping[str, Mapping[int, int]],
+    pool_by_machine: Mapping[int, Sequence[Gpu]],
+) -> dict[str, list[Gpu]]:
+    """Turn per-machine count assignments into concrete GPU grants.
+
+    Within a machine the pooled GPUs are slot-sorted and each app takes
+    a contiguous run (largest bundles first, id tie-breaks), preserving
+    NVLink-slot packing for the biggest consumer on every machine.
+    Raises when assignments exceed the pooled supply.
+    """
+    result: dict[str, list[Gpu]] = {}
+    cursors: dict[int, int] = {machine_id: 0 for machine_id in pool_by_machine}
+    per_machine_orders: dict[int, list[tuple[str, int]]] = {}
+    for app_id, bundle in assignments.items():
+        for machine_id, count in bundle.items():
+            if count < 0:
+                raise ValueError(f"negative count for app {app_id!r} on machine {machine_id}")
+            if count > 0:
+                per_machine_orders.setdefault(machine_id, []).append((app_id, count))
+    for machine_id, orders in per_machine_orders.items():
+        gpus = list(pool_by_machine.get(machine_id, ()))
+        orders.sort(key=lambda item: (-item[1], item[0]))
+        for app_id, count in orders:
+            start = cursors.get(machine_id, 0)
+            granted = gpus[start : start + count]
+            if len(granted) < count:
+                raise RuntimeError(
+                    f"assignment exceeds pooled GPUs on machine {machine_id}: "
+                    f"wanted {count}, had {len(gpus) - start}"
+                )
+            cursors[machine_id] = start + count
+            result.setdefault(app_id, []).extend(granted)
+    return result
+
+
+def greedy_utility_assign(
+    pool: Mapping[int, int],
+    utilities: Mapping[str, Callable[[Mapping[int, int]], float]],
+    caps: Mapping[str, int],
+    chunk_size: int = 4,
+) -> dict[str, dict[int, int]]:
+    """Greedy maximisation of an *additive* social objective.
+
+    Repeatedly applies the single (app, machine, step) move with the
+    largest marginal utility per GPU until no move improves.  Utilities
+    are absolute (utility of the app's cumulative bundle); marginal
+    gain is the difference.  Deterministic via sorted tie-breaks.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    remaining = {m: c for m, c in pool.items() if c > 0}
+    assignment: dict[str, dict[int, int]] = {a: {} for a in utilities}
+    granted = {a: 0 for a in utilities}
+    cache: dict[tuple, float] = {}
+
+    def evaluate(app_id: str, bundle: Mapping[int, int]) -> float:
+        # Only one app's bundle grows per move, so most probes repeat
+        # across iterations; memoise on (app, canonical bundle).
+        key = (app_id, tuple(sorted(bundle.items())))
+        if key not in cache:
+            cache[key] = utilities[app_id](bundle)
+        return cache[key]
+
+    current = {a: evaluate(a, {}) for a in utilities}
+    while remaining:
+        best_key = None
+        best_move = None
+        for app_id in sorted(utilities):
+            headroom = caps.get(app_id, 0) - granted[app_id]
+            if headroom <= 0:
+                continue
+            for machine_id in sorted(remaining):
+                free = remaining[machine_id]
+                for step in sorted({1, min(chunk_size, free, headroom)}):
+                    if step <= 0:
+                        continue
+                    bundle = dict(assignment[app_id])
+                    bundle[machine_id] = bundle.get(machine_id, 0) + step
+                    gain = (evaluate(app_id, bundle) - current[app_id]) / step
+                    if gain <= 1e-12:
+                        continue
+                    key = (-gain, step, app_id, machine_id)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_move = (app_id, machine_id, step, bundle)
+        if best_move is None:
+            break
+        app_id, machine_id, step, bundle = best_move
+        assignment[app_id] = bundle
+        granted[app_id] += step
+        current[app_id] = evaluate(app_id, bundle)
+        remaining[machine_id] -= step
+        if remaining[machine_id] <= 0:
+            del remaining[machine_id]
+    return {a: b for a, b in assignment.items() if b}
+
+
+def take_packed(
+    pool_by_machine: dict[int, list[Gpu]],
+    count: int,
+    preferred_machines: Sequence[int] = (),
+) -> list[Gpu]:
+    """Remove up to ``count`` GPUs from the pool, packing tightly.
+
+    Drains preferred machines first (where the requester already has
+    GPUs), then machines with the most free GPUs — the straightforward
+    placement-aware fill used by the non-auction baselines.  Mutates
+    ``pool_by_machine``.
+    """
+    taken: list[Gpu] = []
+    preferred = [m for m in preferred_machines if pool_by_machine.get(m)]
+    rest = sorted(
+        (m for m in pool_by_machine if m not in set(preferred)),
+        key=lambda m: (-len(pool_by_machine[m]), m),
+    )
+    for machine_id in list(preferred) + rest:
+        if count <= 0:
+            break
+        gpus = pool_by_machine.get(machine_id)
+        if not gpus:
+            continue
+        grab = min(count, len(gpus))
+        taken.extend(gpus[:grab])
+        del gpus[:grab]
+        if not gpus:
+            del pool_by_machine[machine_id]
+        count -= grab
+    return taken

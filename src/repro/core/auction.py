@@ -1,0 +1,346 @@
+"""The partial-allocation (PA) auction of Section 5.1 / Pseudocode 2.
+
+Three stages:
+
+1. **Proportional-fair winner determination** — find the assignment of
+   offered GPUs to bidding apps maximising the Nash product of
+   valuations ``prod_i V_i(R_i)``.  The paper solves this with Gurobi;
+   we use a greedy marginal-log-gain solver (with an exhaustive
+   reference solver for small instances, used in tests).  Apps with
+   zero current value (starved, unbounded rho) are rescued first —
+   matching max-Nash-welfare semantics, where any assignment giving a
+   zero-value app something dominates all assignments that do not.
+
+2. **Hidden payments** — each winner ``i`` keeps only a fraction
+   ``c_i = prod_{j != i} V_j(R_j,pf) / prod_{j != i} V_j(R_-i_j,pf)``
+   of its proportional-fair bundle, where the denominator re-solves the
+   market without ``i``.  This is what makes truthful reporting of V a
+   dominant strategy (Cole, Gkatzelis, Goel 2013).
+
+3. **Leftovers** — GPUs withheld as payments are reported back to the
+   caller; the ARBITER hands them to non-participating apps in a
+   placement-sensitive, work-conserving way (Section 5.1, "Leftover
+   Allocation").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.bids import Bid
+
+#: Floor used when taking logs of zero valuations in payment ratios.
+_VALUE_EPSILON = 1e-12
+
+
+def _merge(base: Mapping[int, int], machine_id: int, extra: int) -> dict[int, int]:
+    """Bundle ``base`` with ``extra`` more GPUs on ``machine_id``."""
+    bundle = dict(base)
+    bundle[machine_id] = bundle.get(machine_id, 0) + extra
+    return bundle
+
+
+def _bundle_total(bundle: Mapping[int, int]) -> int:
+    return sum(bundle.values())
+
+
+@dataclass
+class AuctionOutcome:
+    """Everything the ARBITER needs from one auction round."""
+
+    winners: dict[str, dict[int, int]]
+    proportional_fair: dict[str, dict[int, int]]
+    payments: dict[str, float]
+    leftover: dict[int, int]
+    participants: tuple[str, ...]
+    nash_log_welfare: float = 0.0
+
+    def won_gpus(self, app_id: str) -> int:
+        """Total GPUs app ``app_id`` won after payments."""
+        return _bundle_total(self.winners.get(app_id, {}))
+
+    @property
+    def total_allocated(self) -> int:
+        """GPUs handed to auction winners (excluding leftovers)."""
+        return sum(_bundle_total(bundle) for bundle in self.winners.values())
+
+    @property
+    def total_leftover(self) -> int:
+        """GPUs withheld by hidden payments (to be given to non-participants)."""
+        return _bundle_total(self.leftover)
+
+
+class PartialAllocationAuction:
+    """Greedy-Nash-welfare implementation of the PA mechanism.
+
+    ``chunk_size`` bounds how many co-located GPUs a single greedy step
+    may hand to one app (defaults to 4 — one typical gang of the
+    trace); smaller steps trade solve time for solution quality.
+    """
+
+    def __init__(self, chunk_size: int = 4) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Stage 1: proportional-fair (max Nash welfare) assignment
+    # ------------------------------------------------------------------
+    def proportional_fair_allocation(
+        self,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        exclude: Optional[str] = None,
+    ) -> dict[str, dict[int, int]]:
+        """Greedy max-Nash-welfare assignment of the pool to bidders.
+
+        Each step evaluates, for every app and every machine with free
+        GPUs, the marginal log-valuation of grabbing 1 or ``chunk_size``
+        GPUs there, and applies the best move.  Rescue moves (taking an
+        app from zero to positive value) always dominate, largest new
+        value first, which is the lexicographic max-Nash-welfare rule.
+        """
+        remaining = {m: c for m, c in pool.items() if c > 0}
+        apps = [a for a in sorted(bids) if a != exclude]
+        assignment: dict[str, dict[int, int]] = {a: {} for a in apps}
+        values = {a: bids[a].value_of({}) for a in apps}
+        granted = {a: 0 for a in apps}
+
+        while remaining:
+            best_rescue: Optional[tuple] = None  # (key, move)
+            best_gain: Optional[tuple] = None
+            for app_id in apps:
+                bid = bids[app_id]
+                headroom = bid.demand - granted[app_id]
+                if headroom <= 0:
+                    continue
+                current = assignment[app_id]
+                current_value = values[app_id]
+                for machine_id in sorted(remaining):
+                    free = remaining[machine_id]
+                    if current_value <= 0.0:
+                        # Rescue with the smallest possible grab: one GPU
+                        # already makes the app's value positive, and
+                        # lexicographic max-Nash-welfare maximises the
+                        # number of positive-value apps before the product.
+                        step_sizes = {1}
+                    else:
+                        step_sizes = {1, min(self.chunk_size, free, headroom)}
+                    for step in sorted(step_sizes):
+                        if step <= 0:
+                            continue
+                        bundle = _merge(current, machine_id, step)
+                        new_value = bid.value_of(bundle)
+                        if new_value <= current_value:
+                            continue
+                        move = (app_id, machine_id, step, new_value)
+                        if current_value <= 0.0:
+                            # Rescue: infinite log gain; prefer highest new
+                            # value, then machines with the most free GPUs
+                            # (so the rescued app can grow co-located),
+                            # deterministic ties.
+                            key = (-new_value, step, -free, app_id, machine_id)
+                            if best_rescue is None or key < best_rescue[0]:
+                                best_rescue = (key, move)
+                        else:
+                            gain = (math.log(new_value) - math.log(current_value)) / step
+                            key = (-gain, step, app_id, machine_id)
+                            if best_gain is None or key < best_gain[0]:
+                                best_gain = (key, move)
+            chosen = best_rescue or best_gain
+            if chosen is None:
+                break
+            best_move = chosen[1]
+            app_id, machine_id, step, new_value = best_move
+            assignment[app_id] = _merge(assignment[app_id], machine_id, step)
+            values[app_id] = new_value
+            granted[app_id] += step
+            remaining[machine_id] -= step
+            if remaining[machine_id] <= 0:
+                del remaining[machine_id]
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Stage 2: hidden payments
+    # ------------------------------------------------------------------
+    def _log_value(self, value: float) -> float:
+        return math.log(max(value, _VALUE_EPSILON))
+
+    def _payment_fraction(
+        self,
+        app_id: str,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        pf_allocation: Mapping[str, Mapping[int, int]],
+    ) -> float:
+        """``c_i`` of Pseudocode 2: the externality app ``i`` imposes.
+
+        The Cole-Gkatzelis-Goel ratio is defined over divisible goods
+        where valuations are strictly positive.  Our indivisible-GPU
+        setting admits exactly-zero values (a starved app holding
+        nothing), and a 0 -> positive transition between the two
+        markets would turn the ratio into an unbounded artefact of the
+        zero floor rather than a meaningful externality.  We therefore
+        aggregate the ratio over competitors with positive value in
+        *both* markets — for everyone else the externality is already
+        expressed through the allocation itself.
+        """
+        others = [a for a in bids if a != app_id]
+        if not others:
+            return 1.0
+        without_i = self.proportional_fair_allocation(pool, bids, exclude=app_id)
+        log_ratio = 0.0
+        for other in others:
+            v_with = bids[other].value_of(pf_allocation.get(other, {}))
+            v_without = bids[other].value_of(without_i.get(other, {}))
+            if v_with > 0.0 and v_without > 0.0:
+                log_ratio += math.log(v_with) - math.log(v_without)
+        fraction = math.exp(log_ratio)
+        return max(0.0, min(1.0, fraction))
+
+    @staticmethod
+    def _shrink_bundle(bundle: Mapping[int, int], keep: int) -> dict[int, int]:
+        """Drop GPUs down to ``keep``, removing from the most fragmented
+        machines first so the surviving bundle stays tightly packed."""
+        total = _bundle_total(bundle)
+        drop = total - keep
+        if drop <= 0:
+            return dict(bundle)
+        shrunk = dict(bundle)
+        # Smallest per-machine counts are the placement-stragglers.
+        for machine_id in sorted(shrunk, key=lambda m: (shrunk[m], m)):
+            if drop <= 0:
+                break
+            removed = min(shrunk[machine_id], drop)
+            shrunk[machine_id] -= removed
+            drop -= removed
+            if shrunk[machine_id] == 0:
+                del shrunk[machine_id]
+        return shrunk
+
+    # ------------------------------------------------------------------
+    # Full mechanism
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        apply_hidden_payments: bool = True,
+    ) -> AuctionOutcome:
+        """Run the PA mechanism over ``pool`` with the given bids.
+
+        ``apply_hidden_payments=False`` disables stage 2 (pure
+        proportional fairness) — used by the ablation benchmark that
+        quantifies what truthfulness protection costs.
+        """
+        pool = {m: c for m, c in pool.items() if c > 0}
+        participants = tuple(sorted(bids))
+        if not pool or not participants:
+            return AuctionOutcome(
+                winners={},
+                proportional_fair={},
+                payments={},
+                leftover=dict(pool),
+                participants=participants,
+            )
+        pf_allocation = self.proportional_fair_allocation(pool, bids)
+        payments: dict[str, float] = {}
+        winners: dict[str, dict[int, int]] = {}
+        for app_id in participants:
+            bundle = pf_allocation.get(app_id, {})
+            if not bundle:
+                payments[app_id] = 1.0
+                continue
+            if apply_hidden_payments:
+                fraction = self._payment_fraction(app_id, pool, bids, pf_allocation)
+            else:
+                fraction = 1.0
+            payments[app_id] = fraction
+            keep = math.floor(fraction * _bundle_total(bundle) + 1e-9)
+            shrunk = self._shrink_bundle(bundle, keep)
+            if shrunk:
+                winners[app_id] = shrunk
+        leftover = dict(pool)
+        for bundle in winners.values():
+            for machine_id, count in bundle.items():
+                leftover[machine_id] = leftover.get(machine_id, 0) - count
+        leftover = {m: c for m, c in leftover.items() if c > 0}
+        if any(c < 0 for c in leftover.values()):
+            raise RuntimeError("auction over-allocated a machine; invariant violated")
+        welfare = sum(
+            self._log_value(bids[a].value_of(winners.get(a, {}))) for a in participants
+        )
+        return AuctionOutcome(
+            winners=winners,
+            proportional_fair={a: dict(b) for a, b in pf_allocation.items() if b},
+            payments=payments,
+            leftover=leftover,
+            participants=participants,
+            nash_log_welfare=welfare,
+        )
+
+
+def exhaustive_nash_allocation(
+    pool: Mapping[int, int],
+    bids: Mapping[str, Bid],
+    max_states: int = 200_000,
+) -> dict[str, dict[int, int]]:
+    """Brute-force max-Nash-welfare assignment (reference for tests).
+
+    Enumerates every split of each machine's free GPUs across apps.
+    Zero-value apps are handled lexicographically: first maximise how
+    many apps get positive value, then the product of positive values.
+    Only feasible for tiny instances; guarded by ``max_states``.
+    """
+    pool = {m: c for m, c in pool.items() if c > 0}
+    apps = sorted(bids)
+    if not apps:
+        return {}
+    machines = sorted(pool)
+
+    def splits(count: int, ways: int):
+        """All tuples of ``ways`` non-negative ints summing to <= count."""
+        if ways == 1:
+            for take in range(count + 1):
+                yield (take,)
+            return
+        for take in range(count + 1):
+            for rest in splits(count - take, ways - 1):
+                yield (take,) + rest
+
+    per_machine_options = [list(splits(pool[m], len(apps))) for m in machines]
+    total_states = 1
+    for options in per_machine_options:
+        total_states *= len(options)
+        if total_states > max_states:
+            raise ValueError(
+                f"instance too large for exhaustive search ({total_states} states)"
+            )
+
+    best_key = None
+    best_assignment: dict[str, dict[int, int]] = {a: {} for a in apps}
+    for combo in itertools.product(*per_machine_options):
+        assignment: dict[str, dict[int, int]] = {a: {} for a in apps}
+        feasible = True
+        for machine_index, split in enumerate(combo):
+            machine_id = machines[machine_index]
+            for app_index, take in enumerate(split):
+                if take > 0:
+                    assignment[apps[app_index]][machine_id] = take
+        for app_id in apps:
+            if _bundle_total(assignment[app_id]) > bids[app_id].demand:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        values = [bids[a].value_of(assignment[a]) for a in apps]
+        positive = sum(1 for v in values if v > 0)
+        log_product = sum(math.log(v) for v in values if v > 0)
+        key = (positive, log_product)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_assignment = assignment
+    return {a: bundle for a, bundle in best_assignment.items() if bundle}

@@ -1,0 +1,200 @@
+"""Bids: valuation functions over subsets of the offered GPUs.
+
+Section 5.2: "In response to an offer, each AGENT prepares a single bid.
+This bid contains a valuation function V that provides, for each
+resource subset, a value, i.e. the AGENT's estimate of the finish-time
+fair metric the app will achieve with the allocation of the resource
+subset."
+
+A :class:`Bid` is both things the paper describes: the queryable
+valuation function (used by the arbiter's winner determination, with
+memoisation since the greedy solver probes many incremental bundles)
+and the explicit table of ``(subset, rho)`` rows shown in Figure 3(b).
+Bundles are per-machine GPU counts — "each allocation identifies the
+fraction of each machine's free GPU resources desired by the app".
+
+Figure 11's experiment injects a percentage error into every valuation;
+the noise here is derived deterministically from ``(salt, app, bundle)``
+so a bundle is always misestimated the *same* way within an auction
+(the solver would otherwise chase inconsistent numbers) while different
+auctions and apps see independent errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.fairness import FairnessEstimator
+from repro.workload.app import App
+
+
+def _bundle_key(extra_counts: Mapping[int, int]) -> tuple[tuple[int, int], ...]:
+    """Canonical hashable form of a per-machine count bundle."""
+    return tuple(sorted((m, c) for m, c in extra_counts.items() if c > 0))
+
+
+def _noise_factor(salt: int, app_id: str, key: tuple, theta: float) -> float:
+    """Deterministic multiplicative error in ``[1 - theta, 1 + theta]``."""
+    if theta <= 0.0:
+        return 1.0
+    digest = hashlib.sha256(f"{salt}:{app_id}:{key}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "little") / float(2**64)
+    return 1.0 + theta * (2.0 * fraction - 1.0)
+
+
+@dataclass(frozen=True)
+class BidEntry:
+    """One row of the valuation table of Figure 3(b)."""
+
+    bundle: tuple[tuple[int, int], ...]
+    rho: float
+    value: float
+
+    @property
+    def gpu_count(self) -> int:
+        """Total GPUs in this bundle."""
+        return sum(count for _, count in self.bundle)
+
+
+class Bid:
+    """An app's complete response to one resource offer."""
+
+    def __init__(
+        self,
+        app: App,
+        estimator: FairnessEstimator,
+        now: float,
+        offered_counts: Mapping[int, int],
+        noise_theta: float = 0.0,
+        noise_salt: int = 0,
+    ) -> None:
+        self.app = app
+        self.app_id = app.app_id
+        self.now = now
+        self.offered_counts = {m: c for m, c in offered_counts.items() if c > 0}
+        self.noise_theta = noise_theta
+        self.noise_salt = noise_salt
+        self._estimator = estimator
+        self._rho_cache: dict[tuple, float] = {}
+        # The app's holdings and job states are fixed for the duration
+        # of the auction; snapshot them once (hot path — the winner
+        # determination probes many incremental bundles).
+        self._base_counts = dict(app.allocation().per_machine_counts())
+        self._snapshot = estimator.snapshot(app)
+        self.demand = app.unmet_demand()
+        self.current_rho = self.rho_of({})
+
+    # ------------------------------------------------------------------
+    # Valuation queries
+    # ------------------------------------------------------------------
+    def rho_of(self, extra_counts: Mapping[int, int]) -> float:
+        """(Noisy) estimated rho after adding ``extra_counts`` to the app.
+
+        Raises when the bundle exceeds the offer — an AGENT cannot bid
+        on GPUs it was not shown.
+        """
+        key = _bundle_key(extra_counts)
+        cached = self._rho_cache.get(key)
+        if cached is not None:
+            return cached
+        total_counts = dict(self._base_counts)
+        for machine_id, count in key:
+            if count > self.offered_counts.get(machine_id, 0):
+                raise ValueError(
+                    f"bid of app {self.app_id} requests {count} GPUs on machine "
+                    f"{machine_id} but only {self.offered_counts.get(machine_id, 0)} "
+                    "were offered"
+                )
+            total_counts[machine_id] = total_counts.get(machine_id, 0) + count
+        rho = self._estimator.rho_from_snapshot(self._snapshot, self.now, total_counts)
+        if not math.isinf(rho):
+            rho *= _noise_factor(self.noise_salt, self.app_id, key, self.noise_theta)
+        self._rho_cache[key] = rho
+        return rho
+
+    def value_of(self, extra_counts: Mapping[int, int]) -> float:
+        """Valuation ``V = 1 / rho`` of a bundle (0 when rho is unbounded)."""
+        rho = self.rho_of(extra_counts)
+        if math.isinf(rho):
+            return 0.0
+        if rho <= 0:
+            return math.inf
+        return 1.0 / rho
+
+    def bundle_size(self, extra_counts: Mapping[int, int]) -> int:
+        """Total GPUs in a bundle."""
+        return sum(c for c in extra_counts.values() if c > 0)
+
+    # ------------------------------------------------------------------
+    # The explicit table (Figure 3b)
+    # ------------------------------------------------------------------
+    def table(self, max_entries: int = 64) -> list[BidEntry]:
+        """Enumerate representative rows of the valuation function.
+
+        Rows cover: the empty bundle (current rho), each machine's free
+        GPUs at every feasible fraction (the paper's ``1/n .. n/n``),
+        and cumulative cross-machine bundles up to the app's unmet
+        demand.  The enumeration is capped because the full subset
+        lattice is exponential — the paper's own AGENT reports 334 ms
+        p95 bid preparation for the same reason (Section 8.3.2).
+        """
+        entries: list[BidEntry] = []
+        seen: set[tuple] = set()
+
+        def add(bundle: Mapping[int, int]) -> None:
+            key = _bundle_key(bundle)
+            if key in seen or len(entries) >= max_entries:
+                return
+            seen.add(key)
+            rho = self.rho_of(dict(key))
+            entries.append(
+                BidEntry(bundle=key, rho=rho, value=0.0 if math.isinf(rho) else 1.0 / rho)
+            )
+
+        add({})
+        # Per-machine fractions: 1/n, 2/n, ..., n/n of each machine's offer.
+        for machine_id in sorted(self.offered_counts):
+            available = self.offered_counts[machine_id]
+            for count in range(1, min(available, max(1, self.demand)) + 1):
+                add({machine_id: count})
+        # Cumulative bundles across machines, biggest offers first.
+        cumulative: dict[int, int] = {}
+        total = 0
+        for machine_id in sorted(
+            self.offered_counts, key=lambda m: (-self.offered_counts[m], m)
+        ):
+            if total >= self.demand:
+                break
+            take = min(self.offered_counts[machine_id], self.demand - total)
+            cumulative[machine_id] = take
+            total += take
+            add(dict(cumulative))
+        return entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bid(app={self.app_id}, rho={self.current_rho:.3f}, "
+            f"demand={self.demand}, offered={sum(self.offered_counts.values())})"
+        )
+
+
+def build_bid(
+    app: App,
+    estimator: FairnessEstimator,
+    now: float,
+    offered_counts: Mapping[int, int],
+    noise_theta: float = 0.0,
+    noise_salt: int = 0,
+) -> Bid:
+    """Convenience constructor mirroring the AGENT's PREPAREBIDS call."""
+    return Bid(
+        app=app,
+        estimator=estimator,
+        now=now,
+        offered_counts=offered_counts,
+        noise_theta=noise_theta,
+        noise_salt=noise_salt,
+    )

@@ -1,0 +1,412 @@
+"""Finish-time fairness: ``rho = T_sh / T_id`` and its estimators.
+
+Section 5.2 spells out how an AGENT values a hypothetical allocation:
+
+1. merge the offered GPUs with the app's current allocation,
+2. split the aggregate across constituent jobs in a placement-sensitive
+   greedy manner,
+3. compute each job's rate ``G_j * S_j`` from the spread of its GPUs,
+4. estimate the shared finish time ``T_sh`` and divide by the ideal
+   time ``T_id`` (max parallelism, perfect placement).
+
+Valuations are queried *many* times per auction (the greedy Nash-product
+winner determination probes incremental bundles), so this module is
+built for that hot path:
+
+* all estimates work on per-machine GPU *counts* — the paper's own bid
+  representation — never on concrete GPU sets,
+* :class:`AppSnapshot` freezes an app's job list (sorted once) for the
+  duration of an auction,
+* the carve loop stops as soon as the count pool drains, so the cost is
+  bounded by the GPUs offered, not the (much larger) job count.
+
+:func:`carve_allotments` is the public, fully-annotated version used by
+Gandiva's packing utility and by tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.placement import LocalityLevel, SensitivityProfile
+from repro.cluster.topology import Cluster
+from repro.workload.app import App, CompletionSemantics
+from repro.workload.job import Job
+
+#: Internal job descriptor: (remaining_work, parallelism_cap, profile, job_id).
+_JobTuple = tuple[float, int, SensitivityProfile, str]
+
+
+@dataclass(frozen=True)
+class JobAllotment:
+    """What one job would get out of a hypothetical app-level allocation."""
+
+    job_id: str
+    gpus: int
+    level: LocalityLevel
+    slowdown: float
+    rate: float
+    remaining_work: float
+
+
+class _CountPool:
+    """Per-machine free-GPU counts with lazy-heap best-machine queries.
+
+    ``best(racks)`` returns the machine with the most free GPUs among
+    the given racks (or globally when ``racks`` is empty), preferring
+    lower machine ids on ties.  Counts only decrease, so stale heap
+    entries are discarded lazily.
+    """
+
+    __slots__ = ("counts", "rack_of", "_global_heap", "_rack_heaps")
+
+    def __init__(self, counts: Mapping[int, int], rack_of: Mapping[int, int]) -> None:
+        self.counts = {m: c for m, c in counts.items() if c > 0}
+        self.rack_of = rack_of
+        self._global_heap = [(-c, m) for m, c in self.counts.items()]
+        heapq.heapify(self._global_heap)
+        self._rack_heaps: dict[int, list[tuple[int, int]]] = {}
+        for machine_id, count in self.counts.items():
+            self._rack_heaps.setdefault(rack_of[machine_id], []).append(
+                (-count, machine_id)
+            )
+        for heap in self._rack_heaps.values():
+            heapq.heapify(heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.counts)
+
+    def _peek(self, heap: list[tuple[int, int]]) -> Optional[tuple[int, int]]:
+        """Valid top (neg_count, machine) of a heap, discarding stale entries."""
+        counts = self.counts
+        while heap:
+            entry = heap[0]
+            if counts.get(entry[1], 0) == -entry[0]:
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    def best(self, racks: Sequence[int]) -> Optional[int]:
+        """Best machine within ``racks``, or globally when none match."""
+        if racks:
+            top: Optional[tuple[int, int]] = None
+            for rack_id in racks:
+                heap = self._rack_heaps.get(rack_id)
+                if not heap:
+                    continue
+                candidate = self._peek(heap)
+                if candidate is not None and (top is None or candidate < top):
+                    top = candidate
+            if top is not None:
+                return top[1]
+        candidate = self._peek(self._global_heap)
+        return candidate[1] if candidate else None
+
+    def take(self, machine_id: int, amount: int) -> int:
+        """Remove up to ``amount`` GPUs from ``machine_id``; returns taken."""
+        available = self.counts.get(machine_id, 0)
+        grab = min(amount, available)
+        if grab <= 0:
+            return 0
+        remaining = available - grab
+        if remaining > 0:
+            self.counts[machine_id] = remaining
+            entry = (-remaining, machine_id)
+            heapq.heappush(self._global_heap, entry)
+            heapq.heappush(self._rack_heaps[self.rack_of[machine_id]], entry)
+        else:
+            del self.counts[machine_id]
+        return grab
+
+
+def _classify_taken(
+    taken: dict[int, int], rack_of: Mapping[int, int], nvlink_group_size: int
+) -> LocalityLevel:
+    """Locality level of a per-machine count vector (non-empty)."""
+    if len(taken) == 1:
+        ((machine_id, count),) = taken.items()
+        if count <= nvlink_group_size:
+            return LocalityLevel.SLOT
+        return LocalityLevel.MACHINE
+    racks = {rack_of[m] for m in taken}
+    if len(racks) == 1:
+        return LocalityLevel.RACK
+    return LocalityLevel.CLUSTER
+
+
+def _carve_fast(
+    job_tuples: Sequence[_JobTuple],
+    machine_counts: Mapping[int, int],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int,
+) -> tuple[list[tuple[_JobTuple, int, LocalityLevel, float]], int]:
+    """Core carve loop over pre-sorted job tuples.
+
+    Returns ``(allotments, next_index)`` where ``allotments`` holds one
+    ``(job_tuple, gpus, level, rate)`` entry per job that received GPUs
+    and ``next_index`` is the index of the first job that received
+    nothing (the pool drained).  Jobs are assumed sorted by remaining
+    work ascending, mirroring the intra-app distributor.
+    """
+    pool = _CountPool(machine_counts, rack_of)
+    out: list[tuple[_JobTuple, int, LocalityLevel, float]] = []
+    index = 0
+    for index, job in enumerate(job_tuples):
+        if not pool:
+            return out, index
+        need = job[1]
+        taken: dict[int, int] = {}
+        used_racks: list[int] = []
+        while need > 0 and pool:
+            machine_id = pool.best(used_racks)
+            if machine_id is None:
+                break
+            grab = pool.take(machine_id, need)
+            if grab <= 0:
+                break
+            taken[machine_id] = taken.get(machine_id, 0) + grab
+            rack_id = rack_of[machine_id]
+            if rack_id not in used_racks:
+                used_racks.append(rack_id)
+            need -= grab
+        total = job[1] - need
+        if total <= 0:
+            return out, index
+        level = _classify_taken(taken, rack_of, nvlink_group_size)
+        factor = 1.0 if total <= 1 else job[2].at(level)
+        out.append((job, total, level, total * factor))
+    return out, index + 1
+
+
+def _job_tuples(jobs: Sequence[Job]) -> list[_JobTuple]:
+    """Sorted job descriptors for active jobs (shortest remaining first)."""
+    tuples = [
+        (job.remaining_work, job.max_parallelism, job.model_profile.sensitivity, job.job_id)
+        for job in jobs
+        if job.is_active
+    ]
+    tuples.sort(key=lambda item: (item[0], item[3]))
+    return tuples
+
+
+def carve_allotments(
+    jobs: Sequence[Job],
+    machine_counts: Mapping[int, int],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int = 2,
+) -> list[JobAllotment]:
+    """Greedily split per-machine GPU counts across jobs (Section 5.2, step 4).
+
+    Jobs are served shortest-remaining-work first; each takes up to its
+    ``max_parallelism`` GPUs, draining co-located machines before
+    spilling across racks.  Returns one allotment per *active* job,
+    including zero-GPU allotments once the pool is drained.
+    """
+    tuples = _job_tuples(jobs)
+    carved, next_index = _carve_fast(tuples, machine_counts, rack_of, nvlink_group_size)
+    allotments = [
+        JobAllotment(
+            job_id=job[3],
+            gpus=gpus,
+            level=level,
+            slowdown=rate / gpus if gpus else 1.0,
+            rate=rate,
+            remaining_work=job[0],
+        )
+        for job, gpus, level, rate in carved
+    ]
+    # Jobs from next_index on received nothing (the pool drained).
+    for job in tuples[next_index:]:
+        allotments.append(
+            JobAllotment(
+                job_id=job[3],
+                gpus=0,
+                level=LocalityLevel.SLOT,
+                slowdown=1.0,
+                rate=0.0,
+                remaining_work=job[0],
+            )
+        )
+    return allotments
+
+
+def job_tuples_of(jobs: Sequence[Job]) -> list[_JobTuple]:
+    """Public accessor for the sorted job descriptors used by carves.
+
+    Baseline schedulers (Gandiva) snapshot these once per scheduling
+    round instead of re-deriving them on every utility probe.
+    """
+    return _job_tuples(jobs)
+
+
+def packing_utility(
+    job_tuples: Sequence[_JobTuple],
+    machine_counts: Mapping[int, int],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int = 2,
+) -> float:
+    """Gandiva's social objective: sum of ``gpus * placement_score``.
+
+    Carves the counts across the jobs exactly like the valuation path
+    and scores each allocated job by the 4-level placement score of its
+    spread — the quantity Gandiva's introspective migration maximises.
+    """
+    from repro.cluster.placement import PLACEMENT_SCORES
+
+    carved, _ = _carve_fast(job_tuples, machine_counts, rack_of, nvlink_group_size)
+    return sum(gpus * PLACEMENT_SCORES[level] for _, gpus, level, _rate in carved)
+
+
+@dataclass(frozen=True)
+class AppSnapshot:
+    """An app's state frozen for the duration of one auction.
+
+    Sorting the job list and summing remaining work happen once here
+    instead of once per valuation probe.
+    """
+
+    app_id: str
+    arrival_time: float
+    job_tuples: tuple[_JobTuple, ...]
+    total_remaining: float
+    t_ideal: float
+
+
+class FairnessEstimator:
+    """Computes ``rho`` for current and hypothetical allocations.
+
+    One estimator is shared per simulation; it is stateless apart from
+    the cluster topology and the app-completion semantics it mirrors.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS,
+        nvlink_group_size: int = 2,
+    ) -> None:
+        self.cluster = cluster
+        self.semantics = semantics
+        self.nvlink_group_size = nvlink_group_size
+        self._rack_of = {
+            machine.machine_id: machine.rack_id for machine in cluster.machines
+        }
+
+    @property
+    def rack_map(self) -> dict[int, int]:
+        """Cached machine id -> rack id mapping for carve calls."""
+        return self._rack_of
+
+    # ------------------------------------------------------------------
+    # Snapshots (hot path)
+    # ------------------------------------------------------------------
+    def snapshot(self, app: App) -> AppSnapshot:
+        """Freeze the app's active-job state for repeated valuation probes."""
+        tuples = _job_tuples(app.jobs)
+        return AppSnapshot(
+            app_id=app.app_id,
+            arrival_time=app.arrival_time,
+            job_tuples=tuple(tuples),
+            total_remaining=sum(item[0] for item in tuples),
+            t_ideal=app.ideal_running_time(self.cluster.num_gpus),
+        )
+
+    def shared_time_from_snapshot(
+        self, snap: AppSnapshot, now: float, machine_counts: Mapping[int, int]
+    ) -> float:
+        """T_sh — estimated completion under a hypothetical allocation.
+
+        Under ``FIRST_WINNER`` semantics this is the paper's
+        ``min_j (elapsed + W'_j / (G_j * S_j))``; under ``ALL_JOBS`` the
+        app finishes with its last job, estimated by total remaining
+        work over the aggregate placement-adjusted rate.  Returns
+        ``inf`` for an app holding nothing — the unbounded metric that
+        guarantees starved apps win future auctions.
+        """
+        elapsed = max(0.0, now - snap.arrival_time)
+        if not snap.job_tuples:
+            return elapsed
+        carved, _ = _carve_fast(
+            snap.job_tuples, machine_counts, self._rack_of, self.nvlink_group_size
+        )
+        if self.semantics is CompletionSemantics.FIRST_WINNER:
+            finish = math.inf
+            for job, gpus, level, rate in carved:
+                if rate > 0:
+                    finish = min(finish, elapsed + job[0] / rate)
+            return finish
+        if snap.total_remaining <= 0:
+            return elapsed
+        aggregate_rate = sum(rate for *_, rate in carved)
+        if aggregate_rate <= 0:
+            return math.inf
+        return elapsed + snap.total_remaining / aggregate_rate
+
+    def rho_from_snapshot(
+        self, snap: AppSnapshot, now: float, machine_counts: Mapping[int, int]
+    ) -> float:
+        """rho given a snapshot and the app's full per-machine counts."""
+        if snap.t_ideal <= 0:
+            raise ValueError(
+                f"app {snap.app_id} has non-positive ideal time {snap.t_ideal}"
+            )
+        return self.shared_time_from_snapshot(snap, now, machine_counts) / snap.t_ideal
+
+    # ------------------------------------------------------------------
+    # Convenience (non-hot) API
+    # ------------------------------------------------------------------
+    def ideal_time(self, app: App) -> float:
+        """T_id — running time alone on the whole cluster (Section 5.2 step 5)."""
+        return app.ideal_running_time(self.cluster.num_gpus)
+
+    def shared_time(
+        self, app: App, now: float, machine_counts: Mapping[int, int]
+    ) -> float:
+        """T_sh for an app's hypothetical total per-machine counts."""
+        return self.shared_time_from_snapshot(self.snapshot(app), now, machine_counts)
+
+    def rho(
+        self,
+        app: App,
+        now: float,
+        extra_counts: Optional[Mapping[int, int]] = None,
+    ) -> float:
+        """Finish-time fairness with the current plus ``extra_counts`` GPUs.
+
+        ``rho`` close to (and below) the number of contending apps means
+        the app is receiving its sharing-incentive due; ``inf`` means it
+        is fully starved.
+        """
+        counts = dict(app.allocation().per_machine_counts())
+        if extra_counts:
+            for machine_id, count in extra_counts.items():
+                if count < 0:
+                    raise ValueError(f"negative GPU count for machine {machine_id}")
+                counts[machine_id] = counts.get(machine_id, 0) + count
+        return self.rho_from_snapshot(self.snapshot(app), now, counts)
+
+    def rho_current(self, app: App, now: float) -> float:
+        """rho with the allocation the app holds right now."""
+        return self.rho(app, now, extra_counts=None)
+
+    def value(
+        self,
+        app: App,
+        now: float,
+        extra_counts: Optional[Mapping[int, int]] = None,
+    ) -> float:
+        """Auction valuation ``V = 1 / rho`` (higher is better, 0 = starved).
+
+        ``1/rho`` is homogeneous of degree one under the paper's linear
+        scaling assumption, which the PA mechanism's truthfulness
+        argument requires (Section 5.1).
+        """
+        rho = self.rho(app, now, extra_counts)
+        if math.isinf(rho):
+            return 0.0
+        if rho <= 0:
+            return math.inf
+        return 1.0 / rho

@@ -1,0 +1,50 @@
+"""Experiment harness: one entry point per figure of the evaluation.
+
+:mod:`repro.experiments.config` defines the two scenario presets the
+paper evaluates on (the 256-GPU simulated cluster and the 50-GPU
+testbed, Section 8.1), :mod:`repro.experiments.runner` executes
+scenarios, and :mod:`repro.experiments.figures` contains one function
+per paper figure returning a :class:`FigureResult` with the same
+rows/series the paper plots.  :mod:`repro.experiments.report` renders
+results as text tables (the benchmark suite prints these).
+"""
+
+from repro.experiments.config import (
+    ScenarioConfig,
+    sim_scenario,
+    testbed_scenario,
+)
+from repro.experiments.runner import compare_schedulers, run_scenario
+from repro.experiments.figures import (
+    FigureResult,
+    fig01_task_duration_cdf,
+    fig02_placement_throughput,
+    fig04_knob_sweep,
+    fig04c_lease_sweep,
+    fig05_to_07_macrobenchmark,
+    fig08_timeline,
+    fig09_network_sweep,
+    fig10_contention_sweep,
+    fig11_bid_error_sweep,
+)
+from repro.experiments.report import format_figure, format_table
+
+__all__ = [
+    "FigureResult",
+    "ScenarioConfig",
+    "compare_schedulers",
+    "fig01_task_duration_cdf",
+    "fig02_placement_throughput",
+    "fig04_knob_sweep",
+    "fig04c_lease_sweep",
+    "fig05_to_07_macrobenchmark",
+    "fig08_timeline",
+    "fig09_network_sweep",
+    "fig10_contention_sweep",
+    "fig11_bid_error_sweep",
+    "format_figure",
+    "format_table",
+    "run_scenario",
+    "sim_scenario",
+    "testbed_scenario",
+]

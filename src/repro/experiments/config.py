@@ -1,0 +1,136 @@
+"""Scenario presets mirroring Section 8.1's two experimental setups.
+
+* :func:`sim_scenario` — the heterogeneous 256-GPU simulated cluster
+  replaying the enterprise-trace distributions.  ``duration_scale`` is
+  calibrated (0.4) so peak contention lands near the paper's 4.76x
+  ("We proportionally scale down these times for purpose of our
+  experiments").
+* :func:`testbed_scenario` — the 50-GPU / 20-instance testbed with job
+  durations scaled down 5x relative to the simulation runs, exactly as
+  footnote 3 of Section 8.3 describes.
+
+Both return a :class:`ScenarioConfig`, a declarative bundle of trace
+generator + cluster + simulator knobs; every figure function accepts a
+scenario so tests can shrink them and benchmarks can grow them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cluster.topology import Cluster, testbed_cluster, themis_sim_cluster
+from repro.simulation.simulator import SimulationConfig
+from repro.workload.app import CompletionSemantics
+from repro.workload.generator import GeneratorConfig, generate_trace
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete runnable scenario: workload + cluster + sim knobs."""
+
+    name: str
+    generator: GeneratorConfig
+    cluster_kind: str = "sim"  # "sim" (256 GPUs) or "testbed" (50 GPUs)
+    cluster_scale: float = 1.0
+    lease_minutes: float = 20.0
+    restart_overhead_minutes: float = 0.5
+    record_timeline: bool = False
+    max_minutes: Optional[float] = None
+    semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS
+
+    def build_cluster(self) -> Cluster:
+        """Materialise the scenario's cluster."""
+        if self.cluster_kind == "sim":
+            return themis_sim_cluster(scale=self.cluster_scale)
+        if self.cluster_kind == "testbed":
+            return testbed_cluster()
+        raise ValueError(f"unknown cluster kind {self.cluster_kind!r}")
+
+    def build_trace(self) -> Trace:
+        """Sample the scenario's workload trace (deterministic in the seed)."""
+        return generate_trace(self.generator)
+
+    def build_sim_config(self) -> SimulationConfig:
+        """Simulator knobs for this scenario."""
+        return SimulationConfig(
+            lease_minutes=self.lease_minutes,
+            restart_overhead_minutes=self.restart_overhead_minutes,
+            semantics=self.semantics,
+            max_minutes=self.max_minutes,
+            record_timeline=self.record_timeline,
+        )
+
+    def replace(self, **changes) -> "ScenarioConfig":
+        """Functional update returning a new scenario."""
+        return replace(self, **changes)
+
+    def with_generator(self, **changes) -> "ScenarioConfig":
+        """Functional update of nested generator fields."""
+        return self.replace(generator=self.generator.replace(**changes))
+
+
+def sim_scenario(
+    num_apps: int = 40,
+    seed: int = 42,
+    duration_scale: float = 0.4,
+    **kwargs,
+) -> ScenarioConfig:
+    """The 256-GPU simulation scenario (Figures 4, 9, 10, 11)."""
+    return ScenarioConfig(
+        name=f"sim256-n{num_apps}-s{seed}",
+        generator=GeneratorConfig(
+            num_apps=num_apps, seed=seed, duration_scale=duration_scale
+        ),
+        cluster_kind="sim",
+        **kwargs,
+    )
+
+
+def testbed_scenario(
+    num_apps: int = 25,
+    seed: int = 42,
+    duration_scale: float = 0.08,
+    jobs_per_app_median: float = 8.0,
+    jobs_per_app_max: int = 24,
+    **kwargs,
+) -> ScenarioConfig:
+    """The 50-GPU testbed scenario (Figures 5-8).
+
+    Durations are 1/5 of the simulation scenario's (0.4 / 5 = 0.08),
+    mirroring the paper's testbed scaling footnote while keeping the
+    arrival process unchanged.  Exploration widths are narrowed
+    (median 8 jobs/app instead of the trace's 23) so the 50-GPU
+    cluster sees the peak contention the paper reports (~4.76x);
+    replaying full-width apps would put demand at >20x a 50-GPU
+    cluster and make every scheduler look identically saturated.
+    """
+    return ScenarioConfig(
+        name=f"testbed50-n{num_apps}-s{seed}",
+        generator=GeneratorConfig(
+            num_apps=num_apps,
+            seed=seed,
+            duration_scale=duration_scale,
+            jobs_per_app_median=jobs_per_app_median,
+            jobs_per_app_max=jobs_per_app_max,
+        ),
+        cluster_kind="testbed",
+        **kwargs,
+    )
+
+
+def tiny_scenario(num_apps: int = 4, seed: int = 0) -> ScenarioConfig:
+    """A seconds-fast scenario for unit and integration tests."""
+    return ScenarioConfig(
+        name=f"tiny-n{num_apps}-s{seed}",
+        generator=GeneratorConfig(
+            num_apps=num_apps,
+            seed=seed,
+            duration_scale=0.1,
+            jobs_per_app_median=4.0,
+            jobs_per_app_max=8,
+        ),
+        cluster_kind="testbed",
+        lease_minutes=10.0,
+    )

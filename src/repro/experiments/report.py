@@ -1,0 +1,64 @@
+"""Plain-text rendering of figure results.
+
+Benchmarks print these tables so the regenerated rows/series of every
+paper figure are visible in the benchmark log (and in
+``bench_output.txt``), without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult, max_series_points: int = 8) -> str:
+    """Render a FigureResult: title, table of rows, sampled series."""
+    blocks = [f"== {result.figure_id}: {result.title} =="]
+    if result.notes:
+        blocks.append(f"   ({result.notes})")
+    if result.rows:
+        headers = list(result.rows[0].keys())
+        table_rows = [[row.get(h) for h in headers] for row in result.rows]
+        blocks.append(format_table(headers, table_rows))
+    for name, points in result.series.items():
+        if not points:
+            continue
+        step = max(1, len(points) // max_series_points)
+        sampled = points[::step]
+        rendered = ", ".join(
+            "(" + ", ".join(_format_cell(v) for v in point) + ")" for point in sampled
+        )
+        blocks.append(f"series {name}: {rendered}")
+    return "\n".join(blocks)

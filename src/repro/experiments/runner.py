@@ -1,0 +1,43 @@
+"""Scenario execution: one scheduler or a whole comparison.
+
+Every scheduler in a comparison replays the *same* trace instance
+(regenerated fresh per run so job state never leaks between runs) on
+the same cluster topology — the apples-to-apples setup the paper's
+macrobenchmark uses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.simulator import ClusterSimulator, SimulationResult
+
+
+def run_scenario(
+    scenario: ScenarioConfig,
+    scheduler: str = "themis",
+    scheduler_kwargs: Optional[Mapping] = None,
+) -> SimulationResult:
+    """Run one scheduler over the scenario and return its results."""
+    simulator = ClusterSimulator(
+        cluster=scenario.build_cluster(),
+        workload=scenario.build_trace(),
+        scheduler=make_scheduler(scheduler, **dict(scheduler_kwargs or {})),
+        config=scenario.build_sim_config(),
+    )
+    return simulator.run()
+
+
+def compare_schedulers(
+    scenario: ScenarioConfig,
+    schedulers: Sequence[str] = ("themis", "gandiva", "slaq", "tiresias"),
+    scheduler_kwargs: Optional[Mapping[str, Mapping]] = None,
+) -> dict[str, SimulationResult]:
+    """Run several schedulers over identical workloads; keyed by name."""
+    kwargs = scheduler_kwargs or {}
+    results: dict[str, SimulationResult] = {}
+    for name in schedulers:
+        results[name] = run_scenario(scenario, name, kwargs.get(name))
+    return results

@@ -1,0 +1,23 @@
+"""Hyper-parameter exploration substrate: loss curves and app schedulers.
+
+The paper's apps are hyper-parameter explorations managed by HyperBand
+or HyperDrive (Section 5.2).  This package implements both schedulers,
+the parametric loss curves that stand in for real training convergence,
+and the curve-fitting work estimator the AGENT uses to compute the work
+left per job (Section 7's profiler).
+"""
+
+from repro.hyperparam.curves import LossCurve, fit_power_law, predict_iterations_to_loss
+from repro.hyperparam.base import AppSchedulerBase, JobClass
+from repro.hyperparam.hyperband import HyperBand
+from repro.hyperparam.hyperdrive import HyperDrive
+
+__all__ = [
+    "AppSchedulerBase",
+    "HyperBand",
+    "HyperDrive",
+    "JobClass",
+    "LossCurve",
+    "fit_power_law",
+    "predict_iterations_to_loss",
+]

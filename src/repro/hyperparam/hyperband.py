@@ -1,0 +1,68 @@
+"""HyperBand app scheduler (Li et al., referenced in Section 5.2).
+
+"HyperBand launches several ML training jobs each with user-configured
+equal priority ... HyperBand kills the bottom-half of jobs with poor
+convergence periodically after a fixed number of iterations until a
+single job remains."
+
+This implements that successive-halving loop over a live app: rungs at
+geometrically growing iteration counts; when every surviving job has
+reached the current rung, the worse ``1 - 1/eta`` fraction (half, for
+``eta = 2``) is killed by observed loss.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hyperparam.base import AppSchedulerBase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workload.app import App
+    from repro.workload.job import Job
+
+
+class HyperBand(AppSchedulerBase):
+    """Successive halving on observed loss at iteration rungs."""
+
+    name = "hyperband"
+
+    def __init__(self, app: App, min_iterations: float = 50.0, eta: float = 2.0) -> None:
+        if min_iterations <= 0:
+            raise ValueError(f"min_iterations must be > 0, got {min_iterations}")
+        if eta <= 1.0:
+            raise ValueError(f"eta must be > 1, got {eta}")
+        super().__init__(app)
+        self.min_iterations = min_iterations
+        self.eta = eta
+        self.rung_index = 0
+
+    def current_rung(self) -> float:
+        """Iteration threshold of the rung currently being filled."""
+        return self.min_iterations * (self.eta**self.rung_index)
+
+    def step(self, now: float) -> list[Job]:
+        alive = self.alive()
+        for job in alive:
+            self.observe(job)
+        if len(alive) <= 1:
+            return []
+        rung = self.current_rung()
+        # A job past its total work before the rung still counts as
+        # having "reached" it — it produced all the signal it ever will.
+        reached = [
+            job
+            for job in alive
+            if job.iterations_done >= rung - 1e-9
+            or job.remaining_work <= 1e-9
+        ]
+        if len(reached) < len(alive):
+            return []
+        # Everyone reached the rung: kill the worst 1 - 1/eta fraction.
+        survivors = max(1, int(len(alive) / self.eta))
+        by_loss = sorted(
+            alive, key=lambda job: (job.current_loss(), job.job_id)
+        )
+        victims = by_loss[survivors:]
+        self.rung_index += 1
+        return victims

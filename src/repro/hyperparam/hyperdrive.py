@@ -1,0 +1,99 @@
+"""HyperDrive app scheduler (Rasley et al., referenced in Section 5.2).
+
+"HyperDrive ... continually monitors the jobs' loss convergence
+properties to classify jobs as good, promising, and poor.  HyperDrive
+then gives varying execution priorities to different jobs by
+controlling the maximum parallelism for each constituent job, with
+higher priorities for good jobs and terminating a job as soon as it is
+classified as poor."
+
+Classification here follows the paper's description: fit the observed
+loss curve, project iterations to the target loss, and compare against
+the cohort — jobs projected far beyond the best job are poor (killed),
+jobs close to the best are good (full parallelism), the rest promising
+(halved parallelism via :attr:`Job.parallelism_limit`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.hyperparam.base import AppSchedulerBase, JobClass
+from repro.hyperparam.curves import fit_power_law
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workload.app import App
+    from repro.workload.job import Job
+
+
+class HyperDrive(AppSchedulerBase):
+    """Good / promising / poor classification with priority control."""
+
+    name = "hyperdrive"
+
+    def __init__(
+        self,
+        app: App,
+        target_loss: float = 0.5,
+        warmup_iterations: float = 50.0,
+        good_factor: float = 1.5,
+        poor_factor: float = 4.0,
+    ) -> None:
+        if good_factor <= 1.0 or poor_factor <= good_factor:
+            raise ValueError(
+                "need 1 < good_factor < poor_factor, got "
+                f"{good_factor} / {poor_factor}"
+            )
+        super().__init__(app)
+        self.target_loss = target_loss
+        self.warmup_iterations = warmup_iterations
+        self.good_factor = good_factor
+        self.poor_factor = poor_factor
+        self.classes: dict[str, JobClass] = {
+            job.job_id: JobClass.PROMISING for job in app.jobs
+        }
+
+    def projected_iterations(self, job: Job) -> float:
+        """Projected total iterations for ``job`` to reach the target loss."""
+        samples = self.samples_of(job)
+        if len(samples) < 2:
+            return math.inf
+        try:
+            curve = fit_power_law([s[0] for s in samples], [s[1] for s in samples])
+        except ValueError:
+            return math.inf
+        return curve.iterations_to(self.target_loss)
+
+    def step(self, now: float) -> list[Job]:
+        alive = self.alive()
+        for job in alive:
+            self.observe(job)
+        if len(alive) <= 1:
+            return []
+        warmed = [job for job in alive if job.iterations_done >= self.warmup_iterations]
+        if len(warmed) < 2:
+            return []
+        projections = {job.job_id: self.projected_iterations(job) for job in warmed}
+        finite = [p for p in projections.values() if not math.isinf(p)]
+        if not finite:
+            return []
+        best = min(finite)
+        victims: list[Job] = []
+        for job in warmed:
+            projection = projections[job.job_id]
+            if math.isinf(projection) or projection > self.poor_factor * best:
+                self.classes[job.job_id] = JobClass.POOR
+                victims.append(job)
+            elif projection <= self.good_factor * best:
+                self.classes[job.job_id] = JobClass.GOOD
+                job.parallelism_limit = None  # full priority
+            else:
+                self.classes[job.job_id] = JobClass.PROMISING
+                job.parallelism_limit = max(1, job.spec.max_parallelism // 2)
+        # Never kill everyone: spare the best-projected job.
+        if len(victims) >= len(alive):
+            spared = min(victims, key=lambda job: projections.get(job.job_id, math.inf))
+            victims = [job for job in victims if job.job_id != spared.job_id]
+            self.classes[spared.job_id] = JobClass.PROMISING
+        return victims

@@ -1,0 +1,46 @@
+"""Evaluation metrics of Section 8.1.
+
+* **Max Fairness** — worst finish-time fairness across apps (lower is
+  fairer), and distance-from-ideal against the contention bound,
+* **Jain's Fairness** — variance of rho across apps (1.0 is best),
+* **Placement Score** — the 4-level locality score CDF,
+* **GPU Time** — total GPU-minutes consumed (lower = more efficient),
+* app completion time statistics and CDFs,
+* per-app GPU allocation timelines (Figure 8).
+"""
+
+from repro.metrics.fairness import (
+    distance_from_ideal,
+    jain_index,
+    max_fairness,
+    rho_spread,
+)
+from repro.metrics.jct import average_jct, cdf, jct_summary, percentile
+from repro.metrics.placement import placement_cdf, score_summary
+from repro.metrics.sharing import (
+    sharing_incentive_fraction,
+    violators,
+    worst_violation,
+)
+from repro.metrics.timeline import allocation_series, sample_series
+from repro.metrics.utilization import gpu_time_total, utilization
+
+__all__ = [
+    "allocation_series",
+    "average_jct",
+    "cdf",
+    "distance_from_ideal",
+    "gpu_time_total",
+    "jain_index",
+    "jct_summary",
+    "max_fairness",
+    "percentile",
+    "placement_cdf",
+    "rho_spread",
+    "sample_series",
+    "score_summary",
+    "sharing_incentive_fraction",
+    "utilization",
+    "violators",
+    "worst_violation",
+]

@@ -1,0 +1,43 @@
+"""Sharing incentive: the paper's core fairness guarantee (Section 2.1).
+
+"If there are a total N users sharing a cluster C, every user's
+performance should be no worse than N times when using C all by
+herself."  With finish-time fairness this means ``rho_i <= N`` for all
+apps, where the operative N is the contention the app actually faced.
+These helpers quantify how often a run satisfied that guarantee and by
+how much the violators missed it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def sharing_incentive_fraction(rhos: Sequence[float], contention: float) -> float:
+    """Fraction of apps whose rho stayed within the contention bound."""
+    if contention <= 0:
+        raise ValueError(f"contention must be > 0, got {contention}")
+    if not rhos:
+        raise ValueError("need at least one rho value")
+    satisfied = sum(1 for rho in rhos if rho <= contention + 1e-9)
+    return satisfied / len(rhos)
+
+
+def worst_violation(rhos: Sequence[float], contention: float) -> float:
+    """Largest relative violation ``(rho - N) / N``; 0 when none violate."""
+    if contention <= 0:
+        raise ValueError(f"contention must be > 0, got {contention}")
+    worst = 0.0
+    for rho in rhos:
+        if math.isinf(rho):
+            return math.inf
+        worst = max(worst, (rho - contention) / contention)
+    return worst
+
+
+def violators(rhos: Sequence[float], contention: float) -> list[int]:
+    """Indices of apps that missed the sharing-incentive bound."""
+    if contention <= 0:
+        raise ValueError(f"contention must be > 0, got {contention}")
+    return [i for i, rho in enumerate(rhos) if rho > contention + 1e-9]

@@ -1,0 +1,59 @@
+"""Per-app GPU allocation timelines (Figure 8).
+
+Figure 8 plots "a simplified timeline of GPU allocations for 2 ML apps"
+— how many GPUs each app holds over time, showing that Themis
+preferentially completes apps with small ideal times without starving
+the long ones.  Runs with ``record_timeline=True`` append a
+``(time, app_id, gpus_held)`` record at every allocation change; this
+module turns those records into step-function series.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simulation.simulator import SimulationResult
+
+
+def allocation_series(
+    result: SimulationResult,
+    app_id: str,
+    until: Optional[float] = None,
+) -> list[tuple[float, int]]:
+    """Step-function ``(time, gpus_held)`` series for one app.
+
+    Consecutive records at the same instant collapse to the last value
+    (the allocation that actually took effect).  Raises when the run
+    was not executed with ``record_timeline=True``.
+    """
+    if not result.timeline:
+        raise ValueError(
+            "run has no timeline; pass record_timeline=True in SimulationConfig"
+        )
+    points: list[tuple[float, int]] = []
+    for time, record_app, gpus in result.timeline:
+        if record_app != app_id:
+            continue
+        if until is not None and time > until:
+            break
+        if points and abs(points[-1][0] - time) < 1e-9:
+            points[-1] = (time, gpus)
+        else:
+            points.append((time, gpus))
+    return points
+
+
+def sample_series(
+    series: Sequence[tuple[float, int]],
+    times: Sequence[float],
+) -> list[int]:
+    """Sample a step series at given times (0 before the first record)."""
+    values: list[int] = []
+    index = 0
+    current = 0
+    for t in times:
+        while index < len(series) and series[index][0] <= t + 1e-9:
+            current = series[index][1]
+            index += 1
+        values.append(current)
+    return values

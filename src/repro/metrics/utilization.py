@@ -1,0 +1,30 @@
+"""Cluster efficiency metrics: GPU time and utilisation.
+
+Section 8.1: "We use GPU Time as a measure of how efficiently the
+cluster is utilized ... For two scheduling regimes S1 and S2 that have
+GPU times G1 and G2, S1 utilizes the cluster more efficiently than S2
+if G1 < G2."  (A placement-insensitive scheduler holds GPUs longer for
+the same work, inflating GPU time — Figures 4b and 9b.)
+"""
+
+from __future__ import annotations
+
+from repro.simulation.simulator import SimulationResult
+
+
+def gpu_time_total(result: SimulationResult) -> float:
+    """Total GPU-minutes consumed across all apps."""
+    return result.total_gpu_time
+
+
+def utilization(result: SimulationResult) -> float:
+    """Fraction of cluster GPU-minutes actually held by jobs.
+
+    Uses the run's makespan as the denominator window, so values are
+    comparable across schedulers replaying the same trace.
+    """
+    if result.makespan <= 0:
+        raise ValueError("run has non-positive makespan")
+    if result.cluster_gpus <= 0:
+        raise ValueError("run has no GPUs recorded")
+    return result.total_gpu_time / (result.cluster_gpus * result.makespan)

@@ -1,0 +1,35 @@
+"""Inter-app schedulers: Themis and the baselines of Section 8.
+
+"Since none of the state-of-the-art schemes are open-source, we
+benchmark THEMIS against them by emulating their behavior to fit into
+an auction-based fair market scheme" — each baseline here implements
+exactly the emulation the paper describes (placement-score greedy for
+Gandiva, least-attained-service for Tiresias, aggregate loss reduction
+for SLAQ), plus the Section 4 strawman and classical FIFO / DRF
+baselines used by the ablation benchmarks.
+"""
+
+from repro.schedulers.base import InterAppScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.gandiva import GandivaScheduler
+from repro.schedulers.optimus import OptimusScheduler
+from repro.schedulers.slaq import SlaqScheduler
+from repro.schedulers.strawman import StrawmanScheduler
+from repro.schedulers.themis import ThemisScheduler
+from repro.schedulers.tiresias import TiresiasScheduler
+from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
+
+__all__ = [
+    "DrfScheduler",
+    "FifoScheduler",
+    "GandivaScheduler",
+    "InterAppScheduler",
+    "OptimusScheduler",
+    "SCHEDULER_NAMES",
+    "SlaqScheduler",
+    "StrawmanScheduler",
+    "ThemisScheduler",
+    "TiresiasScheduler",
+    "make_scheduler",
+]

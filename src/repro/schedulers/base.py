@@ -1,0 +1,79 @@
+"""Inter-app scheduler interface.
+
+A scheduler receives the pool of available GPUs whenever leases expire
+or jobs complete, and returns who gets what.  The simulator handles the
+mechanics (leases, preemption overhead, job events); the scheduler is
+pure policy.  This is the seam at which Themis and every baseline plug
+into the same market harness, as the paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cluster.topology import Gpu
+from repro.workload.app import App
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.simulator import ClusterSimulator
+
+
+class InterAppScheduler(abc.ABC):
+    """Base class for all cross-app scheduling policies."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.sim: Optional["ClusterSimulator"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, simulator: "ClusterSimulator") -> None:
+        """Attach to a simulator before the run starts."""
+        self.sim = simulator
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses to build per-run state (estimators, RNGs)."""
+
+    def on_app_arrival(self, now: float, app: App) -> None:
+        """Called when an app becomes active."""
+
+    def on_app_finish(self, now: float, app: App) -> None:
+        """Called when an app completes."""
+
+    # ------------------------------------------------------------------
+    # The policy decision
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
+        """Decide ownership of the pooled GPUs.
+
+        Returns a mapping app_id -> GPUs drawn from ``pool``.  GPUs left
+        out of the mapping stay with their incumbent holder (lease
+        renewal) or remain free.  Assignments must be disjoint and must
+        not exceed the pool; the simulator enforces both.
+        """
+
+    # ------------------------------------------------------------------
+    # Common helpers
+    # ------------------------------------------------------------------
+    def active_apps(self) -> dict[str, App]:
+        """The currently active apps, keyed by id."""
+        if self.sim is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a simulator")
+        return self.sim.active_apps
+
+    def apps_with_demand(self) -> list[App]:
+        """Active apps that can still use more GPUs, in id order."""
+        return [
+            app
+            for app_id, app in sorted(self.active_apps().items())
+            if app.unmet_demand() > 0
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,48 @@
+"""DRF-style instantaneous resource fairness baseline (Section 2.2).
+
+With GPUs as the single resource, Dominant Resource Fairness reduces to
+max-min fairness on GPU counts: water-fill one GPU at a time to the
+app with the smallest current holding (relative to its demand).  This
+is the "established scheme" whose failure modes — indifference to task
+length and to placement — motivate the paper; the ablation benchmarks
+measure them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.topology import Gpu
+from repro.core.assignment import group_pool, take_packed
+from repro.schedulers.base import InterAppScheduler
+
+
+class DrfScheduler(InterAppScheduler):
+    """Max-min water-filling on GPU counts (single-resource DRF)."""
+
+    name = "drf"
+
+    def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
+        pool_by_machine = group_pool(pool)
+        apps = self.apps_with_demand()
+        if not apps:
+            return {}
+        holdings = {app.app_id: app.allocation().size for app in apps}
+        demand_left = {app.app_id: app.unmet_demand() for app in apps}
+        machines_of = {app.app_id: set(app.allocation().machine_ids) for app in apps}
+        result: dict[str, list[Gpu]] = {app.app_id: [] for app in apps}
+        while pool_by_machine:
+            candidates = [a for a in sorted(holdings) if demand_left[a] > 0]
+            if not candidates:
+                break
+            # Max-min: smallest dominant share (= GPU count) first.
+            chosen = min(candidates, key=lambda a: (holdings[a], a))
+            taken = take_packed(pool_by_machine, 1, sorted(machines_of[chosen]))
+            if not taken:
+                break
+            gpu = taken[0]
+            result[chosen].append(gpu)
+            holdings[chosen] += 1
+            demand_left[chosen] -= 1
+            machines_of[chosen].add(gpu.machine_id)
+        return {a: gpus for a, gpus in result.items() if gpus}

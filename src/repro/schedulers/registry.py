@@ -1,0 +1,45 @@
+"""Scheduler factory keyed by policy name.
+
+The experiment harness and examples construct schedulers by name so a
+whole comparison ("run Figure 5 across themis/gandiva/slaq/tiresias")
+is data, not code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.schedulers.base import InterAppScheduler
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.gandiva import GandivaScheduler
+from repro.schedulers.optimus import OptimusScheduler
+from repro.schedulers.slaq import SlaqScheduler
+from repro.schedulers.strawman import StrawmanScheduler
+from repro.schedulers.themis import ThemisScheduler
+from repro.schedulers.tiresias import TiresiasScheduler
+
+_FACTORIES: dict[str, Callable[..., InterAppScheduler]] = {
+    "themis": ThemisScheduler,
+    "gandiva": GandivaScheduler,
+    "tiresias": TiresiasScheduler,
+    "slaq": SlaqScheduler,
+    "optimus": OptimusScheduler,
+    "strawman": StrawmanScheduler,
+    "drf": DrfScheduler,
+    "fifo": FifoScheduler,
+}
+
+#: All registered policy names, in registration order.
+SCHEDULER_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make_scheduler(name: str, **kwargs) -> InterAppScheduler:
+    """Construct a scheduler by name, forwarding policy kwargs.
+
+    Raises ``KeyError`` with the list of known names on a typo.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown scheduler {name!r}; available: {sorted(_FACTORIES)}")
+    return _FACTORIES[key](**kwargs)

@@ -1,0 +1,56 @@
+"""The Section 4 online strawman: everything to the worst-rho app.
+
+"Each app can send updated values of rho to the ARBITER just before a
+reallocation.  The ARBITER can then use these updated values to
+reallocate resources to the app with the worst rho."
+
+The paper rejects this design for two reasons — placement-insensitive
+single-app allocation and gameable self-reported rho — and Themis'
+auction exists to fix both.  The ablation benchmark runs this policy to
+quantify that argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.topology import Gpu
+from repro.core.assignment import group_pool, take_packed
+from repro.core.fairness import FairnessEstimator
+from repro.schedulers.base import InterAppScheduler
+
+
+class StrawmanScheduler(InterAppScheduler):
+    """Greedy max-min on finish-time fairness, one app at a time."""
+
+    name = "strawman"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.estimator: FairnessEstimator | None = None
+
+    def on_bind(self) -> None:
+        assert self.sim is not None
+        self.estimator = FairnessEstimator(
+            self.sim.cluster, semantics=self.sim.config.semantics
+        )
+
+    def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
+        assert self.estimator is not None
+        apps = self.apps_with_demand()
+        if not apps:
+            return {}
+        pool_by_machine = group_pool(pool)
+        # The strawman reallocates to *the* app with the worst rho —
+        # exactly one winner per round; whatever it cannot absorb stays
+        # where it is until the next round.
+        worst = min(
+            apps,
+            key=lambda app: (-self.estimator.rho_current(app, now), app.app_id),
+        )
+        taken = take_packed(
+            pool_by_machine, worst.unmet_demand(), worst.allocation().machine_ids
+        )
+        if not taken:
+            return {}
+        return {worst.app_id: taken}

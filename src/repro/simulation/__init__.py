@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel used by every scheduler experiment.
+
+The kernel is deliberately small and generic: an event heap with a
+monotonic clock (:mod:`repro.simulation.engine`) and reproducible named
+random streams (:mod:`repro.simulation.rng`).  The GPU-cluster specific
+driver that wires workloads, schedulers and the cluster model together
+lives in :mod:`repro.simulation.simulator`.
+"""
+
+from repro.simulation.engine import Event, EventKind, SimulationEngine, SimulationError
+from repro.simulation.rng import RandomStreams
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+
+__all__ = [
+    "ClusterSimulator",
+    "Event",
+    "EventKind",
+    "RandomStreams",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationError",
+    "SimulationResult",
+]

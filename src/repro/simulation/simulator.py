@@ -1,0 +1,521 @@
+"""Cluster simulator: replays a trace under an inter-app scheduler.
+
+This is the reproduction's equivalent of the paper's event-based
+simulator (Section 8.1).  The mechanics mirror the Themis runtime:
+
+* every GPU grant carries a **lease**; expired leases put the GPU into
+  the next auction pool but the incumbent keeps running until the GPU
+  is actually reassigned, so a renewal to the same job is seamless,
+* **scheduling rounds** fire whenever GPUs become available (arrivals
+  onto a non-full cluster, job/app completions, lease expiries), and
+  the installed :class:`InterAppScheduler` decides who gets the pool,
+* allocation changes charge a **checkpoint/restore overhead** during
+  which the job holds (and bills) its GPUs without progress — the
+  35-60 s cost measured in Section 8.3.2, and the reason very short
+  leases hurt efficiency (Figure 4c),
+* per-app **timelines**, contention samples and utilisation integrals
+  are recorded for the evaluation figures.
+
+The scheduler interface is duck-typed: anything with ``assign(now,
+pool) -> dict[app_id, list[Gpu]]`` plus optional arrival/finish hooks
+works; see :mod:`repro.schedulers.base`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import Cluster, Gpu
+from repro.core.leases import LeaseManager
+from repro.simulation.engine import Event, EventKind, SimulationEngine, SimulationError
+from repro.workload.app import App, AppState, CompletionSemantics
+from repro.workload.job import Job
+from repro.workload.trace import Trace
+
+#: Work below this threshold counts as finished (floating-point dust).
+_WORK_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Runtime knobs shared by all schedulers under comparison."""
+
+    lease_minutes: float = 20.0
+    restart_overhead_minutes: float = 0.5
+    semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS
+    max_minutes: Optional[float] = None
+    record_timeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lease_minutes <= 0:
+            raise ValueError(f"lease_minutes must be > 0, got {self.lease_minutes}")
+        if self.restart_overhead_minutes < 0:
+            raise ValueError("restart_overhead_minutes must be >= 0")
+
+
+@dataclass(frozen=True)
+class AppStats:
+    """Final per-app measurements extracted after a run."""
+
+    app_id: str
+    arrival: float
+    finished_at: Optional[float]
+    completion_time: Optional[float]
+    ideal_time: float
+    rho: float
+    gpu_time: float
+    attained_service: float
+    mean_placement_score: float
+    num_jobs: int
+    total_work: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, ready for the metrics layer."""
+
+    scheduler_name: str
+    cluster_name: str
+    cluster_gpus: int
+    config: SimulationConfig
+    apps: list[App]
+    app_stats: list[AppStats]
+    makespan: float
+    completed: bool
+    peak_contention: float
+    contention_samples: list[tuple[float, float]]
+    timeline: list[tuple[float, str, int]]
+    num_rounds: int
+    events_processed: int
+    total_gpu_time: float
+
+    def stats_by_app(self) -> dict[str, AppStats]:
+        """Index the per-app stats by app id."""
+        return {stats.app_id: stats for stats in self.app_stats}
+
+    def rhos(self, finished_only: bool = True) -> list[float]:
+        """Finish-time fairness values across apps (Figure 5a/5b input)."""
+        values = []
+        for stats in self.app_stats:
+            if finished_only and stats.finished_at is None:
+                continue
+            values.append(stats.rho)
+        return values
+
+    def completion_times(self) -> list[float]:
+        """App completion times for finished apps (Figure 6 input)."""
+        return [
+            stats.completion_time
+            for stats in self.app_stats
+            if stats.completion_time is not None
+        ]
+
+    def placement_scores(self) -> list[float]:
+        """Mean placement scores per app (Figure 7 input)."""
+        return [
+            stats.mean_placement_score
+            for stats in self.app_stats
+            if stats.mean_placement_score > 0.0
+        ]
+
+
+class ClusterSimulator:
+    """Drives one scheduler over one trace on one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Union[Trace, Sequence[App]],
+        scheduler,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.scheduler = scheduler
+        if isinstance(workload, Trace):
+            self.apps = workload.instantiate(self.config.semantics)
+        else:
+            self.apps = list(workload)
+        if not self.apps:
+            raise ValueError("workload contains no apps")
+        self._apps_by_id = {app.app_id: app for app in self.apps}
+        self.engine = SimulationEngine()
+        self.leases = LeaseManager()
+        self.active_apps: dict[str, App] = {}
+        self._job_events: dict[str, Event] = {}
+        self._job_owner: dict[str, App] = {}
+        self._auction_pending = False
+        self._last_round: tuple[float, frozenset[int]] | None = None
+        self._down_gpu_ids: set[int] = set()
+        self.num_rounds = 0
+        self.peak_contention = 0.0
+        self.contention_samples: list[tuple[float, float]] = []
+        self.timeline: list[tuple[float, str, int]] = []
+        for app in self.apps:
+            for job in app.jobs:
+                self._job_owner[job.job_id] = app
+        bind = getattr(scheduler, "bind", None)
+        if callable(bind):
+            bind(self)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the whole trace and collect results."""
+        for app in self.apps:
+            self.engine.schedule(
+                app.arrival_time,
+                self._make_arrival_callback(app),
+                kind=EventKind.APP_ARRIVAL,
+                label=f"arrive:{app.app_id}",
+            )
+        self.engine.run(until=self.config.max_minutes)
+        return self._collect()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _make_arrival_callback(self, app: App):
+        def _arrive(engine: SimulationEngine, event: Event) -> None:
+            app.state = AppState.RUNNING
+            self.active_apps[app.app_id] = app
+            for job in app.jobs:
+                job.last_update = engine.now
+            hook = getattr(self.scheduler, "on_app_arrival", None)
+            if callable(hook):
+                hook(engine.now, app)
+            self._request_round()
+
+        return _arrive
+
+    def _request_round(self) -> None:
+        """Schedule a scheduling round at the current instant (deduped)."""
+        if self._auction_pending:
+            return
+        self._auction_pending = True
+        self.engine.schedule(
+            self.engine.now, self._round_callback, kind=EventKind.AUCTION, label="round"
+        )
+
+    def _round_callback(self, engine: SimulationEngine, event: Event) -> None:
+        self._auction_pending = False
+        self._run_round(engine.now)
+
+    def _lease_expiry_callback(self, engine: SimulationEngine, event: Event) -> None:
+        self._request_round()
+
+    def _make_job_finish_callback(self, job: Job):
+        def _finish(engine: SimulationEngine, event: Event) -> None:
+            self._job_events.pop(job.job_id, None)
+            if not job.is_active:
+                return
+            job.advance_to(engine.now)
+            if job.remaining_work > _WORK_EPSILON:
+                # Stale completion estimate (allocation changed under us);
+                # reschedule from fresh state.
+                self._reschedule_job_finish(job)
+                return
+            self._complete_job(engine.now, job)
+
+        return _finish
+
+    # ------------------------------------------------------------------
+    # Scheduling rounds
+    # ------------------------------------------------------------------
+    def _run_round(self, now: float) -> None:
+        self._advance_active_jobs(now)
+        self._process_tuners(now)
+        self._sample_contention(now)
+        pool = self.leases.pool_for_auction(now, self.cluster.gpus)
+        pool = [
+            gpu
+            for gpu in pool
+            if gpu.gpu_id not in self._down_gpu_ids and self._reclaimable(gpu)
+        ]
+        if not pool:
+            return
+        round_key = (now, frozenset(gpu.gpu_id for gpu in pool))
+        if self._last_round == round_key:
+            return  # identical round at the same instant; avoid livelock
+        self._last_round = round_key
+        self.num_rounds += 1
+        assignment = self.scheduler.assign(now, pool)
+        self._apply_assignment(now, pool, assignment)
+
+    def _reclaimable(self, gpu: Gpu) -> bool:
+        """A pooled GPU is reclaimable unless its holder vanished mid-round."""
+        lease = self.leases.lease_of(gpu)
+        if lease is None:
+            return True
+        app = self.active_apps.get(lease.app_id)
+        if app is None:
+            # Holder finished; its leases should already be released, but
+            # be safe and free the GPU now.
+            self.leases.release(gpu)
+            return True
+        return True
+
+    def _advance_active_jobs(self, now: float) -> None:
+        for app in self.active_apps.values():
+            for job in app.jobs:
+                if job.is_active:
+                    job.advance_to(now)
+
+    def _process_tuners(self, now: float) -> None:
+        """Let intra-app schedulers kill hyper-parameter losers."""
+        for app in list(self.active_apps.values()):
+            tuner = app.tuner
+            if tuner is None:
+                continue
+            for job in tuner.step(now):
+                if not job.is_active:
+                    continue
+                released = list(job.allocation.gpus)
+                job.kill(now)
+                self.leases.release_all(released)
+                event = self._job_events.pop(job.job_id, None)
+                if event is not None:
+                    self.engine.cancel(event)
+            if app.is_complete():
+                self._complete_app(now, app)
+
+    def _sample_contention(self, now: float) -> None:
+        demand = sum(app.demand() for app in self.active_apps.values())
+        ratio = demand / self.cluster.num_gpus
+        self.peak_contention = max(self.peak_contention, ratio)
+        self.contention_samples.append((now, ratio))
+
+    def _apply_assignment(
+        self,
+        now: float,
+        pool: Sequence[Gpu],
+        assignment: dict[str, list[Gpu]],
+    ) -> None:
+        pool_ids = {gpu.gpu_id for gpu in pool}
+        new_owner: dict[int, str] = {}
+        for app_id, gpus in assignment.items():
+            if app_id not in self.active_apps:
+                raise SimulationError(f"scheduler assigned GPUs to unknown app {app_id!r}")
+            for gpu in gpus:
+                if gpu.gpu_id not in pool_ids:
+                    raise SimulationError(
+                        f"scheduler assigned GPU {gpu.gpu_id} outside the pool"
+                    )
+                if gpu.gpu_id in new_owner:
+                    raise SimulationError(
+                        f"scheduler assigned GPU {gpu.gpu_id} to two apps"
+                    )
+                new_owner[gpu.gpu_id] = app_id
+
+        # Unassigned pooled GPUs stay with their incumbent (lease renewal)
+        # when the incumbent is still active — work conservation.
+        for gpu in pool:
+            if gpu.gpu_id in new_owner:
+                continue
+            lease = self.leases.lease_of(gpu)
+            if lease is not None and lease.app_id in self.active_apps:
+                new_owner[gpu.gpu_id] = lease.app_id
+
+        # Rebuild each affected app's allocation.
+        affected: set[str] = set()
+        for gpu in pool:
+            lease = self.leases.lease_of(gpu)
+            if lease is not None:
+                affected.add(lease.app_id)
+            owner = new_owner.get(gpu.gpu_id)
+            if owner is not None:
+                affected.add(owner)
+        for app_id in sorted(affected):
+            app = self.active_apps.get(app_id)
+            if app is None:
+                continue
+            retained = [
+                gpu for gpu in app.allocation().gpus if gpu.gpu_id not in pool_ids
+            ]
+            granted = [
+                gpu for gpu in pool if new_owner.get(gpu.gpu_id) == app_id
+            ]
+            self._install_app_allocation(now, app, Allocation(retained + granted))
+
+    def _install_app_allocation(self, now: float, app: App, granted: Allocation) -> None:
+        """Distribute an app-level grant to jobs and refresh leases/events."""
+        job_allocs = app.distribute(granted)
+        used_ids: set[int] = set()
+        for job in app.active_jobs():
+            target = job_allocs.get(job.job_id, Allocation())
+            used_ids.update(target.gpu_ids)
+            if target == job.allocation:
+                self._refresh_leases(now, app, job, target)
+                continue
+            overhead = (
+                self.config.restart_overhead_minutes if target.size > 0 else 0.0
+            )
+            job.advance_to(now)
+            job.set_allocation(now, target, overhead=overhead)
+            self._refresh_leases(now, app, job, target)
+            self._reschedule_job_finish(job)
+        # GPUs the app cannot use (beyond demand) go back to the free pool.
+        for gpu in granted:
+            if gpu.gpu_id not in used_ids:
+                self.leases.release(gpu)
+        if self.config.record_timeline:
+            self.timeline.append((now, app.app_id, app.allocation().size))
+
+    def _refresh_leases(self, now: float, app: App, job: Job, target: Allocation) -> None:
+        """Grant / renew leases so every held GPU has an unexpired lease."""
+        for gpu in target:
+            lease = self.leases.lease_of(gpu)
+            if lease is None or lease.app_id != app.app_id or lease.is_expired(now):
+                new_lease = self.leases.grant(
+                    gpu, app.app_id, job.job_id, now, self.config.lease_minutes
+                )
+                self.engine.schedule(
+                    new_lease.expiry,
+                    self._lease_expiry_callback,
+                    kind=EventKind.LEASE_EXPIRY,
+                    label=f"lease:{gpu.gpu_id}",
+                )
+            else:
+                lease.job_id = job.job_id
+
+    def _reschedule_job_finish(self, job: Job) -> None:
+        old = self._job_events.pop(job.job_id, None)
+        if old is not None:
+            self.engine.cancel(old)
+        if not job.is_active:
+            return
+        eta = job.eta(self.engine.now)
+        if math.isinf(eta):
+            return
+        event = self.engine.schedule(
+            eta,
+            self._make_job_finish_callback(job),
+            kind=EventKind.JOB_FINISH,
+            label=f"finish:{job.job_id}",
+        )
+        self._job_events[job.job_id] = event
+
+    # ------------------------------------------------------------------
+    # Failure injection (Section 6 extension)
+    # ------------------------------------------------------------------
+    def mark_gpus_down(self, gpus: Sequence[Gpu]) -> None:
+        """Take GPUs out of service, revoking leases and job holdings.
+
+        Affected jobs stall (their allocation shrinks) and repay the
+        checkpoint/restart overhead when rescheduled; a scheduling
+        round fires immediately so the freed demand can be served.
+        """
+        now = self.engine.now
+        down_ids = {gpu.gpu_id for gpu in gpus}
+        self._down_gpu_ids.update(down_ids)
+        affected_apps: set[str] = set()
+        for gpu in gpus:
+            lease = self.leases.lease_of(gpu)
+            if lease is not None:
+                affected_apps.add(lease.app_id)
+                self.leases.release(gpu)
+        for app_id in sorted(affected_apps):
+            app = self.active_apps.get(app_id)
+            if app is None:
+                continue
+            for job in app.active_jobs():
+                if not any(g.gpu_id in down_ids for g in job.allocation):
+                    continue
+                job.advance_to(now)
+                survivors = Allocation(
+                    g for g in job.allocation if g.gpu_id not in down_ids
+                )
+                job.set_allocation(now, survivors, overhead=0.0)
+                self._reschedule_job_finish(job)
+            if self.config.record_timeline:
+                self.timeline.append((now, app.app_id, app.allocation().size))
+        self._request_round()
+
+    def mark_gpus_up(self, gpus: Sequence[Gpu]) -> None:
+        """Return repaired GPUs to service and trigger a round."""
+        self._down_gpu_ids.difference_update(gpu.gpu_id for gpu in gpus)
+        self._request_round()
+
+    @property
+    def down_gpu_count(self) -> int:
+        """Number of GPUs currently out of service."""
+        return len(self._down_gpu_ids)
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def _complete_job(self, now: float, job: Job) -> None:
+        released = list(job.allocation.gpus)
+        job.finish(now)
+        self.leases.release_all(released)
+        app = self._job_owner[job.job_id]
+        if app.is_complete():
+            self._complete_app(now, app)
+        self._request_round()
+
+    def _complete_app(self, now: float, app: App) -> None:
+        # FIRST_WINNER semantics: the winner ends the app; kill the rest.
+        for job in app.active_jobs():
+            job.advance_to(now)
+            released = list(job.allocation.gpus)
+            job.kill(now)
+            self.leases.release_all(released)
+            event = self._job_events.pop(job.job_id, None)
+            if event is not None:
+                self.engine.cancel(event)
+        app.state = AppState.FINISHED
+        app.finished_at = now
+        self.active_apps.pop(app.app_id, None)
+        if self.config.record_timeline:
+            self.timeline.append((now, app.app_id, 0))
+        hook = getattr(self.scheduler, "on_app_finish", None)
+        if callable(hook):
+            hook(now, app)
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _collect(self) -> SimulationResult:
+        now = self.engine.now
+        stats: list[AppStats] = []
+        for app in self.apps:
+            ideal = app.ideal_running_time(self.cluster.num_gpus)
+            finished = app.finished_at
+            completion = None if finished is None else finished - app.arrival_time
+            rho = app.finish_time_fairness(now, self.cluster.num_gpus)
+            stats.append(
+                AppStats(
+                    app_id=app.app_id,
+                    arrival=app.arrival_time,
+                    finished_at=finished,
+                    completion_time=completion,
+                    ideal_time=ideal,
+                    rho=rho,
+                    gpu_time=app.gpu_time(),
+                    attained_service=app.attained_service(),
+                    mean_placement_score=app.mean_placement_score(),
+                    num_jobs=app.num_jobs,
+                    total_work=app.total_work(),
+                )
+            )
+        completed = all(app.state is AppState.FINISHED for app in self.apps)
+        return SimulationResult(
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            cluster_name=self.cluster.name,
+            cluster_gpus=self.cluster.num_gpus,
+            config=self.config,
+            apps=self.apps,
+            app_stats=stats,
+            makespan=now,
+            completed=completed,
+            peak_contention=self.peak_contention,
+            contention_samples=self.contention_samples,
+            timeline=self.timeline,
+            num_rounds=self.num_rounds,
+            events_processed=self.engine.events_processed,
+            total_gpu_time=sum(s.gpu_time for s in stats),
+        )

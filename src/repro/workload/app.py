@@ -1,0 +1,273 @@
+"""An ML application: a set of related hyper-parameter exploration jobs.
+
+Section 2.1: an app is "a collection of one or more ML model training
+jobs", submitted together, sharing an arrival time, and finished when
+the best model has been identified.  The reproduction supports both
+completion semantics the paper's text admits:
+
+* ``ALL_JOBS`` — trace-replay mode (the default for the macro
+  experiments): each job's work embeds its clairvoyant kill point, the
+  app completes when every job has consumed its work.  This matches the
+  simulator the paper describes in Section 8.1.
+* ``FIRST_WINNER`` — target-accuracy mode: the app completes when its
+  first job reaches its own work target (the winner); remaining jobs are
+  killed.  This matches the ``min_j`` in Section 5.2's estimator and is
+  used together with the live HyperBand / HyperDrive schedulers.
+
+The app also owns the default *intra-app* GPU distribution: the paper's
+AGENT hands an app-level allocation to the app scheduler, which splits
+it among constituent jobs "in a placement sensitive manner" with stable
+assignments (Section 5.2, step 4).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import Gpu
+from repro.workload.job import Job, JobState
+
+
+class AppState(enum.Enum):
+    """Lifecycle of an app."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class CompletionSemantics(enum.Enum):
+    """When does an app count as finished (see module docstring)."""
+
+    ALL_JOBS = "all_jobs"
+    FIRST_WINNER = "first_winner"
+
+
+class App:
+    """Runtime state of one ML application."""
+
+    def __init__(
+        self,
+        app_id: str,
+        arrival_time: float,
+        jobs: Sequence[Job],
+        semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS,
+    ) -> None:
+        if not jobs:
+            raise ValueError(f"app {app_id!r} must contain at least one job")
+        self.app_id = app_id
+        self.arrival_time = float(arrival_time)
+        self.jobs: tuple[Job, ...] = tuple(jobs)
+        self.semantics = semantics
+        self.state = AppState.PENDING
+        self.finished_at: Optional[float] = None
+        #: Optional intra-app hyper-parameter scheduler (HyperBand /
+        #: HyperDrive); when set, the simulator consults it for kills
+        #: at every scheduling round.
+        self.tuner = None
+        self._jobs_by_id = {job.job_id: job for job in self.jobs}
+        if len(self._jobs_by_id) != len(self.jobs):
+            raise ValueError(f"app {app_id!r} has duplicate job ids")
+
+    # ------------------------------------------------------------------
+    # Job views
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        """Look a constituent job up by id."""
+        return self._jobs_by_id[job_id]
+
+    def active_jobs(self) -> list[Job]:
+        """Jobs still able to consume GPUs, in submission order."""
+        return [job for job in self.jobs if job.is_active]
+
+    @property
+    def num_jobs(self) -> int:
+        """Total number of constituent jobs."""
+        return len(self.jobs)
+
+    # ------------------------------------------------------------------
+    # Aggregates used by schedulers
+    # ------------------------------------------------------------------
+    def allocation(self) -> Allocation:
+        """Union of all constituent jobs' current GPU allocations."""
+        combined = Allocation()
+        for job in self.jobs:
+            if job.allocation:
+                combined = combined | job.allocation
+        return combined
+
+    def demand(self) -> int:
+        """Total GPUs the app could use right now (sum of job caps)."""
+        return sum(job.max_parallelism for job in self.active_jobs())
+
+    def unmet_demand(self) -> int:
+        """GPUs the app wants beyond what it currently holds."""
+        held = sum(
+            min(job.allocation.size, job.max_parallelism) for job in self.active_jobs()
+        )
+        return max(0, self.demand() - held)
+
+    def total_work(self) -> float:
+        """Sum of serial work across all jobs (the paper's W vector, aggregated)."""
+        return sum(job.spec.serial_work for job in self.jobs)
+
+    def remaining_work(self) -> float:
+        """Serial work left across active jobs."""
+        return sum(job.remaining_work for job in self.active_jobs())
+
+    def gpu_time(self) -> float:
+        """Total GPU-minutes consumed by all jobs so far (efficiency metric)."""
+        return sum(job.gpu_time for job in self.jobs)
+
+    def attained_service(self) -> float:
+        """Total attained GPU service (Tiresias' LAS metric)."""
+        return sum(job.attained_service for job in self.jobs)
+
+    def elapsed(self, now: float) -> float:
+        """Wall-clock minutes since arrival."""
+        return max(0.0, now - self.arrival_time)
+
+    def mean_placement_score(self) -> float:
+        """Time-weighted placement score over jobs that ever held GPUs."""
+        scored = [job for job in self.jobs if job.allocated_time > 0.0]
+        if not scored:
+            return 0.0
+        total_time = sum(job.allocated_time for job in scored)
+        return sum(job.score_integral for job in scored) / total_time
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """Check the configured completion semantics against job states."""
+        if self.semantics is CompletionSemantics.ALL_JOBS:
+            return all(not job.is_active for job in self.jobs)
+        return any(job.state == JobState.FINISHED for job in self.jobs)
+
+    def ideal_running_time(self, cluster_gpus: int) -> float:
+        """T_id: running time alone on the whole cluster, ideal placement.
+
+        For ``FIRST_WINNER`` this is the paper's ``min_j W_j / G_ideal_j``
+        (Section 5.2, step 5).  For ``ALL_JOBS`` the app finishes with its
+        last job, and running alone it is limited both by its largest job
+        and by total work over cluster capacity, hence the max of the
+        two lower bounds.
+        """
+        if cluster_gpus <= 0:
+            raise ValueError(f"cluster_gpus must be > 0, got {cluster_gpus}")
+        per_job = [
+            job.spec.serial_work / min(job.max_parallelism, cluster_gpus)
+            for job in self.jobs
+        ]
+        if self.semantics is CompletionSemantics.FIRST_WINNER:
+            return min(per_job)
+        bound_job = max(per_job)
+        bound_capacity = self.total_work() / cluster_gpus
+        return max(bound_job, bound_capacity)
+
+    def finish_time_fairness(self, now: float, cluster_gpus: int) -> float:
+        """Realised rho for a finished app, estimated rho otherwise.
+
+        For finished apps this is the evaluation metric of Figure 5a:
+        actual shared running time over ideal running time.
+        """
+        t_id = self.ideal_running_time(cluster_gpus)
+        if self.state is AppState.FINISHED and self.finished_at is not None:
+            return (self.finished_at - self.arrival_time) / t_id
+        return self.elapsed(now) / t_id if t_id > 0 else math.inf
+
+    # ------------------------------------------------------------------
+    # Intra-app GPU distribution (Section 5.2, step 4)
+    # ------------------------------------------------------------------
+    def distribute(self, granted: Allocation) -> dict[str, Allocation]:
+        """Split an app-level allocation among active jobs, stably.
+
+        The distribution keeps existing job->GPU bindings whenever the
+        GPU is still granted (minimising checkpoint churn), caps each
+        job at its ``max_parallelism`` and assigns the remaining GPUs
+        greedily to the job whose placement-adjusted rate ``G * S``
+        improves the most.  A GPU that would *slow* every job down
+        (e.g. a cross-rack straggler joining an NVLink pair of a
+        placement-sensitive model) is declined — a rational app
+        scheduler never accepts an allocation that hurts it, which is
+        precisely the placement sensitivity the paper's bids express.
+        Declined GPUs are absent from the returned mapping and should
+        be released by the caller.
+        """
+        active = self.active_jobs()
+        assigned: dict[str, list[Gpu]] = {job.job_id: [] for job in active}
+        granted_ids = granted.gpu_ids
+        taken: set[int] = set()
+        for job in active:
+            for gpu in job.allocation:
+                if gpu.gpu_id in granted_ids and len(assigned[job.job_id]) < job.max_parallelism:
+                    assigned[job.job_id].append(gpu)
+                    taken.add(gpu.gpu_id)
+        pool = [gpu for gpu in granted if gpu.gpu_id not in taken]
+        # Group the pool machine-by-machine so gang-scheduled jobs pick up
+        # co-located GPUs; iterate larger machine groups first.
+        by_machine: dict[int, list[Gpu]] = {}
+        for gpu in pool:
+            by_machine.setdefault(gpu.machine_id, []).append(gpu)
+        machine_order = sorted(by_machine, key=lambda m: (-len(by_machine[m]), m))
+        for machine_id in machine_order:
+            for gpu in sorted(by_machine[machine_id], key=lambda g: g.gpu_id):
+                best_job = self._pick_job_for_gpu(active, assigned, gpu)
+                if best_job is not None:
+                    assigned[best_job].append(gpu)
+        return {job_id: Allocation(gpus) for job_id, gpus in assigned.items()}
+
+    @staticmethod
+    def _rate_of(job: Job, gpus: list[Gpu]) -> float:
+        """Placement-adjusted progress rate of a hypothetical GPU set."""
+        useful = min(len(gpus), job.max_parallelism)
+        if useful == 0:
+            return 0.0
+        from repro.cluster.placement import slowdown  # local: avoid cycle at import
+
+        return useful * slowdown(job.model_profile.sensitivity, gpus)
+
+    @classmethod
+    def _pick_job_for_gpu(
+        cls,
+        active: Iterable[Job],
+        assigned: dict[str, list[Gpu]],
+        gpu: Gpu,
+    ) -> Optional[str]:
+        """Choose the job that should absorb one more GPU.
+
+        Jobs whose rate would *drop* are filtered out (the decline);
+        among the rest, machine-local fills win, then rack-local, then
+        the emptiest job — which reassembles whole-machine gangs from
+        machine-grouped grants instead of interleaving slot pairs.
+        Returns ``None`` when every job declines.
+        """
+        best_key = None
+        best_job = None
+        for job in active:
+            current = assigned[job.job_id]
+            if len(current) >= job.max_parallelism:
+                continue
+            gain = cls._rate_of(job, current + [gpu]) - cls._rate_of(job, current)
+            if gain <= 1e-12:
+                continue
+            same_machine = any(g.machine_id == gpu.machine_id for g in current)
+            same_rack = any(g.rack_id == gpu.rack_id for g in current)
+            key = (
+                0 if same_machine else (1 if same_rack else 2),
+                len(current),
+                job.job_id,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_job = job.job_id
+        return best_job
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"App({self.app_id}, {self.state.value}, jobs={self.num_jobs}, "
+            f"arrived={self.arrival_time:.1f})"
+        )

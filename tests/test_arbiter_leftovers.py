@@ -1,0 +1,84 @@
+"""Focused tests for the leftover-allocation stage of the ARBITER."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.core.agent import Agent
+from repro.core.arbiter import Arbiter, ArbiterConfig
+from repro.core.fairness import FairnessEstimator
+
+from conftest import make_app
+
+
+@pytest.fixture
+def estimator(small_cluster):
+    return FairnessEstimator(small_cluster)
+
+
+def test_leftovers_prefer_machines_already_held(small_cluster, estimator):
+    """Leftovers land on machines their receiver already occupies.
+
+    One starved participant takes what it needs; the surplus on machine
+    2 must go to the non-participant already running there rather than
+    the one running on machine 0.
+    """
+    arbiter = Arbiter(
+        small_cluster, ArbiterConfig(fairness_knob=1.0), rng=np.random.default_rng(1)
+    )
+    # The only starved app: sole auction participant (worst rho = inf).
+    starving = make_app("starving", num_jobs=1, arrival=0.0, max_parallelism=2)
+    # Non-participant holding machine 0's first pair, wants more.
+    holder0 = make_app("holder0", num_jobs=2, arrival=50.0, max_parallelism=2)
+    holder0.jobs[0].set_allocation(
+        0.0, Allocation(small_cluster.gpus_on_machine(0)[:2])
+    )
+    # Non-participant holding one GPU on machine 2, wants more.
+    holder2 = make_app("holder2", num_jobs=2, arrival=55.0, max_parallelism=2)
+    holder2.jobs[0].set_allocation(
+        0.0, Allocation(small_cluster.gpus_on_machine(2)[:1])
+    )
+    agents = {
+        "starving": Agent(starving, estimator),
+        "holder0": Agent(holder0, estimator),
+        "holder2": Agent(holder2, estimator),
+    }
+    # Pool: machine 0's second pair plus machine 2's remaining GPU.
+    pool = list(small_cluster.gpus_on_machine(0)[2:]) + [
+        small_cluster.gpus_on_machine(2)[1]
+    ]
+    grants = arbiter.offer_resources(90.0, pool, agents)
+    # The starving participant wins its demand.
+    assert len(grants.get("starving", [])) == 2
+    # The machine-2 leftover goes to the app already on machine 2.
+    machine2_receivers = {
+        app_id
+        for app_id, gpus in grants.items()
+        if any(gpu.machine_id == 2 for gpu in gpus)
+    }
+    assert machine2_receivers <= {"holder2", "starving"}
+
+
+def test_leftovers_fall_back_to_any_demand(small_cluster, estimator):
+    """With no affine non-participant, leftovers still get used."""
+    arbiter = Arbiter(
+        small_cluster, ArbiterConfig(fairness_knob=1.0), rng=np.random.default_rng(2)
+    )
+    a = make_app("a", num_jobs=3, arrival=0.0, max_parallelism=2)
+    b = make_app("b", num_jobs=3, arrival=10.0, max_parallelism=2)
+    agents = {"a": Agent(a, estimator), "b": Agent(b, estimator)}
+    pool = list(small_cluster.gpus)
+    grants = arbiter.offer_resources(60.0, pool, agents)
+    granted = sum(len(g) for g in grants.values())
+    # Demand (12) >= pool (12): everything must be used.
+    assert granted == small_cluster.num_gpus
+
+
+def test_unwanted_leftovers_stay_free(small_cluster, estimator):
+    """When total demand < pool, surplus GPUs remain unassigned."""
+    arbiter = Arbiter(small_cluster, ArbiterConfig(fairness_knob=0.5))
+    a = make_app("a", num_jobs=1, arrival=0.0, max_parallelism=2)  # demand 2
+    agents = {"a": Agent(a, estimator)}
+    grants = arbiter.offer_resources(30.0, list(small_cluster.gpus), agents)
+    granted = sum(len(g) for g in grants.values())
+    assert granted == 2

@@ -1,0 +1,109 @@
+"""Unit tests for shared assignment helpers."""
+
+import pytest
+
+from repro.core.assignment import (
+    concretise,
+    greedy_utility_assign,
+    group_pool,
+    pool_counts,
+    take_packed,
+)
+
+
+def test_group_pool_sorted_by_slot(small_cluster):
+    grouped = group_pool(list(reversed(small_cluster.gpus)))
+    assert sorted(grouped) == [0, 1, 2, 3]
+    slots = [gpu.slot_id for gpu in grouped[0]]
+    assert slots == sorted(slots)
+
+
+def test_pool_counts(small_cluster):
+    counts = pool_counts(small_cluster.gpus)
+    assert counts == {0: 4, 1: 4, 2: 2, 3: 2}
+
+
+def test_concretise_grants_match_counts(small_cluster):
+    grouped = group_pool(small_cluster.gpus)
+    grants = concretise({"a": {0: 2}, "b": {0: 2, 2: 1}}, grouped)
+    assert len(grants["a"]) == 2
+    assert len(grants["b"]) == 3
+    ids_a = {gpu.gpu_id for gpu in grants["a"]}
+    ids_b = {gpu.gpu_id for gpu in grants["b"]}
+    assert not ids_a & ids_b
+
+
+def test_concretise_largest_bundle_gets_contiguous_slots(small_cluster):
+    grouped = group_pool(small_cluster.gpus)
+    grants = concretise({"big": {0: 2}, "small": {0: 1}}, grouped)
+    big_slots = {gpu.slot_id for gpu in grants["big"]}
+    assert len(big_slots) == 1  # an intact NVLink pair
+
+
+def test_concretise_overdraw_raises(small_cluster):
+    grouped = group_pool(small_cluster.gpus)
+    with pytest.raises(RuntimeError):
+        concretise({"a": {0: 5}}, grouped)
+
+
+def test_concretise_negative_raises(small_cluster):
+    grouped = group_pool(small_cluster.gpus)
+    with pytest.raises(ValueError):
+        concretise({"a": {0: -1}}, grouped)
+
+
+def test_greedy_utility_respects_caps():
+    pool = {0: 4}
+    utilities = {"a": lambda b: float(sum(b.values()))}
+    result = greedy_utility_assign(pool, utilities, caps={"a": 2})
+    assert sum(result["a"].values()) == 2
+
+
+def test_greedy_utility_prefers_higher_marginal():
+    pool = {0: 2}
+    utilities = {
+        "low": lambda b: 1.0 * sum(b.values()),
+        "high": lambda b: 5.0 * sum(b.values()),
+    }
+    result = greedy_utility_assign(pool, utilities, caps={"low": 2, "high": 2})
+    assert sum(result.get("high", {}).values()) == 2
+    assert "low" not in result
+
+
+def test_greedy_utility_stops_at_zero_marginal():
+    pool = {0: 4}
+    utilities = {"a": lambda b: min(2.0, float(sum(b.values())))}
+    result = greedy_utility_assign(pool, utilities, caps={"a": 4})
+    assert sum(result["a"].values()) == 2  # marginal drops to zero after 2
+
+
+def test_greedy_utility_chunk_validation():
+    with pytest.raises(ValueError):
+        greedy_utility_assign({0: 1}, {}, {}, chunk_size=0)
+
+
+def test_take_packed_prefers_preferred_machines(small_cluster):
+    pool = group_pool(small_cluster.gpus)
+    taken = take_packed(pool, 2, preferred_machines=[2])
+    assert all(gpu.machine_id == 2 for gpu in taken)
+
+
+def test_take_packed_drains_biggest_first(small_cluster):
+    pool = group_pool(small_cluster.gpus)
+    taken = take_packed(pool, 4)
+    assert {gpu.machine_id for gpu in taken} == {0}
+
+
+def test_take_packed_mutates_pool(small_cluster):
+    pool = group_pool(small_cluster.gpus)
+    take_packed(pool, 4)
+    assert 0 not in pool
+    remaining = sum(len(gpus) for gpus in pool.values())
+    assert remaining == small_cluster.num_gpus - 4
+
+
+def test_take_packed_partial_when_pool_small(small_cluster):
+    pool = group_pool(small_cluster.gpus[:3])
+    taken = take_packed(pool, 10)
+    assert len(taken) == 3
+    assert not pool

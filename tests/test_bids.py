@@ -1,0 +1,117 @@
+"""Unit tests for bid construction and valuation tables."""
+
+import math
+
+import pytest
+
+from repro.core.bids import Bid, BidEntry, build_bid
+from repro.core.fairness import FairnessEstimator
+
+from conftest import make_app
+
+
+@pytest.fixture
+def estimator(small_cluster):
+    return FairnessEstimator(small_cluster)
+
+
+def test_bid_current_rho_inf_when_starved(estimator):
+    app = make_app()
+    bid = build_bid(app, estimator, now=10.0, offered_counts={0: 4})
+    assert math.isinf(bid.current_rho)
+    assert bid.value_of({}) == 0.0
+
+
+def test_bid_value_improves_with_gpus(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 4})
+    assert bid.value_of({0: 4}) > bid.value_of({0: 2}) > bid.value_of({})
+
+
+def test_bid_rejects_overdraw(estimator):
+    app = make_app()
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 2})
+    with pytest.raises(ValueError):
+        bid.rho_of({0: 3})
+    with pytest.raises(ValueError):
+        bid.rho_of({5: 1})
+
+
+def test_bid_demand_is_unmet_demand(estimator):
+    app = make_app(num_jobs=3, max_parallelism=4)
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 4})
+    assert bid.demand == 12
+
+
+def test_bid_caches_rho(estimator):
+    app = make_app()
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 4})
+    first = bid.rho_of({0: 2})
+    assert bid.rho_of({0: 2}) == first  # cached, deterministic
+
+
+def test_table_contains_empty_and_per_machine_rows(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 2, 2: 2})
+    table = bid.table()
+    bundles = {entry.bundle for entry in table}
+    assert () in bundles  # the "no new allocation" row of Figure 3(b)
+    assert ((0, 1),) in bundles
+    assert ((0, 2),) in bundles
+    assert ((2, 2),) in bundles
+
+
+def test_table_respects_max_entries(estimator):
+    app = make_app(num_jobs=4, max_parallelism=4)
+    bid = build_bid(
+        app, estimator, now=0.0, offered_counts={0: 4, 1: 2, 2: 4, 3: 2}
+    )
+    table = bid.table(max_entries=5)
+    assert len(table) <= 5
+
+
+def test_table_entries_have_consistent_values(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 4})
+    for entry in bid.table():
+        if math.isinf(entry.rho):
+            assert entry.value == 0.0
+        else:
+            assert entry.value == pytest.approx(1.0 / entry.rho)
+
+
+def test_entry_gpu_count():
+    entry = BidEntry(bundle=((0, 2), (1, 3)), rho=1.0, value=1.0)
+    assert entry.gpu_count == 5
+
+
+def test_noise_zero_means_exact(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    exact = build_bid(app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.0)
+    noisy = build_bid(
+        app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.2, noise_salt=1
+    )
+    rho_exact = exact.rho_of({0: 2})
+    rho_noisy = noisy.rho_of({0: 2})
+    assert rho_noisy != rho_exact
+    assert abs(rho_noisy - rho_exact) / rho_exact <= 0.2 + 1e-9
+
+
+def test_noise_deterministic_within_auction(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    a = build_bid(app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.1, noise_salt=7)
+    b = build_bid(app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.1, noise_salt=7)
+    assert a.rho_of({0: 2}) == b.rho_of({0: 2})
+
+
+def test_noise_varies_across_salts(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    a = build_bid(app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.1, noise_salt=1)
+    b = build_bid(app, estimator, now=0.0, offered_counts={0: 4}, noise_theta=0.1, noise_salt=2)
+    assert a.rho_of({0: 2}) != b.rho_of({0: 2})
+
+
+def test_starved_rho_not_noised(estimator):
+    app = make_app()
+    bid = build_bid(app, estimator, now=5.0, offered_counts={0: 4}, noise_theta=0.2)
+    assert math.isinf(bid.rho_of({}))

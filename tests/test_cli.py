@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--scheduler", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--seed", "1",
+    )
+    assert code == 0
+    assert "max_rho" in out
+    assert "fifo" in out
+
+
+def test_run_with_fairness_knob(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--scheduler", "themis", "--apps", "2",
+        "--duration-scale", "0.05", "--fairness-knob", "0.5",
+    )
+    assert code == 0
+    assert "themis" in out
+
+
+def test_compare_command(capsys):
+    code, out, _ = run_cli(
+        capsys, "compare", "--schedulers", "fifo,tiresias", "--apps", "2",
+        "--duration-scale", "0.05",
+    )
+    assert code == 0
+    assert "fifo" in out and "tiresias" in out
+
+
+def test_compare_unknown_scheduler(capsys):
+    code, _, err = run_cli(
+        capsys, "compare", "--schedulers", "fifo,bogus", "--apps", "2"
+    )
+    assert code == 2
+    assert "bogus" in err
+
+
+def test_figure_fig02(capsys):
+    code, out, _ = run_cli(capsys, "figure", "fig02")
+    assert code == 0
+    assert "vgg16" in out
+
+
+def test_figure_unknown(capsys):
+    code, _, err = run_cli(capsys, "figure", "nope")
+    assert code == 2
+    assert "unknown figure" in err
+
+
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "t.jsonl"
+    code, out, _ = run_cli(
+        capsys, "trace", "--apps", "3", "--out", str(out_path)
+    )
+    assert code == 0
+    assert out_path.exists()
+    from repro.workload.trace import Trace
+
+    trace = Trace.from_jsonl(out_path)
+    assert trace.num_apps == 3
+
+
+def test_figure_fig08(capsys):
+    code, out, _ = run_cli(capsys, "figure", "fig08")
+    assert code == 0
+    assert "short-app" in out

@@ -1,0 +1,97 @@
+"""Unit tests for loss curves and the work-left estimator."""
+
+import math
+
+import pytest
+
+from repro.hyperparam.curves import LossCurve, fit_power_law, predict_iterations_to_loss
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        LossCurve(initial=1.0, floor=2.0, alpha=0.5)
+    with pytest.raises(ValueError):
+        LossCurve(initial=5.0, floor=-1.0, alpha=0.5)
+    with pytest.raises(ValueError):
+        LossCurve(initial=5.0, floor=0.0, alpha=0.0)
+    with pytest.raises(ValueError):
+        LossCurve(initial=5.0, floor=0.0, alpha=0.5, knee=0.0)
+
+
+def test_loss_monotone_decreasing():
+    curve = LossCurve(initial=5.0, floor=0.5, alpha=0.7)
+    losses = curve.sample([0, 10, 100, 1000, 10000])
+    assert losses == sorted(losses, reverse=True)
+    assert losses[0] == pytest.approx(5.0)
+
+
+def test_loss_approaches_floor():
+    curve = LossCurve(initial=5.0, floor=0.5, alpha=0.7)
+    assert curve.loss_at(1e9) == pytest.approx(0.5, abs=1e-3)
+
+
+def test_negative_iteration_raises():
+    curve = LossCurve(initial=5.0, floor=0.0, alpha=0.5)
+    with pytest.raises(ValueError):
+        curve.loss_at(-1)
+
+
+def test_iterations_to_inverts_loss_at():
+    curve = LossCurve(initial=5.0, floor=0.2, alpha=0.8, knee=50.0)
+    for target in (4.0, 2.0, 1.0, 0.5):
+        iters = curve.iterations_to(target)
+        assert curve.loss_at(iters) == pytest.approx(target, rel=1e-9)
+
+
+def test_iterations_to_edge_cases():
+    curve = LossCurve(initial=5.0, floor=0.5, alpha=0.7)
+    assert curve.iterations_to(5.0) == 0.0
+    assert curve.iterations_to(6.0) == 0.0
+    assert math.isinf(curve.iterations_to(0.5))
+    assert math.isinf(curve.iterations_to(0.1))
+
+
+def test_fit_recovers_parameters():
+    truth = LossCurve(initial=4.0, floor=0.0, alpha=0.6, knee=100.0)
+    iterations = [10.0 * i for i in range(1, 40)]
+    losses = truth.sample(iterations)
+    fitted = fit_power_law(iterations, losses, floor=0.0, knee=100.0)
+    assert fitted.alpha == pytest.approx(0.6, rel=1e-6)
+    assert fitted.initial == pytest.approx(4.0, rel=1e-6)
+
+
+def test_fit_handles_noise():
+    truth = LossCurve(initial=4.0, floor=0.0, alpha=0.6)
+    iterations = [20.0 * i for i in range(1, 30)]
+    losses = [l * (1 + 0.01 * ((i % 5) - 2)) for i, l in enumerate(truth.sample(iterations))]
+    fitted = fit_power_law(iterations, losses)
+    assert fitted.alpha == pytest.approx(0.6, rel=0.15)
+
+
+def test_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_power_law([10.0], [1.0])
+    with pytest.raises(ValueError):
+        fit_power_law([10.0, 10.0], [1.0, 1.0])
+
+
+def test_fit_length_mismatch():
+    with pytest.raises(ValueError):
+        fit_power_law([1.0, 2.0], [1.0])
+
+
+def test_predict_iterations_to_loss():
+    truth = LossCurve(initial=4.0, floor=0.0, alpha=0.6, knee=100.0)
+    iterations = [10.0, 50.0, 100.0, 200.0]
+    losses = truth.sample(iterations)
+    predicted = predict_iterations_to_loss(iterations, losses, target_loss=1.0)
+    assert predicted == pytest.approx(truth.iterations_to(1.0), rel=1e-6)
+
+
+def test_predict_unreachable_target_is_inf():
+    truth = LossCurve(initial=4.0, floor=1.0, alpha=0.6)
+    iterations = [10.0, 50.0, 100.0]
+    predicted = predict_iterations_to_loss(
+        iterations, truth.sample(iterations), target_loss=0.5, floor=1.0
+    )
+    assert math.isinf(predicted)

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness on tiny scenarios."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, tiny_scenario
+from repro.experiments.config import sim_scenario as _sim_scenario
+from repro.experiments.config import testbed_scenario as _testbed_scenario
+from repro.experiments.figures import (
+    fig01_task_duration_cdf,
+    fig02_placement_throughput,
+    fig04_knob_sweep,
+    fig04c_lease_sweep,
+    fig05_to_07_macrobenchmark,
+    fig08_timeline,
+    fig09_network_sweep,
+    fig10_contention_sweep,
+    fig11_bid_error_sweep,
+)
+from repro.experiments.report import format_figure, format_table
+from repro.experiments.runner import compare_schedulers, run_scenario
+
+
+def test_scenario_builders():
+    sim = _sim_scenario(num_apps=5)
+    assert sim.build_cluster().num_gpus == 256
+    testbed = _testbed_scenario(num_apps=5)
+    assert testbed.build_cluster().num_gpus == 50
+    with pytest.raises(ValueError):
+        ScenarioConfig(name="x", generator=sim.generator, cluster_kind="bogus").build_cluster()
+
+
+def test_scenario_trace_is_deterministic():
+    scenario = tiny_scenario()
+    assert scenario.build_trace().apps == scenario.build_trace().apps
+
+
+def test_run_scenario_returns_result():
+    result = run_scenario(tiny_scenario(), "fifo")
+    assert result.completed
+    assert result.scheduler_name == "fifo"
+
+
+def test_compare_schedulers_same_workload():
+    results = compare_schedulers(tiny_scenario(), ["fifo", "tiresias"])
+    assert set(results) == {"fifo", "tiresias"}
+    totals = {name: r.total_gpu_time for name, r in results.items()}
+    assert all(v > 0 for v in totals.values())
+
+
+def test_fig01_rows_and_series():
+    figure = fig01_task_duration_cdf(tiny_scenario(num_apps=20))
+    assert figure.column("percentile") == [10, 25, 50, 75, 90, 99]
+    durations = figure.column("duration_minutes")
+    assert durations == sorted(durations)
+    assert figure.series["cdf"]
+
+
+def test_fig02_vgg_collapses_resnet_does_not():
+    figure = fig02_placement_throughput()
+    rows = {row["model"]: row for row in figure.rows}
+    assert rows["vgg16"]["slowdown"] < 0.6
+    assert rows["resnet50"]["slowdown"] > 0.9
+
+
+def test_fig04_knob_sweep_shape():
+    figure = fig04_knob_sweep(tiny_scenario(), knobs=(0.0, 1.0))
+    assert [row["fairness_knob"] for row in figure.rows] == [0.0, 1.0]
+    for row in figure.rows:
+        assert row["min_rho"] <= row["median_rho"] <= row["max_rho"]
+
+
+def test_fig04c_lease_sweep_shape():
+    figure = fig04c_lease_sweep(tiny_scenario(), leases=(10.0, 40.0))
+    assert [row["lease_minutes"] for row in figure.rows] == [10.0, 40.0]
+    # Shorter leases mean more scheduling rounds.
+    assert figure.rows[0]["rounds"] >= figure.rows[1]["rounds"]
+
+
+def test_fig05_macrobenchmark_rows():
+    figure = fig05_to_07_macrobenchmark(tiny_scenario(), schedulers=("themis", "fifo"))
+    names = {row["scheduler"] for row in figure.rows}
+    assert names == {"themis", "fifo"}
+    for row in figure.rows:
+        assert row["max_fairness"] > 0
+        assert 0.0 < row["jain_index"] <= 1.0
+    assert "jct_cdf:themis" in figure.series
+    assert "placement_cdf:fifo" in figure.series
+
+
+def test_fig08_short_app_finishes_first():
+    figure = fig08_timeline()
+    rows = {row["app"]: row for row in figure.rows}
+    assert rows["short-app"]["finished_at"] < rows["long-app"]["finished_at"]
+    # The long app is not starved: it eventually completes.
+    assert rows["long-app"]["completion_time"] is not None
+    assert figure.series["short_app"]
+    assert figure.series["long_app"]
+
+
+def test_fig09_rows_have_improvement_factor():
+    figure = fig09_network_sweep(
+        tiny_scenario(), fractions=(0.0, 1.0), schedulers=("themis", "tiresias")
+    )
+    for row in figure.rows:
+        assert "improvement_over_tiresias" in row
+        assert row["improvement_over_tiresias"] > 0
+
+
+def test_fig10_contention_rows():
+    figure = fig10_contention_sweep(
+        tiny_scenario(), factors=(1.0, 2.0), schedulers=("themis", "tiresias")
+    )
+    assert [row["contention_factor"] for row in figure.rows] == [1.0, 2.0]
+    for row in figure.rows:
+        assert 0.0 <= row["jain:themis"] <= 1.0
+
+
+def test_fig11_error_sweep_rows():
+    figure = fig11_bid_error_sweep(tiny_scenario(), thetas=(0.0, 0.2))
+    assert [row["theta"] for row in figure.rows] == [0.0, 0.2]
+    assert all(row["max_rho"] > 0 for row in figure.rows)
+
+
+def test_format_table_and_figure():
+    table = format_table(["a", "b"], [[1.0, "x"], [123456.0, "y"]])
+    assert "a" in table and "123,456" in table
+    figure = fig02_placement_throughput(models=("vgg16",))
+    text = format_figure(figure)
+    assert "fig02" in text
+    assert "vgg16" in text

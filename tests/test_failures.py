@@ -1,0 +1,160 @@
+"""Tests for machine-failure injection (the Section 6 extension)."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.failures import FailureInjector, MachineFailure
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.workload.trace import Trace, TraceApp, TraceJob
+
+
+def pair_cluster():
+    return build_cluster(
+        ClusterSpec(
+            machine_specs=(MachineSpec(count=2, gpus_per_machine=4),),
+            num_racks=2,
+            name="pair",
+        )
+    )
+
+
+def solo_trace(minutes=60.0):
+    return Trace(
+        apps=(
+            TraceApp(
+                "solo",
+                0.0,
+                (
+                    TraceJob(
+                        job_id="solo-j0",
+                        model="resnet50",
+                        duration_minutes=minutes,
+                        max_parallelism=4,
+                    ),
+                ),
+            ),
+        )
+    )
+
+
+def build_sim(trace, failures, **config_kwargs):
+    sim = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+        config=SimulationConfig(**config_kwargs),
+    )
+    injector = FailureInjector(failures)
+    injector.install(sim)
+    return sim, injector
+
+
+def test_failure_validation():
+    with pytest.raises(ValueError):
+        MachineFailure(machine_id=0, at=-1.0)
+    with pytest.raises(ValueError):
+        MachineFailure(machine_id=0, at=0.0, duration=0.0)
+
+
+def test_unknown_machine_rejected():
+    sim = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=solo_trace(),
+        scheduler=make_scheduler("themis"),
+    )
+    injector = FailureInjector([MachineFailure(machine_id=99, at=1.0)])
+    with pytest.raises(ValueError):
+        injector.install(sim)
+
+
+def test_job_survives_machine_failure():
+    """The app loses its machine mid-run, reschedules, and completes."""
+    sim, injector = build_sim(
+        solo_trace(minutes=60.0),
+        [MachineFailure(machine_id=0, at=20.0)],  # permanent
+        restart_overhead_minutes=1.0,
+    )
+    result = sim.run()
+    assert result.completed
+    assert injector.events_applied == 1
+    stats = result.stats_by_app()["solo"]
+    # It had to migrate to machine 1 and pay overhead: slower than the
+    # failure-free ideal but bounded.
+    assert stats.completion_time > 60.0 / 0.98
+    assert stats.completion_time < 200.0
+
+
+def test_permanent_failure_shrinks_capacity():
+    sim, _ = build_sim(solo_trace(), [MachineFailure(machine_id=0, at=5.0)])
+    result = sim.run()
+    assert result.completed
+    assert sim.down_gpu_count == 4
+
+
+def test_repair_restores_capacity():
+    sim, injector = build_sim(
+        solo_trace(minutes=60.0),
+        [MachineFailure(machine_id=0, at=10.0, duration=15.0)],
+    )
+    result = sim.run()
+    assert result.completed
+    assert injector.events_applied == 2
+    assert sim.down_gpu_count == 0
+    assert not injector.down_machines
+
+
+def test_failed_gpus_not_rescheduled_while_down():
+    """During the outage no lease may exist on the failed machine."""
+    sim, _ = build_sim(
+        solo_trace(minutes=200.0),
+        [MachineFailure(machine_id=0, at=10.0, duration=500.0)],
+        lease_minutes=5.0,
+    )
+    sim.engine.schedule(
+        50.0,
+        lambda engine, event: _assert_no_leases_on_machine(sim, 0),
+        label="probe",
+    )
+    result = sim.run()
+    assert result.completed
+
+
+def _assert_no_leases_on_machine(sim, machine_id):
+    for gpu in sim.cluster.gpus_on_machine(machine_id):
+        assert sim.leases.lease_of(gpu) is None
+
+
+def test_failure_displaces_and_fairness_recovers():
+    """Two apps; one loses its machine; it must still finish (no starvation)."""
+    trace = Trace(
+        apps=(
+            TraceApp(
+                "victim",
+                0.0,
+                (
+                    TraceJob(job_id="victim-j0", model="vgg16",
+                             duration_minutes=50.0, max_parallelism=4),
+                ),
+            ),
+            TraceApp(
+                "other",
+                0.0,
+                (
+                    TraceJob(job_id="other-j0", model="vgg16",
+                             duration_minutes=50.0, max_parallelism=4),
+                ),
+            ),
+        )
+    )
+    sim, _ = build_sim(
+        trace,
+        [MachineFailure(machine_id=0, at=15.0, duration=30.0)],
+        lease_minutes=10.0,
+    )
+    result = sim.run()
+    assert result.completed
+    for stats in result.app_stats:
+        assert stats.rho < 8.0, stats.app_id

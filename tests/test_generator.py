@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic enterprise-trace generator."""
+
+import statistics
+
+import pytest
+
+from repro.workload.generator import GeneratorConfig, generate_trace
+from repro.workload.models import get_model
+
+
+def test_determinism():
+    a = generate_trace(GeneratorConfig(num_apps=10, seed=3))
+    b = generate_trace(GeneratorConfig(num_apps=10, seed=3))
+    assert a.apps == b.apps
+
+
+def test_different_seeds_differ():
+    a = generate_trace(GeneratorConfig(num_apps=10, seed=1))
+    b = generate_trace(GeneratorConfig(num_apps=10, seed=2))
+    assert a.apps != b.apps
+
+
+def test_jobs_per_app_within_paper_bounds():
+    trace = generate_trace(GeneratorConfig(num_apps=200, seed=0))
+    counts = trace.jobs_per_app()
+    assert min(counts) >= 1
+    assert max(counts) <= 98
+    # Median 23 in the paper; allow generous sampling slack.
+    assert 15 <= statistics.median(counts) <= 32
+
+
+def test_task_duration_medians_match_paper():
+    config = GeneratorConfig(num_apps=150, seed=0, duration_scale=1.0)
+    trace = generate_trace(config)
+    durations = trace.task_durations()
+    # Overall median is pulled between the short (59) and long (123)
+    # medians; the paper's "most tasks are short" shape.
+    assert 45 <= statistics.median(durations) <= 95
+
+
+def test_gpu_demand_mix():
+    trace = generate_trace(GeneratorConfig(num_apps=100, seed=0))
+    demands = [job.max_parallelism for app in trace.apps for job in app.jobs]
+    assert set(demands) <= {2, 4}
+    four_fraction = sum(1 for d in demands if d == 4) / len(demands)
+    assert 0.7 <= four_fraction <= 0.9
+
+
+def test_network_intensive_fraction_respected():
+    for fraction, lo, hi in [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.4, 0.25, 0.55)]:
+        trace = generate_trace(
+            GeneratorConfig(num_apps=100, seed=5, network_intensive_fraction=fraction)
+        )
+        sensitive = sum(
+            1 for app in trace.apps if get_model(app.jobs[0].model).network_intensive
+        )
+        ratio = sensitive / trace.num_apps
+        assert lo <= ratio <= hi
+
+
+def test_apps_share_one_model():
+    """Jobs within an app share a model (correlated placement sensitivity)."""
+    trace = generate_trace(GeneratorConfig(num_apps=20, seed=1))
+    for app in trace.apps:
+        assert len({job.model for job in app.jobs}) == 1
+
+
+def test_duration_scale():
+    base = generate_trace(GeneratorConfig(num_apps=20, seed=4, duration_scale=1.0))
+    scaled = generate_trace(GeneratorConfig(num_apps=20, seed=4, duration_scale=0.5))
+    # Same jobs, scaled durations (clamped at the 1-minute floor).
+    for app_a, app_b in zip(base.apps, scaled.apps):
+        for job_a, job_b in zip(app_a.jobs, app_b.jobs):
+            assert job_b.duration_minutes == pytest.approx(
+                max(1.0, job_a.duration_minutes * 0.5)
+            )
+
+
+def test_arrivals_are_increasing_and_poisson_like():
+    config = GeneratorConfig(num_apps=100, seed=0, mean_interarrival_minutes=20.0)
+    trace = generate_trace(config)
+    arrivals = [app.arrival_minutes for app in trace.apps]
+    assert arrivals == sorted(arrivals)
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert 10.0 <= statistics.mean(gaps) <= 30.0
+
+
+def test_with_contention_compresses_arrivals():
+    config = GeneratorConfig(num_apps=10, seed=0).with_contention(4.0)
+    assert config.mean_interarrival_minutes == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_apps=10, seed=0).with_contention(0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_apps=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_apps=1, network_intensive_fraction=1.5)
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_apps=1, duration_scale=0)
+
+
+def test_metadata_recorded():
+    trace = generate_trace(GeneratorConfig(num_apps=5, seed=9))
+    assert trace.seed == 9
+    assert "mean_interarrival_minutes" in trace.metadata

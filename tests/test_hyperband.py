@@ -1,0 +1,95 @@
+"""Unit tests for the HyperBand app scheduler."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.hyperparam.curves import LossCurve
+from repro.hyperparam.hyperband import HyperBand
+from repro.workload.app import App, CompletionSemantics
+from repro.workload.job import Job, JobSpec
+
+
+def build_app(alphas, serial_work=100.0):
+    """App whose jobs converge at different speeds (higher alpha = better)."""
+    jobs = []
+    for i, alpha in enumerate(alphas):
+        jobs.append(
+            Job(
+                spec=JobSpec(
+                    job_id=f"j{i}",
+                    model="resnet50",
+                    serial_work=serial_work,
+                    max_parallelism=2,
+                    total_iterations=1000,
+                    loss_curve=LossCurve(initial=5.0, floor=0.0, alpha=alpha),
+                )
+            )
+        )
+    return App("hb", 0.0, jobs, semantics=CompletionSemantics.FIRST_WINNER)
+
+
+def run_all_to_iterations(app, cluster, iterations):
+    """Drive every active job to a given iteration count."""
+    for job in app.active_jobs():
+        minutes = (iterations / job.spec.total_iterations) * job.spec.serial_work
+        job.set_allocation(job.last_update, Allocation(cluster.gpus[:1]))
+        job.advance_to(job.last_update + minutes)
+        job.set_allocation(job.last_update, Allocation())
+
+
+def test_validation():
+    app = build_app([0.5, 0.6])
+    with pytest.raises(ValueError):
+        HyperBand(app, min_iterations=0)
+    with pytest.raises(ValueError):
+        HyperBand(app, eta=1.0)
+
+
+def test_no_kills_before_rung(one_machine_cluster):
+    app = build_app([0.3, 0.6, 0.9, 1.2])
+    hyperband = HyperBand(app, min_iterations=100.0)
+    run_all_to_iterations(app, one_machine_cluster, 50)
+    assert hyperband.step(0.0) == []
+
+
+def test_kills_bottom_half_at_rung(one_machine_cluster):
+    app = build_app([0.3, 0.6, 0.9, 1.2])
+    hyperband = HyperBand(app, min_iterations=100.0, eta=2.0)
+    run_all_to_iterations(app, one_machine_cluster, 120)
+    victims = hyperband.step(0.0)
+    # Slowest convergers (smallest alpha -> highest loss) die.
+    assert sorted(v.job_id for v in victims) == ["j0", "j1"]
+    assert hyperband.rung_index == 1
+
+
+def test_successive_rungs_until_one_survivor(one_machine_cluster):
+    app = build_app([0.3, 0.6, 0.9, 1.2])
+    hyperband = HyperBand(app, min_iterations=100.0, eta=2.0)
+    run_all_to_iterations(app, one_machine_cluster, 120)
+    for victim in hyperband.step(0.0):
+        victim.kill(0.0)
+    run_all_to_iterations(app, one_machine_cluster, 250)
+    second = hyperband.step(0.0)
+    assert len(second) == 1
+    second[0].kill(0.0)
+    assert len(app.active_jobs()) == 1
+    # With a single survivor HyperBand never kills again.
+    assert hyperband.step(0.0) == []
+
+
+def test_current_rung_grows_geometrically():
+    app = build_app([0.5, 0.6])
+    hyperband = HyperBand(app, min_iterations=50.0, eta=3.0)
+    assert hyperband.current_rung() == 50.0
+    hyperband.rung_index = 2
+    assert hyperband.current_rung() == 450.0
+
+
+def test_observe_records_samples(one_machine_cluster):
+    app = build_app([0.5, 0.9])
+    hyperband = HyperBand(app, min_iterations=1000.0)
+    run_all_to_iterations(app, one_machine_cluster, 100)
+    hyperband.step(0.0)
+    samples = hyperband.samples_of(app.jobs[0])
+    assert len(samples) == 1
+    assert samples[0][0] == pytest.approx(100.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the lease manager."""
+
+import pytest
+
+from repro.core.leases import LeaseManager
+
+
+def test_grant_and_holder(small_cluster):
+    manager = LeaseManager()
+    gpu = small_cluster.gpu(0)
+    lease = manager.grant(gpu, "app-a", "job-1", now=0.0, duration=20.0)
+    assert manager.holder(gpu) == "app-a"
+    assert manager.is_leased(gpu)
+    assert lease.expiry == 20.0
+    assert not lease.is_expired(10.0)
+    assert lease.is_expired(20.0)
+    assert lease.remaining(15.0) == pytest.approx(5.0)
+
+
+def test_grant_zero_duration_raises(small_cluster):
+    manager = LeaseManager()
+    with pytest.raises(ValueError):
+        manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 0.0)
+
+
+def test_release(small_cluster):
+    manager = LeaseManager()
+    gpu = small_cluster.gpu(0)
+    manager.grant(gpu, "a", "j", 0.0, 10.0)
+    released = manager.release(gpu)
+    assert released is not None
+    assert manager.holder(gpu) is None
+    assert manager.release(gpu) is None  # idempotent
+
+
+def test_regrant_transfers_ownership(small_cluster):
+    manager = LeaseManager()
+    gpu = small_cluster.gpu(0)
+    manager.grant(gpu, "a", "j1", 0.0, 10.0)
+    manager.grant(gpu, "b", "j2", 5.0, 10.0)
+    assert manager.holder(gpu) == "b"
+    assert manager.lease_of(gpu).expiry == 15.0
+
+
+def test_expired_gpus(small_cluster):
+    manager = LeaseManager()
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)
+    manager.grant(small_cluster.gpu(1), "a", "j", 0.0, 30.0)
+    expired = manager.expired_gpus(now=15.0)
+    assert [gpu.gpu_id for gpu in expired] == [0]
+
+
+def test_pool_for_auction_combines_free_and_expired(small_cluster):
+    manager = LeaseManager()
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)  # expires
+    manager.grant(small_cluster.gpu(1), "a", "j", 0.0, 30.0)  # active
+    pool = manager.pool_for_auction(now=15.0, all_gpus=small_cluster.gpus)
+    ids = {gpu.gpu_id for gpu in pool}
+    assert 0 in ids  # expired lease
+    assert 1 not in ids  # live lease
+    assert len(ids) == small_cluster.num_gpus - 1
+
+
+def test_leases_of_app(small_cluster):
+    manager = LeaseManager()
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)
+    manager.grant(small_cluster.gpu(3), "a", "j", 0.0, 10.0)
+    manager.grant(small_cluster.gpu(1), "b", "j", 0.0, 10.0)
+    leases = manager.leases_of_app("a")
+    assert [l.gpu.gpu_id for l in leases] == [0, 3]
+
+
+def test_next_expiry(small_cluster):
+    manager = LeaseManager()
+    assert manager.next_expiry(0.0) is None
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)
+    manager.grant(small_cluster.gpu(1), "a", "j", 0.0, 25.0)
+    assert manager.next_expiry(0.0) == 10.0
+    assert manager.next_expiry(12.0) == 25.0
+    assert manager.next_expiry(30.0) is None
+
+
+def test_utilisation(small_cluster):
+    manager = LeaseManager()
+    assert manager.utilisation(12) == 0.0
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)
+    assert manager.utilisation(12) == pytest.approx(1 / 12)
+    with pytest.raises(ValueError):
+        manager.utilisation(0)
+
+
+def test_release_all(small_cluster):
+    manager = LeaseManager()
+    gpus = small_cluster.gpus[:3]
+    for gpu in gpus:
+        manager.grant(gpu, "a", "j", 0.0, 10.0)
+    manager.release_all(gpus)
+    assert manager.active_lease_count == 0

@@ -1,0 +1,87 @@
+"""Unit tests for the model zoo and the Figure-2 throughput model."""
+
+import pytest
+
+from repro.workload.models import (
+    MODEL_ZOO,
+    get_model,
+    list_models,
+    models_by_family,
+    throughput,
+)
+
+
+def test_zoo_has_both_families():
+    sensitive = models_by_family(network_intensive=True)
+    insensitive = models_by_family(network_intensive=False)
+    assert len(sensitive) >= 3
+    assert len(insensitive) >= 3
+
+
+def test_get_model_case_insensitive():
+    assert get_model("VGG16") is get_model("vgg16")
+
+
+def test_get_model_unknown_raises_with_names():
+    with pytest.raises(KeyError) as excinfo:
+        get_model("not-a-model")
+    assert "resnet50" in str(excinfo.value)
+
+
+def test_list_models_sorted():
+    names = list_models()
+    assert list(names) == sorted(names)
+    assert "vgg16" in names
+
+
+def test_paper_families_flagged_correctly():
+    # Section 8.1: VGG family is placement sensitive, ResNet is not.
+    assert get_model("vgg16").network_intensive
+    assert get_model("vgg19").network_intensive
+    assert not get_model("resnet50").network_intensive
+    assert not get_model("inceptionv3").network_intensive
+
+
+def test_throughput_zero_without_gpus():
+    assert throughput(get_model("vgg16"), []) == 0.0
+
+
+def test_throughput_scales_linearly_when_colocated(one_machine_cluster):
+    profile = get_model("resnet50")
+    one = throughput(profile, one_machine_cluster.gpus[:1])
+    two = throughput(profile, one_machine_cluster.gpus[:2])
+    # Same NVLink slot: perfect scaling.
+    assert two == pytest.approx(2 * one)
+
+
+def test_fig2_shape_vgg_halves_resnet_does_not(small_cluster):
+    """The headline of Figure 2: VGG collapses 2x2, ResNet does not."""
+    one_server = small_cluster.gpus_on_machine(0)
+    split = small_cluster.gpus_on_machine(0)[:2] + small_cluster.gpus_on_machine(2)[:2]
+    vgg = get_model("vgg16")
+    resnet = get_model("resnet50")
+    vgg_ratio = throughput(vgg, split) / throughput(vgg, one_server)
+    resnet_ratio = throughput(resnet, split) / throughput(resnet, one_server)
+    assert vgg_ratio < 0.6
+    assert resnet_ratio > 0.9
+
+
+def test_sensitive_models_degrade_more_than_insensitive(small_cluster):
+    cross_rack = [small_cluster.gpu(0), small_cluster.gpu(4)]
+    for sensitive in models_by_family(True):
+        for insensitive in models_by_family(False):
+            s_ratio = throughput(sensitive, cross_rack) / (
+                2 * sensitive.single_gpu_throughput
+            )
+            i_ratio = throughput(insensitive, cross_rack) / (
+                2 * insensitive.single_gpu_throughput
+            )
+            assert s_ratio < i_ratio
+
+
+def test_zoo_profiles_are_valid():
+    for name, profile in MODEL_ZOO.items():
+        assert profile.name == name
+        assert profile.params_million > 0
+        assert profile.single_gpu_throughput > 0
+        assert 0 < profile.sensitivity.cluster <= profile.sensitivity.machine <= 1.0

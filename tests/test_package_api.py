@@ -1,0 +1,56 @@
+"""Tests for the top-level package API."""
+
+import pytest
+
+import repro
+from repro import quick_run
+
+
+def test_version_and_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_scheduler_names_exposed():
+    assert "themis" in repro.SCHEDULER_NAMES
+
+
+def test_quick_run_defaults():
+    result = quick_run(scheduler="fifo", num_apps=2, seed=0, duration_scale=0.05)
+    assert result.completed
+    assert result.scheduler_name == "fifo"
+    assert result.cluster_gpus == 50  # testbed default
+
+
+def test_quick_run_custom_cluster_and_kwargs():
+    cluster = repro.themis_sim_cluster(scale=0.1)
+    result = quick_run(
+        scheduler="themis",
+        num_apps=2,
+        seed=1,
+        cluster=cluster,
+        duration_scale=0.05,
+        fairness_knob=0.5,
+    )
+    assert result.completed
+    assert result.cluster_gpus == cluster.num_gpus
+
+
+def test_quick_run_unknown_scheduler():
+    with pytest.raises(KeyError):
+        quick_run(scheduler="bogus", num_apps=1)
+
+
+def test_core_package_exports():
+    from repro import core
+
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_metrics_package_exports():
+    from repro import metrics
+
+    for name in metrics.__all__:
+        assert hasattr(metrics, name), name

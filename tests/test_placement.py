@@ -1,0 +1,68 @@
+"""Unit tests for locality classification, scores and slowdowns."""
+
+import pytest
+
+from repro.cluster.placement import (
+    LocalityLevel,
+    PLACEMENT_SCORES,
+    SensitivityProfile,
+    placement_level,
+    placement_score,
+    slowdown,
+)
+
+
+def test_empty_and_single_gpu_are_slot_local(small_cluster):
+    assert placement_level([]) == LocalityLevel.SLOT
+    assert placement_level([small_cluster.gpu(0)]) == LocalityLevel.SLOT
+
+
+def test_placement_score_levels_strictly_ordered():
+    scores = [PLACEMENT_SCORES[level] for level in LocalityLevel]
+    assert scores == sorted(scores, reverse=True)
+    assert scores[0] == 1.0
+
+
+def test_placement_score_empty_is_zero():
+    assert placement_score([]) == 0.0
+
+
+def test_levels_on_small_cluster(small_cluster):
+    g = small_cluster.gpu
+    assert placement_level([g(0), g(1)]) == LocalityLevel.SLOT
+    assert placement_level([g(0), g(2)]) == LocalityLevel.MACHINE
+    assert placement_level([g(0), g(8)]) == LocalityLevel.RACK
+    assert placement_level([g(0), g(4)]) == LocalityLevel.CLUSTER
+
+
+def test_sensitivity_profile_validation():
+    with pytest.raises(ValueError):
+        SensitivityProfile(machine=0.5, rack=0.9, cluster=0.2)  # not monotone
+    with pytest.raises(ValueError):
+        SensitivityProfile(machine=1.5, rack=0.9, cluster=0.2)  # > 1
+    with pytest.raises(ValueError):
+        SensitivityProfile(machine=0.9, rack=0.5, cluster=0.0)  # zero
+
+
+def test_sensitivity_profile_at_levels():
+    profile = SensitivityProfile(machine=0.9, rack=0.5, cluster=0.3)
+    assert profile.at(LocalityLevel.SLOT) == 1.0
+    assert profile.at(LocalityLevel.MACHINE) == 0.9
+    assert profile.at(LocalityLevel.RACK) == 0.5
+    assert profile.at(LocalityLevel.CLUSTER) == 0.3
+
+
+def test_slowdown_single_gpu_is_one(small_cluster):
+    profile = SensitivityProfile(machine=0.9, rack=0.5, cluster=0.3)
+    assert slowdown(profile, [small_cluster.gpu(0)]) == 1.0
+    assert slowdown(profile, []) == 1.0
+
+
+def test_slowdown_monotone_in_spread(small_cluster):
+    profile = SensitivityProfile(machine=0.9, rack=0.5, cluster=0.3)
+    g = small_cluster.gpu
+    slot = slowdown(profile, [g(0), g(1)])
+    machine = slowdown(profile, [g(0), g(2)])
+    rack = slowdown(profile, [g(0), g(8)])
+    cluster = slowdown(profile, [g(0), g(4)])
+    assert slot >= machine >= rack >= cluster

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
+from repro.core.auction import PartialAllocationAuction
+from repro.core.bids import build_bid
+from repro.core.fairness import FairnessEstimator, carve_allotments
+from repro.hyperparam.curves import LossCurve
+from repro.metrics.fairness import jain_index
+from repro.metrics.jct import cdf, percentile
+from repro.simulation.engine import SimulationEngine
+from repro.workload.app import App
+from repro.workload.job import Job, JobSpec
+
+CLUSTER = build_cluster(
+    ClusterSpec(
+        machine_specs=(
+            MachineSpec(count=3, gpus_per_machine=4),
+            MachineSpec(count=2, gpus_per_machine=2),
+        ),
+        num_racks=2,
+        name="prop",
+    )
+)
+RACK_OF = {m.machine_id: m.rack_id for m in CLUSTER.machines}
+
+gpu_indices = st.lists(
+    st.integers(min_value=0, max_value=CLUSTER.num_gpus - 1), max_size=10
+)
+
+
+# ----------------------------------------------------------------------
+# Allocation algebra
+# ----------------------------------------------------------------------
+@given(gpu_indices, gpu_indices)
+def test_allocation_union_commutes(ids_a, ids_b):
+    a = Allocation(CLUSTER.gpu(i) for i in ids_a)
+    b = Allocation(CLUSTER.gpu(i) for i in ids_b)
+    assert (a | b) == (b | a)
+    assert (a | b).size <= a.size + b.size
+
+
+@given(gpu_indices, gpu_indices)
+def test_allocation_difference_disjoint(ids_a, ids_b):
+    a = Allocation(CLUSTER.gpu(i) for i in ids_a)
+    b = Allocation(CLUSTER.gpu(i) for i in ids_b)
+    diff = a - b
+    assert not diff.intersects(b)
+    assert (diff | (a - diff)) == a
+
+
+@given(gpu_indices)
+def test_allocation_score_in_range(ids):
+    alloc = Allocation(CLUSTER.gpu(i) for i in ids)
+    score = alloc.score()
+    assert score == 0.0 if not alloc else 0.25 <= score <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Carve conservation
+# ----------------------------------------------------------------------
+job_counts = st.integers(min_value=1, max_value=6)
+machine_pools = st.dictionaries(
+    st.integers(min_value=0, max_value=CLUSTER.num_machines - 1),
+    st.integers(min_value=0, max_value=4),
+    max_size=CLUSTER.num_machines,
+)
+
+
+def _make_jobs(n):
+    return [
+        Job(
+            spec=JobSpec(
+                job_id=f"p{i}",
+                model="vgg16" if i % 2 else "resnet50",
+                serial_work=10.0 * (i + 1),
+                max_parallelism=(i % 4) + 1,
+            )
+        )
+        for i in range(n)
+    ]
+
+
+@given(job_counts, machine_pools)
+def test_carve_never_exceeds_pool_or_caps(n, pool):
+    jobs = _make_jobs(n)
+    allotments = carve_allotments(jobs, pool, RACK_OF)
+    assert len(allotments) == n
+    assert sum(a.gpus for a in allotments) <= sum(pool.values())
+    by_id = {a.job_id: a for a in allotments}
+    for job in jobs:
+        item = by_id[job.job_id]
+        assert 0 <= item.gpus <= job.max_parallelism
+        assert 0.0 <= item.slowdown <= 1.0
+        assert item.rate <= item.gpus
+
+
+@given(job_counts, machine_pools)
+def test_carve_gpus_assigned_monotone_in_pool(n, pool):
+    """Adding GPUs to the pool never reduces the GPUs handed out.
+
+    (The aggregate *rate* is not monotone — the greedy carve may pack
+    differently with a larger pool — but the GPU count is: the carve
+    always hands out min(sum of caps, pool size) GPUs.)
+    """
+    jobs = _make_jobs(n)
+    base = sum(a.gpus for a in carve_allotments(jobs, pool, RACK_OF))
+    caps = sum(job.max_parallelism for job in jobs)
+    assert base == min(caps, sum(pool.values()))
+    bigger = dict(pool)
+    bigger[0] = bigger.get(0, 0) + 2
+    grown = sum(a.gpus for a in carve_allotments(jobs, bigger, RACK_OF))
+    assert grown >= base
+
+
+# ----------------------------------------------------------------------
+# Auction invariants under random market conditions
+# ----------------------------------------------------------------------
+market = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),  # jobs per app
+        st.floats(min_value=0.0, max_value=100.0),  # elapsed wait
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(market, machine_pools)
+@settings(max_examples=40, deadline=None)
+def test_auction_disjoint_and_bounded(specs, pool):
+    estimator = FairnessEstimator(CLUSTER)
+    bids = {}
+    for index, (num_jobs, elapsed) in enumerate(specs):
+        jobs = [
+            Job(
+                spec=JobSpec(
+                    job_id=f"a{index}-j{j}",
+                    model="resnet50",
+                    serial_work=50.0,
+                    max_parallelism=2,
+                )
+            )
+            for j in range(num_jobs)
+        ]
+        app = App(f"a{index}", 0.0, jobs)
+        bids[app.app_id] = build_bid(
+            app, estimator, now=elapsed, offered_counts=pool
+        )
+    outcome = PartialAllocationAuction().run(pool, bids)
+    # Invariant 1: never allocate more than the pool, per machine.
+    used: dict[int, int] = {}
+    for bundle in outcome.winners.values():
+        for machine_id, count in bundle.items():
+            used[machine_id] = used.get(machine_id, 0) + count
+            assert count >= 0
+    for machine_id, count in used.items():
+        assert count <= pool.get(machine_id, 0)
+    # Invariant 2: winners + leftover == pool.
+    assert outcome.total_allocated + outcome.total_leftover == sum(
+        max(0, c) for c in pool.values()
+    )
+    # Invariant 3: hidden payments are fractions.
+    for c in outcome.payments.values():
+        assert 0.0 <= c <= 1.0
+    # Invariant 4: nobody exceeds their demand.
+    for app_id, bundle in outcome.winners.items():
+        assert sum(bundle.values()) <= bids[app_id].demand
+
+
+# ----------------------------------------------------------------------
+# Loss curves
+# ----------------------------------------------------------------------
+curve_params = st.tuples(
+    st.floats(min_value=1.0, max_value=10.0),  # initial above floor
+    st.floats(min_value=0.0, max_value=0.9),  # floor
+    st.floats(min_value=0.1, max_value=2.0),  # alpha
+)
+
+
+@given(curve_params, st.floats(min_value=0.0, max_value=1e6))
+def test_loss_curve_monotone_and_bounded(params, iteration):
+    spread, floor, alpha = params
+    curve = LossCurve(initial=floor + spread, floor=floor, alpha=alpha)
+    loss = curve.loss_at(iteration)
+    assert floor <= loss <= curve.initial
+    assert curve.loss_at(iteration + 100.0) <= loss + 1e-12
+
+
+@given(curve_params, st.floats(min_value=0.05, max_value=0.95))
+def test_loss_curve_inversion_roundtrip(params, fraction):
+    spread, floor, alpha = params
+    curve = LossCurve(initial=floor + spread, floor=floor, alpha=alpha)
+    target = floor + fraction * spread
+    iterations = curve.iterations_to(target)
+    if not math.isinf(iterations):
+        assert curve.loss_at(iterations) <= target + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+positive_floats = st.lists(
+    st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=30
+)
+
+
+@given(positive_floats)
+def test_jain_index_bounds(values):
+    index = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@given(positive_floats)
+def test_cdf_is_monotone_and_complete(values):
+    points = cdf(values)
+    assert points[-1][1] == 1.0
+    xs = [p[0] for p in points]
+    fs = [p[1] for p in points]
+    assert xs == sorted(xs)
+    assert fs == sorted(fs)
+
+
+@given(positive_floats, st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, q):
+    p = percentile(values, q)
+    assert min(values) <= p <= max(values)
+
+
+# ----------------------------------------------------------------------
+# Engine determinism
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+def test_engine_fires_in_nondecreasing_time_order(times):
+    engine = SimulationEngine()
+    fired = []
+    for t in times:
+        engine.schedule(t, lambda e, ev: fired.append(e.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)

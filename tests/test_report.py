@@ -1,0 +1,61 @@
+"""Unit tests for the text report renderer."""
+
+import math
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import _format_cell, format_figure, format_table
+
+
+def test_format_cell_floats():
+    assert _format_cell(0.123456) == "0.123"
+    assert _format_cell(12.345) == "12.3"
+    assert _format_cell(1234.5) == "1,234"
+    assert _format_cell(0) == "0"
+    assert _format_cell(math.inf) == "inf"
+    assert _format_cell("text") == "text"
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    # All rows equal width.
+    assert len({len(line) for line in lines}) <= 2
+
+
+def test_format_table_empty_rows():
+    table = format_table(["a"], [])
+    assert "a" in table
+
+
+def test_format_figure_includes_everything():
+    figure = FigureResult(
+        figure_id="figX",
+        title="Test figure",
+        rows=[{"k": 1.0, "v": 2.0}],
+        series={"cdf": [(1.0, 0.5), (2.0, 1.0)]},
+        notes="a note",
+    )
+    text = format_figure(figure)
+    assert "figX" in text
+    assert "Test figure" in text
+    assert "a note" in text
+    assert "series cdf" in text
+
+
+def test_format_figure_samples_long_series():
+    figure = FigureResult(
+        figure_id="figY",
+        title="Long series",
+        rows=[],
+        series={"s": [(float(i), float(i)) for i in range(100)]},
+    )
+    text = format_figure(figure, max_series_points=5)
+    # Sampled down: far fewer points than 100 rendered.
+    assert text.count("(") <= 15
+
+
+def test_format_figure_skips_empty_series():
+    figure = FigureResult(figure_id="f", title="t", rows=[], series={"empty": []})
+    assert "series" not in format_figure(figure)

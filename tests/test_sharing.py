@@ -1,0 +1,58 @@
+"""Tests for the sharing-incentive metrics."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.experiments.runner import run_scenario
+from repro.metrics.sharing import (
+    sharing_incentive_fraction,
+    violators,
+    worst_violation,
+)
+
+
+def test_all_satisfied():
+    assert sharing_incentive_fraction([1.0, 2.0, 3.0], contention=3.0) == 1.0
+    assert worst_violation([1.0, 2.0], contention=3.0) == 0.0
+    assert violators([1.0, 2.0], contention=3.0) == []
+
+
+def test_partial_violation():
+    rhos = [1.0, 4.5, 3.0]
+    assert sharing_incentive_fraction(rhos, contention=3.0) == pytest.approx(2 / 3)
+    assert worst_violation(rhos, contention=3.0) == pytest.approx(0.5)
+    assert violators(rhos, contention=3.0) == [1]
+
+
+def test_unbounded_rho():
+    assert math.isinf(worst_violation([1.0, math.inf], contention=2.0))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        sharing_incentive_fraction([1.0], contention=0.0)
+    with pytest.raises(ValueError):
+        sharing_incentive_fraction([], contention=1.0)
+    with pytest.raises(ValueError):
+        worst_violation([1.0], contention=0.0)
+    with pytest.raises(ValueError):
+        violators([1.0], contention=-1.0)
+
+
+def test_themis_provides_sharing_incentive_end_to_end():
+    """On a small contended run, most apps satisfy rho <= max(1, N).
+
+    The bound is the peak contention (the paper's operative N), floored
+    at 1 plus a small overhead allowance since even an uncontended app
+    pays checkpoint/placement costs.
+    """
+    scenario = tiny_scenario(num_apps=6, seed=4).with_generator(
+        mean_interarrival_minutes=5.0
+    )
+    result = run_scenario(scenario, "themis")
+    assert result.peak_contention > 1.0
+    bound = max(1.2, result.peak_contention)
+    fraction = sharing_incentive_fraction(result.rhos(), bound)
+    assert fraction >= 0.5

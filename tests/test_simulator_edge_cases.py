@@ -1,0 +1,210 @@
+"""Edge-case and failure-injection tests for the simulator."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
+from repro.schedulers.base import InterAppScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import SimulationError
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.workload.trace import Trace, TraceApp, TraceJob
+
+from conftest import make_app
+
+
+def pair_cluster():
+    return build_cluster(
+        ClusterSpec(
+            machine_specs=(MachineSpec(count=2, gpus_per_machine=4),),
+            num_racks=2,
+            name="pair",
+        )
+    )
+
+
+def trace_of(*apps):
+    return Trace(apps=tuple(apps))
+
+
+def app_spec(app_id, arrival, minutes, parallelism=4, model="resnet50", jobs=1):
+    return TraceApp(
+        app_id,
+        arrival,
+        tuple(
+            TraceJob(
+                job_id=f"{app_id}-j{i}",
+                model=model,
+                duration_minutes=minutes,
+                max_parallelism=parallelism,
+            )
+            for i in range(jobs)
+        ),
+    )
+
+
+class _RogueScheduler(InterAppScheduler):
+    """Deliberately misbehaving scheduler used to test validation."""
+
+    name = "rogue"
+
+    def __init__(self, mode: str) -> None:
+        super().__init__()
+        self.mode = mode
+
+    def assign(self, now, pool):
+        apps = list(self.active_apps())
+        if not apps or not pool:
+            return {}
+        if self.mode == "outside-pool":
+            all_gpus = list(self.sim.cluster.gpus)
+            outside = [g for g in all_gpus if g.gpu_id not in {p.gpu_id for p in pool}]
+            if outside:
+                return {apps[0]: [outside[0]]}
+            # First round: lease part of the pool so a later round sees
+            # GPUs outside its (smaller) pool and tries to steal one.
+            return {apps[0]: list(pool)[:4]}
+        if self.mode == "double-assign":
+            if len(apps) >= 2:
+                return {apps[0]: [pool[0]], apps[1]: [pool[0]]}
+            return {}
+        if self.mode == "unknown-app":
+            return {"ghost-app": [pool[0]]}
+        raise AssertionError(f"unknown mode {self.mode}")
+
+
+@pytest.mark.parametrize("mode", ["double-assign", "unknown-app"])
+def test_rogue_scheduler_rejected(mode):
+    trace = trace_of(app_spec("a", 0.0, 30.0), app_spec("b", 0.0, 30.0))
+    sim = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=_RogueScheduler(mode),
+        config=SimulationConfig(),
+    )
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_rogue_outside_pool_rejected():
+    # Outside-pool grabbing only fails once some GPUs are leased (the
+    # first round offers the whole cluster), so use two rounds.
+    trace = trace_of(app_spec("a", 0.0, 60.0), app_spec("b", 5.0, 60.0))
+    sim = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=_RogueScheduler("outside-pool"),
+        config=SimulationConfig(lease_minutes=100.0),
+    )
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_simultaneous_arrivals_share_cluster():
+    trace = trace_of(
+        app_spec("a", 0.0, 30.0, parallelism=4),
+        app_spec("b", 0.0, 30.0, parallelism=4),
+    )
+    result = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+        config=SimulationConfig(restart_overhead_minutes=0.0),
+    ).run()
+    assert result.completed
+    stats = result.stats_by_app()
+    # 8 GPUs, 2 apps wanting 4 each: both run immediately at full speed.
+    for app_id in ("a", "b"):
+        assert stats[app_id].completion_time == pytest.approx(30.0 / 0.98, rel=1e-6)
+
+
+def test_preemption_transfers_gpus_between_apps():
+    """A starved newcomer takes GPUs from the incumbent at lease expiry."""
+    trace = trace_of(
+        app_spec("incumbent", 0.0, 200.0, parallelism=4, jobs=2),  # wants all 8
+        app_spec("newcomer", 5.0, 30.0, parallelism=4),
+    )
+    result = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+        config=SimulationConfig(lease_minutes=10.0),
+    ).run()
+    assert result.completed
+    stats = result.stats_by_app()
+    # The newcomer did not wait for the incumbent's 200-minute jobs.
+    assert stats["newcomer"].finished_at < stats["incumbent"].finished_at
+    # And the incumbent still finished (no starvation).
+    assert stats["incumbent"].rho < 10.0
+
+
+def test_distribute_declines_harmful_spread():
+    """A VGG app refuses a cross-rack straggler GPU that would slow it."""
+    cluster = pair_cluster()
+    app = make_app("vgg", num_jobs=1, model="vgg16", max_parallelism=4)
+    # Job holds an NVLink pair on machine 0 (rate 2.0); a lone GPU on
+    # machine 1 (other rack) would drop the rate to 3 * 0.24 = 0.72.
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.gpus_on_machine(0)[:2]))
+    granted = Allocation(
+        list(cluster.gpus_on_machine(0)[:2]) + [cluster.gpus_on_machine(1)[0]]
+    )
+    result = app.distribute(granted)
+    assert result[app.jobs[0].job_id].size == 2  # straggler declined
+
+
+def test_distribute_accepts_helpful_spread_for_insensitive_model():
+    """A ResNet app takes the same straggler: 3 * 0.92 > 2 * 1.0."""
+    cluster = pair_cluster()
+    app = make_app("resnet", num_jobs=1, model="resnet50", max_parallelism=4)
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.gpus_on_machine(0)[:2]))
+    granted = Allocation(
+        list(cluster.gpus_on_machine(0)[:2]) + [cluster.gpus_on_machine(1)[0]]
+    )
+    result = app.distribute(granted)
+    assert result[app.jobs[0].job_id].size == 3
+
+
+def test_declined_gpus_return_to_free_pool():
+    """GPUs an app declines become schedulable for other apps."""
+    trace = trace_of(
+        app_spec("vgg-app", 0.0, 60.0, parallelism=4, model="vgg16", jobs=2),
+        app_spec("resnet-app", 1.0, 30.0, parallelism=4, model="resnet50"),
+    )
+    result = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+        config=SimulationConfig(lease_minutes=10.0),
+    ).run()
+    assert result.completed
+
+
+def test_zero_overhead_and_tiny_lease():
+    trace = trace_of(app_spec("a", 0.0, 20.0))
+    result = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("fifo"),
+        config=SimulationConfig(lease_minutes=0.5, restart_overhead_minutes=0.0),
+    ).run()
+    assert result.completed
+    # Many lease renewals, all seamless.
+    assert result.stats_by_app()["a"].completion_time == pytest.approx(
+        20.0 / 0.98, rel=1e-6
+    )
+
+
+def test_app_arriving_after_everything_finished():
+    trace = trace_of(
+        app_spec("first", 0.0, 10.0),
+        app_spec("straggler", 500.0, 10.0),
+    )
+    result = ClusterSimulator(
+        cluster=pair_cluster(),
+        workload=trace,
+        scheduler=make_scheduler("themis"),
+    ).run()
+    assert result.completed
+    stats = result.stats_by_app()
+    # The straggler had the idle cluster to itself: rho ~= 1.
+    assert stats["straggler"].rho < 1.3

@@ -1,0 +1,117 @@
+"""Unit tests for trace schema and serialisation."""
+
+import pytest
+
+from repro.workload.app import CompletionSemantics
+from repro.workload.trace import Trace, TraceApp, TraceJob, merge_traces
+
+
+def make_trace_job(job_id="j0", minutes=30.0, parallelism=4):
+    return TraceJob(
+        job_id=job_id,
+        model="vgg16",
+        duration_minutes=minutes,
+        max_parallelism=parallelism,
+    )
+
+
+def make_trace(name="t", num_apps=2):
+    apps = tuple(
+        TraceApp(
+            app_id=f"{name}-a{i}",
+            arrival_minutes=float(i * 10),
+            jobs=(make_trace_job(f"{name}-a{i}-j0"), make_trace_job(f"{name}-a{i}-j1", 60.0, 2)),
+        )
+        for i in range(num_apps)
+    )
+    return Trace(apps=apps, name=name, seed=7)
+
+
+def test_trace_job_validation():
+    with pytest.raises(ValueError):
+        TraceJob(job_id="x", model="vgg16", duration_minutes=0, max_parallelism=4)
+    with pytest.raises(KeyError):
+        TraceJob(job_id="x", model="no-such-model", duration_minutes=10, max_parallelism=4)
+
+
+def test_serial_work_is_duration_times_parallelism():
+    job = make_trace_job(minutes=30.0, parallelism=4)
+    assert job.serial_work == 120.0
+
+
+def test_trace_app_needs_jobs():
+    with pytest.raises(ValueError):
+        TraceApp(app_id="a", arrival_minutes=0.0, jobs=())
+
+
+def test_trace_sorts_apps_by_arrival():
+    apps = (
+        TraceApp("late", 50.0, (make_trace_job("l-j0"),)),
+        TraceApp("early", 5.0, (make_trace_job("e-j0"),)),
+    )
+    trace = Trace(apps=apps)
+    assert [a.app_id for a in trace.apps] == ["early", "late"]
+
+
+def test_trace_rejects_duplicate_app_ids():
+    apps = (
+        TraceApp("same", 0.0, (make_trace_job("j0"),)),
+        TraceApp("same", 1.0, (make_trace_job("j1"),)),
+    )
+    with pytest.raises(ValueError):
+        Trace(apps=apps)
+
+
+def test_aggregates():
+    trace = make_trace(num_apps=3)
+    assert trace.num_apps == 3
+    assert trace.num_jobs == 6
+    assert len(trace.task_durations()) == 6
+    assert trace.jobs_per_app() == [2, 2, 2]
+    assert trace.peak_gpu_demand() == 3 * (4 + 2)
+    assert trace.total_serial_work() == pytest.approx(3 * (120.0 + 120.0))
+
+
+def test_jsonl_roundtrip(tmp_path):
+    trace = make_trace()
+    path = tmp_path / "trace.jsonl"
+    trace.to_jsonl(path)
+    loaded = Trace.from_jsonl(path)
+    assert loaded.name == trace.name
+    assert loaded.seed == trace.seed
+    assert loaded.apps == trace.apps
+
+
+def test_instantiate_gives_fresh_state():
+    trace = make_trace()
+    apps_a = trace.instantiate()
+    apps_b = trace.instantiate()
+    assert apps_a[0] is not apps_b[0]
+    apps_a[0].jobs[0].remaining_work = 0.0
+    assert apps_b[0].jobs[0].remaining_work > 0.0
+
+
+def test_instantiate_semantics():
+    trace = make_trace()
+    apps = trace.instantiate(CompletionSemantics.FIRST_WINNER)
+    assert all(app.semantics is CompletionSemantics.FIRST_WINNER for app in apps)
+
+
+def test_scaled_trace():
+    trace = make_trace()
+    scaled = trace.scaled(0.2)
+    assert scaled.task_durations() == [d * 0.2 for d in trace.task_durations()]
+    # Arrivals preserved (footnote 3 of the paper).
+    assert [a.arrival_minutes for a in scaled.apps] == [
+        a.arrival_minutes for a in trace.apps
+    ]
+    with pytest.raises(ValueError):
+        trace.scaled(0)
+
+
+def test_merge_traces_disambiguates():
+    t1 = make_trace(name="x")
+    t2 = make_trace(name="x")  # identical ids
+    merged = merge_traces([t1, t2], name="both")
+    assert merged.num_apps == 4
+    assert len({a.app_id for a in merged.apps}) == 4
