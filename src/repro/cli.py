@@ -3,17 +3,22 @@
 Examples::
 
     python -m repro run --scheduler themis --apps 12 --seed 1
-    python -m repro compare --schedulers themis,tiresias --apps 10
+    python -m repro compare --schedulers themis,tiresias --apps 10 --workers 4
     python -m repro figure fig02
+    python -m repro figure fig09 --workers 4 --cache-dir .sweep-cache
+    python -m repro sweep --schedulers themis,tiresias,gandiva \\
+        --seeds 1,2,3,4 --workers 4 --cache-dir .sweep-cache
     python -m repro trace --apps 30 --out trace.jsonl
 
-The CLI is a thin shell over :mod:`repro.experiments`; everything it
-prints comes from the same figure/report code the benchmarks use.
+The CLI is a thin shell over :mod:`repro.experiments` and
+:mod:`repro.sweep`; everything it prints comes from the same
+figure/report code the benchmarks use.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -35,23 +40,74 @@ from repro.metrics.fairness import jain_index, max_fairness
 from repro.metrics.jct import average_jct
 from repro.metrics.placement import score_summary
 from repro.schedulers.registry import SCHEDULER_NAMES
+from repro.sweep import SweepMatrix, run_sweep
 from repro.workload.generator import GeneratorConfig, generate_trace
 
-#: Figure name -> zero-argument callable (scenario-taking ones get a
-#: small default so the CLI stays interactive-speed).
+#: Figure name -> callable of (scenario, workers, cache_dir); figures
+#: without a sweep shape ignore the execution arguments.
 _FIGURES = {
-    "fig01": lambda s: fig01_task_duration_cdf(s),
-    "fig02": lambda s: fig02_placement_throughput(),
-    "fig04ab": lambda s: fig04_knob_sweep(s, knobs=(0.0, 0.4, 0.8, 1.0)),
-    "fig04c": lambda s: fig04c_lease_sweep(s, leases=(10.0, 20.0, 40.0)),
-    "fig05-07": lambda s: fig05_to_07_macrobenchmark(s),
-    "fig08": lambda s: fig08_timeline(),
-    "fig09": lambda s: fig09_network_sweep(
-        s, fractions=(0.0, 0.5, 1.0), schedulers=("themis", "tiresias")
+    "fig01": lambda s, w, c: fig01_task_duration_cdf(s),
+    "fig02": lambda s, w, c: fig02_placement_throughput(),
+    "fig04ab": lambda s, w, c: fig04_knob_sweep(
+        s, knobs=(0.0, 0.4, 0.8, 1.0), workers=w, cache_dir=c
     ),
-    "fig10": lambda s: fig10_contention_sweep(s, factors=(1.0, 2.0)),
-    "fig11": lambda s: fig11_bid_error_sweep(s, thetas=(0.0, 0.2)),
+    "fig04c": lambda s, w, c: fig04c_lease_sweep(
+        s, leases=(10.0, 20.0, 40.0), workers=w, cache_dir=c
+    ),
+    "fig05-07": lambda s, w, c: fig05_to_07_macrobenchmark(
+        s, workers=w, cache_dir=c
+    ),
+    "fig08": lambda s, w, c: fig08_timeline(),
+    "fig09": lambda s, w, c: fig09_network_sweep(
+        s, fractions=(0.0, 0.5, 1.0), schedulers=("themis", "tiresias"),
+        workers=w, cache_dir=c,
+    ),
+    "fig10": lambda s, w, c: fig10_contention_sweep(
+        s, factors=(1.0, 2.0), workers=w, cache_dir=c
+    ),
+    "fig11": lambda s, w, c: fig11_bid_error_sweep(
+        s, thetas=(0.0, 0.2), workers=w, cache_dir=c
+    ),
 }
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_schedulers(text: str) -> Optional[list[str]]:
+    """Split/validate a scheduler list; None (plus stderr) on unknown names.
+
+    Duplicates collapse to the first occurrence — a repeated name is
+    the same simulation cell, not a second run.
+    """
+    names = list(dict.fromkeys(n.strip() for n in text.split(",") if n.strip()))
+    unknown = [n for n in names if n not in SCHEDULER_NAMES]
+    if unknown:
+        print(f"unknown schedulers: {unknown}; known: {list(SCHEDULER_NAMES)}",
+              file=sys.stderr)
+        return None
+    return names
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -73,6 +129,13 @@ def _add_scenario_args(parser: argparse.ArgumentParser, default_apps: int) -> No
                         help="scale factor on job durations")
     parser.add_argument("--lease", type=float, default=20.0,
                         help="GPU lease duration in minutes")
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for sweep cells (1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
 
 
 def _fill_duration_default(args: argparse.Namespace) -> None:
@@ -115,13 +178,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     _fill_duration_default(args)
     scenario = _scenario_from_args(args)
-    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
-    unknown = [n for n in names if n not in SCHEDULER_NAMES]
-    if unknown:
-        print(f"unknown schedulers: {unknown}; known: {list(SCHEDULER_NAMES)}",
-              file=sys.stderr)
+    names = _parse_schedulers(args.schedulers)
+    if names is None:
         return 2
-    results = compare_schedulers(scenario, names)
+    results = compare_schedulers(
+        scenario, names, workers=args.workers, cache_dir=args.cache_dir
+    )
     rows = [_summary_row(name, results[name]) for name in names]
     print(format_table(_SUMMARY_HEADERS, rows))
     return 0
@@ -134,8 +196,89 @@ def _cmd_figure(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     scenario = _scenario_from_args(args)
-    figure = _FIGURES[args.name](scenario)
+    figure = _FIGURES[args.name](scenario, args.workers, args.cache_dir)
     print(format_figure(figure))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    _fill_duration_default(args)
+    names = _parse_schedulers(args.schedulers)
+    if names is None:
+        return 2
+    if args.knobs and "themis" not in names:
+        print("--knobs sweeps the themis-only fairness_knob kwarg; add themis "
+              "to --schedulers", file=sys.stderr)
+        return 2
+    scenario_axes = {}
+    if args.leases:
+        scenario_axes["lease_minutes"] = args.leases
+    base = _scenario_from_args(args)
+    generator_axes = {}
+    if args.contention:
+        generator_axes["mean_interarrival_minutes"] = tuple(
+            base.generator.mean_interarrival_minutes / factor
+            for factor in args.contention
+        )
+    # fairness_knob is a themis-only kwarg: give themis the knob axis
+    # and run the other schedulers without it, in one task list.
+    matrix = SweepMatrix(
+        base=base,
+        schedulers=tuple(n for n in names if n != "themis") if args.knobs else names,
+        seeds=args.seeds or (),
+        scenario_axes=scenario_axes,
+        generator_axes=generator_axes,
+    )
+    tasks = []
+    if args.knobs:
+        tasks += SweepMatrix(
+            base=base,
+            schedulers=("themis",),
+            seeds=args.seeds or (),
+            scenario_axes=scenario_axes,
+            generator_axes=generator_axes,
+            scheduler_axes={"fairness_knob": args.knobs},
+        ).expand()
+    if matrix.schedulers:
+        tasks += matrix.expand()
+    print(f"expanded {len(tasks)} sweep cells ({len(names)} schedulers)")
+    report = run_sweep(
+        tasks,
+        workers=args.workers,
+        cache=args.cache_dir,
+        progress=print if args.verbose else None,
+    )
+    rows = []
+    for task, record in zip(tasks, report.records):
+        if record.status == "failed":
+            continue
+        rows.append(
+            _summary_row(task.task_id, report.result_for(task.task_id))
+            + [record.status, record.duration_seconds]
+        )
+    print(format_table(_SUMMARY_HEADERS + ["status", "seconds"], rows))
+    print(report.summary())
+    if args.out:
+        payload = {
+            "summary": {
+                "tasks": len(report.records),
+                "ok": report.num_ok,
+                "cached": report.num_cached,
+                "failed": report.num_failed,
+                "workers": report.workers,
+                "wall_seconds": report.wall_seconds,
+            },
+            "results": {
+                tid: result.to_json() for tid, result in report.results.items()
+            },
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        print(f"wrote {len(report.results)} results to {args.out}")
+    if report.num_failed:
+        for record in report.failures():
+            print(f"FAILED {record.task_id}:\n{record.error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -171,12 +314,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--schedulers", default="themis,gandiva,slaq,tiresias",
         help="comma-separated scheduler names",
     )
+    _add_exec_args(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", help=f"one of {sorted(_FIGURES)}")
     _add_scenario_args(figure_parser, default_apps=8)
+    _add_exec_args(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a scheduler x seed x knob matrix through the pool"
+    )
+    _add_scenario_args(sweep_parser, default_apps=6)
+    sweep_parser.add_argument(
+        "--schedulers", default="themis,gandiva,slaq,tiresias",
+        help="comma-separated scheduler names (one matrix axis)",
+    )
+    sweep_parser.add_argument("--seeds", type=_int_list, default=None,
+                              help="comma-separated workload seeds axis")
+    sweep_parser.add_argument("--knobs", type=_float_list, default=None,
+                              help="comma-separated fairness-knob axis "
+                                   "(themis-only kwarg)")
+    sweep_parser.add_argument("--leases", type=_float_list, default=None,
+                              help="comma-separated lease-minutes axis")
+    sweep_parser.add_argument("--contention", type=_float_list, default=None,
+                              help="comma-separated contention-factor axis")
+    sweep_parser.add_argument("--out", default=None,
+                              help="write all results as JSON to this path")
+    sweep_parser.add_argument("--verbose", action="store_true",
+                              help="print one line per completed cell")
+    _add_exec_args(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     trace_parser = sub.add_parser("trace", help="generate a trace JSONL file")
     trace_parser.add_argument("--apps", type=int, default=30)

@@ -5,12 +5,18 @@ a :class:`FigureResult` carrying the same rows/series the paper plots.
 Benchmarks print these tables; EXPERIMENTS.md records paper-vs-measured
 values.  Functions take a :class:`ScenarioConfig` so tests can shrink
 workloads and benchmarks can match the paper's scale.
+
+Sweep-shaped figures (4, 9, 10, 11 and the macrobenchmark) route
+through :mod:`repro.sweep`: pass ``workers`` to fan the cells out over
+a process pool and ``cache_dir`` to reuse unchanged cells across
+invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
 from repro.experiments.config import ScenarioConfig, sim_scenario, testbed_scenario
@@ -22,11 +28,22 @@ from repro.metrics.timeline import allocation_series
 from repro.metrics.utilization import utilization
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.schedulers.registry import make_scheduler
+from repro.sweep import SweepReport, SweepTask, run_sweep
 from repro.workload.models import get_model, throughput
 from repro.workload.trace import Trace, TraceApp, TraceJob
 
 #: The paper's comparison set (Section 8.3).
 PAPER_SCHEDULERS: tuple[str, ...] = ("themis", "gandiva", "slaq", "tiresias")
+
+#: Optional cache-directory argument accepted by sweep-shaped figures.
+CacheDir = Union[str, Path, None]
+
+
+def _sweep(tasks: Sequence[SweepTask], workers: int, cache_dir: CacheDir) -> SweepReport:
+    """Run figure cells through the sweep subsystem; raise on failures."""
+    report = run_sweep(tasks, workers=workers, cache=cache_dir)
+    report.raise_on_failure()
+    return report
 
 
 @dataclass
@@ -122,6 +139,8 @@ def fig02_placement_throughput(
 def fig04_knob_sweep(
     scenario: Optional[ScenarioConfig] = None,
     knobs: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Finish-time fairness and GPU time vs the fairness knob f (Fig 4a/4b).
 
@@ -130,9 +149,18 @@ def fig04_knob_sweep(
     so packing opportunities shrink).
     """
     scenario = scenario or sim_scenario()
+    tasks = [
+        SweepTask(
+            scenario=scenario,
+            scheduler="themis",
+            scheduler_kwargs=(("fairness_knob", f),),
+        )
+        for f in knobs
+    ]
+    report = _sweep(tasks, workers, cache_dir)
     rows = []
-    for f in knobs:
-        result = run_scenario(scenario, "themis", {"fairness_knob": f})
+    for f, task in zip(knobs, tasks):
+        result = report.result_for(task.task_id)
         lo, mid, hi = rho_spread(result.rhos())
         rows.append(
             {
@@ -157,6 +185,8 @@ def fig04_knob_sweep(
 def fig04c_lease_sweep(
     scenario: Optional[ScenarioConfig] = None,
     leases: Sequence[float] = (5.0, 10.0, 20.0, 30.0, 40.0),
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Max finish-time fairness vs lease duration (Figure 4c).
 
@@ -164,9 +194,18 @@ def fig04c_lease_sweep(
     more checkpoint/restore overhead (visible in the gpu_time column).
     """
     scenario = scenario or sim_scenario()
+    tasks = [
+        SweepTask(
+            scenario=scenario.replace(lease_minutes=lease),
+            scheduler="themis",
+            tags=(("lease_minutes", lease),),
+        )
+        for lease in leases
+    ]
+    report = _sweep(tasks, workers, cache_dir)
     rows = []
-    for lease in leases:
-        result = run_scenario(scenario.replace(lease_minutes=lease), "themis")
+    for lease, task in zip(leases, tasks):
+        result = report.result_for(task.task_id)
         rows.append(
             {
                 "lease_minutes": lease,
@@ -188,6 +227,8 @@ def fig04c_lease_sweep(
 def fig05_to_07_macrobenchmark(
     scenario: Optional[ScenarioConfig] = None,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Max fairness / Jain's index / JCT / placement scores per scheduler.
 
@@ -197,7 +238,9 @@ def fig05_to_07_macrobenchmark(
     the best average JCT; Gandiva comes closest on placement.
     """
     scenario = scenario or testbed_scenario()
-    results = compare_schedulers(scenario, schedulers)
+    results = compare_schedulers(
+        scenario, schedulers, workers=workers, cache_dir=cache_dir
+    )
     rows = []
     series: dict[str, list[tuple]] = {}
     for name, result in results.items():
@@ -304,6 +347,8 @@ def fig09_network_sweep(
     scenario: Optional[ScenarioConfig] = None,
     fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Fairness improvement and GPU time vs network-intensive mix (Fig 9).
 
@@ -313,15 +358,24 @@ def fig09_network_sweep(
     schedulers inflate GPU time fastest.
     """
     scenario = scenario or sim_scenario()
+    tasks = {
+        (fraction, name): SweepTask(
+            scenario=scenario.with_generator(network_intensive_fraction=fraction),
+            scheduler=name,
+            tags=(("network_intensive_fraction", fraction),),
+        )
+        for fraction in fractions
+        for name in schedulers
+    }
+    report = _sweep(list(tasks.values()), workers, cache_dir)
     rows = []
     for fraction in fractions:
-        sweep_scenario = scenario.with_generator(network_intensive_fraction=fraction)
-        results = compare_schedulers(sweep_scenario, schedulers)
         row: dict = {"network_intensive_fraction": fraction}
-        for name, result in results.items():
+        for name in schedulers:
+            result = report.result_for(tasks[(fraction, name)].task_id)
             row[f"max_rho:{name}"] = max_fairness(result.rhos())
             row[f"gpu_time:{name}"] = result.total_gpu_time
-        if "themis" in results and "tiresias" in results:
+        if "themis" in schedulers and "tiresias" in schedulers:
             row["improvement_over_tiresias"] = (
                 row["max_rho:tiresias"] / row["max_rho:themis"]
             )
@@ -340,6 +394,8 @@ def fig10_contention_sweep(
     scenario: Optional[ScenarioConfig] = None,
     factors: Sequence[float] = (1.0, 2.0, 4.0),
     schedulers: Sequence[str] = ("themis", "tiresias"),
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Jain's fairness index vs cluster contention (Figure 10).
 
@@ -347,15 +403,24 @@ def fig10_contention_sweep(
     shape: both schedulers degrade, Tiresias faster than Themis.
     """
     scenario = scenario or sim_scenario()
+    tasks = {
+        (factor, name): SweepTask(
+            scenario=scenario.with_generator(
+                mean_interarrival_minutes=scenario.generator.mean_interarrival_minutes
+                / factor
+            ),
+            scheduler=name,
+            tags=(("contention_factor", factor),),
+        )
+        for factor in factors
+        for name in schedulers
+    }
+    report = _sweep(list(tasks.values()), workers, cache_dir)
     rows = []
     for factor in factors:
-        sweep_scenario = scenario.with_generator(
-            mean_interarrival_minutes=scenario.generator.mean_interarrival_minutes
-            / factor
-        )
-        results = compare_schedulers(sweep_scenario, schedulers)
         row: dict = {"contention_factor": factor}
-        for name, result in results.items():
+        for name in schedulers:
+            result = report.result_for(tasks[(factor, name)].task_id)
             row[f"jain:{name}"] = jain_index(result.rhos())
             row[f"max_rho:{name}"] = max_fairness(result.rhos())
         rows.append(row)
@@ -372,6 +437,8 @@ def fig10_contention_sweep(
 def fig11_bid_error_sweep(
     scenario: Optional[ScenarioConfig] = None,
     thetas: Sequence[float] = (0.0, 0.05, 0.10, 0.20),
+    workers: int = 1,
+    cache_dir: CacheDir = None,
 ) -> FigureResult:
     """Max finish-time fairness vs valuation error theta (Figure 11).
 
@@ -380,9 +447,18 @@ def fig11_bid_error_sweep(
     Expected shape: flat — even 20% error barely moves the metric.
     """
     scenario = scenario or sim_scenario()
+    tasks = [
+        SweepTask(
+            scenario=scenario,
+            scheduler="themis",
+            scheduler_kwargs=(("noise_theta", theta),),
+        )
+        for theta in thetas
+    ]
+    report = _sweep(tasks, workers, cache_dir)
     rows = []
-    for theta in thetas:
-        result = run_scenario(scenario, "themis", {"noise_theta": theta})
+    for theta, task in zip(thetas, tasks):
+        result = report.result_for(task.task_id)
         rows.append(
             {
                 "theta": theta,

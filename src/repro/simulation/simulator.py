@@ -24,8 +24,8 @@ works; see :mod:`repro.schedulers.base`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from dataclasses import asdict, dataclass, fields
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.topology import Cluster, Gpu
@@ -55,6 +55,19 @@ class SimulationConfig:
         if self.restart_overhead_minutes < 0:
             raise ValueError("restart_overhead_minutes must be >= 0")
 
+    def to_json(self) -> dict:
+        """Plain-JSON dict (enums by value) for the result cache."""
+        data = asdict(self)
+        data["semantics"] = self.semantics.value
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "SimulationConfig":
+        """Inverse of :meth:`to_json`."""
+        kwargs = dict(data)
+        kwargs["semantics"] = CompletionSemantics(kwargs["semantics"])
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class AppStats:
@@ -71,6 +84,15 @@ class AppStats:
     mean_placement_score: float
     num_jobs: int
     total_work: float
+
+    def to_json(self) -> dict:
+        """Plain-JSON dict; all fields are scalars already."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "AppStats":
+        """Inverse of :meth:`to_json`."""
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
 
 
 @dataclass
@@ -120,6 +142,52 @@ class SimulationResult:
             for stats in self.app_stats
             if stats.mean_placement_score > 0.0
         ]
+
+    def to_json(self) -> dict:
+        """JSON-safe dict carrying everything the metrics layer reads.
+
+        The live :class:`~repro.workload.app.App` objects are runtime
+        state, not measurements — they are intentionally excluded, and
+        :meth:`from_json` restores ``apps=[]``.  Every metric function
+        (rhos, JCTs, placement scores, utilisation, timelines) works off
+        ``app_stats`` and the scalar/series fields, all of which
+        round-trip losslessly.
+        """
+        return {
+            "scheduler_name": self.scheduler_name,
+            "cluster_name": self.cluster_name,
+            "cluster_gpus": self.cluster_gpus,
+            "config": self.config.to_json(),
+            "app_stats": [stats.to_json() for stats in self.app_stats],
+            "makespan": self.makespan,
+            "completed": self.completed,
+            "peak_contention": self.peak_contention,
+            "contention_samples": [list(pair) for pair in self.contention_samples],
+            "timeline": [list(record) for record in self.timeline],
+            "num_rounds": self.num_rounds,
+            "events_processed": self.events_processed,
+            "total_gpu_time": self.total_gpu_time,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json` output (``apps`` empty)."""
+        return cls(
+            scheduler_name=data["scheduler_name"],
+            cluster_name=data["cluster_name"],
+            cluster_gpus=data["cluster_gpus"],
+            config=SimulationConfig.from_json(data["config"]),
+            apps=[],
+            app_stats=[AppStats.from_json(s) for s in data["app_stats"]],
+            makespan=data["makespan"],
+            completed=data["completed"],
+            peak_contention=data["peak_contention"],
+            contention_samples=[tuple(pair) for pair in data["contention_samples"]],
+            timeline=[tuple(record) for record in data["timeline"]],
+            num_rounds=data["num_rounds"],
+            events_processed=data["events_processed"],
+            total_gpu_time=data["total_gpu_time"],
+        )
 
 
 class ClusterSimulator:

@@ -1,0 +1,63 @@
+"""Parallel sweep orchestration with content-addressed result caching.
+
+The paper's evaluation is a matrix of (scheduler x trace x cluster x
+knob) simulation runs; this subsystem turns that matrix into data and
+executes it efficiently:
+
+* :mod:`repro.sweep.matrix` — declarative grids (:class:`SweepMatrix`)
+  expanded into hashable :class:`SweepTask` cells,
+* :mod:`repro.sweep.executor` — :func:`run_sweep`, a multiprocessing
+  pool with deterministic per-task seeding, per-task failure capture
+  and a serial in-process fallback,
+* :mod:`repro.sweep.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store keyed by (scenario config, scheduler, kwargs, schema
+  version) so warm re-runs recompute nothing,
+* :mod:`repro.sweep.progress` — live progress lines and the
+  :class:`SweepReport` summary.
+
+Quickstart::
+
+    from repro.experiments.config import sim_scenario
+    from repro.sweep import SweepMatrix, run_sweep
+
+    matrix = SweepMatrix(
+        base=sim_scenario(num_apps=8, duration_scale=0.1),
+        schedulers=("themis", "tiresias"),
+        seeds=(1, 2, 3),
+        scheduler_axes={"fairness_knob": [0.0, 0.8]},
+    )
+    report = run_sweep(matrix.expand(), workers=4, cache=".sweep-cache")
+    report.raise_on_failure()
+    print(report.summary())
+"""
+
+from repro.sweep.cache import SCHEMA_VERSION, ResultCache
+from repro.sweep.executor import execute_task, run_sweep
+from repro.sweep.matrix import SweepMatrix, SweepTask, canonical_json, jsonable
+from repro.sweep.progress import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    ProgressTracker,
+    SweepError,
+    SweepReport,
+    TaskRecord,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "ProgressTracker",
+    "ResultCache",
+    "SweepError",
+    "SweepMatrix",
+    "SweepReport",
+    "SweepTask",
+    "TaskRecord",
+    "canonical_json",
+    "execute_task",
+    "jsonable",
+    "run_sweep",
+]

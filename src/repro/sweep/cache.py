@@ -1,0 +1,117 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A cell's cache key is the SHA-256 of its canonical task spec (scenario
+config + scheduler + scheduler kwargs) combined with a code **schema
+version**.  Re-running a figure therefore recomputes only cells whose
+inputs changed; bumping :data:`SCHEMA_VERSION` after a
+behaviour-changing simulator edit invalidates every stale entry at
+once without touching the directory.
+
+Entries are single JSON files (``<key>.json``) written atomically, so a
+killed sweep never leaves a truncated entry behind and concurrent
+sweeps sharing a directory at worst redo a cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.simulation.simulator import SimulationResult
+from repro.sweep.matrix import SweepTask, canonical_json
+
+#: Bump whenever simulator/scheduler semantics change in a way that
+#: alters results for identical configs — it invalidates all entries.
+SCHEMA_VERSION = 1
+
+
+class ResultCache:
+    """Directory of content-addressed :class:`SimulationResult` payloads.
+
+    ``hits`` / ``misses`` / ``writes`` counters make cache behaviour
+    observable (and testable) without instrumenting the executor.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key_for(self, task: SweepTask) -> str:
+        """Stable content hash of (task spec, schema version)."""
+        material = canonical_json(
+            {"schema_version": self.schema_version, "spec": task.spec()}
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, task: SweepTask) -> Path:
+        """Where the entry for ``task`` lives (whether or not it exists)."""
+        return self.cache_dir / f"{self.key_for(task)}.json"
+
+    def load(self, task: SweepTask) -> Optional[SimulationResult]:
+        """Return the cached result for ``task``, or ``None`` on a miss.
+
+        Corrupt, unreadable or schema-mismatched entries count as
+        misses — the executor will recompute and overwrite them.
+        """
+        path = self.path_for(task)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("schema_version") != self.schema_version:
+                raise ValueError("schema version mismatch")
+            result = SimulationResult.from_json(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, task: SweepTask, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under the task's content key."""
+        path = self.path_for(task)
+        entry = {
+            "schema_version": self.schema_version,
+            "task_id": task.task_id,
+            "spec": task.spec(),
+            "result": result.to_json(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        # glob("*.json") also matches dot-prefixed names, which would
+        # count orphaned .tmp-* files from a killed writer as entries.
+        return sum(
+            1 for p in self.cache_dir.glob("*.json") if not p.name.startswith(".")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.cache_dir)!r}, schema={self.schema_version}, "
+            f"hits={self.hits}, misses={self.misses}, writes={self.writes})"
+        )

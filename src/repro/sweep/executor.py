@@ -1,0 +1,183 @@
+"""Sweep execution: a process pool with caching and failure capture.
+
+``run_sweep`` is the subsystem's single entry point:
+
+* cached cells are served before any worker spawns, so a warm cache
+  recomputes nothing,
+* ``workers=1`` runs serially in-process (no multiprocessing at all —
+  the debuggable fallback), ``workers>1`` fans out over a
+  ``ProcessPoolExecutor``,
+* results are deterministic in the task alone: every random draw in a
+  run derives from the scenario seed via named streams, and the worker
+  additionally pins the *global* RNGs per task so that even ambient
+  ``random``/``numpy`` calls cannot make serial and parallel runs
+  diverge,
+* a raising cell is captured as a per-task failure record (traceback
+  included) instead of poisoning the pool or the whole sweep.
+
+Workers ship results back as ``to_json`` payloads rather than live
+objects — smaller pickles, and exactly what the cache stores.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.simulation.rng import derive_seed
+from repro.simulation.simulator import SimulationResult
+from repro.sweep.cache import ResultCache
+from repro.sweep.matrix import SweepTask
+from repro.sweep.progress import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    ProgressTracker,
+    SweepReport,
+    TaskRecord,
+)
+
+CacheLike = Union[ResultCache, str, Path, None]
+
+
+def _seed_globals(task: SweepTask) -> None:
+    """Pin process-global RNGs to a per-task derivation of the seed.
+
+    The simulator only draws from named streams, but third-party code a
+    scheduler might call could touch the global generators; pinning them
+    per task makes results independent of execution order and worker
+    placement.  Derived from the content fingerprint — the same basis
+    as the cache key — so two tasks that share a cache entry also run
+    under the same global RNG state.
+    """
+    seed = derive_seed(task.scenario.generator.seed, f"sweep:{task.fingerprint()}")
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+
+
+def execute_task(task: SweepTask) -> tuple[Optional[SimulationResult], Optional[str], float]:
+    """Run one cell in-process; returns (result, traceback, seconds)."""
+    from repro.experiments.runner import run_scenario
+
+    start = time.perf_counter()
+    try:
+        _seed_globals(task)
+        result = run_scenario(task.scenario, task.scheduler, task.kwargs_dict())
+        return result, None, time.perf_counter() - start
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+def _execute_task_payload(task: SweepTask) -> tuple[str, Optional[dict], Optional[str], float]:
+    """Worker-side wrapper: same as :func:`execute_task` but JSON-safe."""
+    result, error, seconds = execute_task(task)
+    payload = None if result is None else result.to_json()
+    return task.task_id, payload, error, seconds
+
+
+def _normalize_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits sys.path); fall back to spawn."""
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context("spawn")
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    workers: int = 1,
+    cache: CacheLike = None,
+    progress: Optional[Callable[[str], None]] = None,
+    progress_every: int = 1,
+) -> SweepReport:
+    """Execute every task, through the cache and (optionally) a pool.
+
+    ``cache`` accepts a :class:`ResultCache` or a directory path.
+    ``progress`` is an optional ``print``-like callable that receives
+    one status line per completed cell.
+    """
+    tasks = list(tasks)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    seen: set[str] = set()
+    for task in tasks:
+        if task.task_id in seen:
+            raise ValueError(f"duplicate task id {task.task_id!r} in sweep")
+        seen.add(task.task_id)
+
+    store = _normalize_cache(cache)
+    tracker = ProgressTracker(len(tasks), print_fn=progress, every=progress_every)
+    started = time.perf_counter()
+    records: dict[str, TaskRecord] = {}
+    results: dict[str, SimulationResult] = {}
+
+    pending: list[SweepTask] = []
+    for task in tasks:
+        cached = store.load(task) if store is not None else None
+        if cached is not None:
+            record = TaskRecord(task.task_id, STATUS_CACHED)
+            records[task.task_id] = record
+            results[task.task_id] = cached
+            tracker.update(record)
+        else:
+            pending.append(task)
+
+    def finish(task: SweepTask, result: Optional[SimulationResult],
+               error: Optional[str], seconds: float) -> None:
+        if result is not None:
+            record = TaskRecord(task.task_id, STATUS_OK, seconds)
+            results[task.task_id] = result
+            if store is not None:
+                store.store(task, result)
+        else:
+            record = TaskRecord(task.task_id, STATUS_FAILED, seconds, error=error)
+        records[task.task_id] = record
+        tracker.update(record)
+
+    if workers == 1 or len(pending) <= 1:
+        for task in pending:
+            finish(task, *execute_task(task))
+    else:
+        by_id = {task.task_id: task for task in pending}
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(_execute_task_payload, task): task for task in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        # Pool-level failure (e.g. a killed worker):
+                        # surface it as a per-task record, not a crash.
+                        finish(task, None, f"{type(error).__name__}: {error}", 0.0)
+                        continue
+                    task_id, payload, task_error, seconds = future.result()
+                    result = (
+                        None if payload is None else SimulationResult.from_json(payload)
+                    )
+                    finish(by_id[task_id], result, task_error, seconds)
+
+    return SweepReport(
+        records=[records[task.task_id] for task in tasks],
+        results=results,
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,228 @@
+"""Declarative parameter grids expanded into runnable sweep tasks.
+
+The evaluation of the paper is a matrix of (scheduler x trace x cluster
+x knob) cells: the macrobenchmark replays one trace under 6+ policies,
+and the sensitivity figures multiply that by contention levels,
+bid-error rates and lease lengths.  A :class:`SweepMatrix` names each
+axis once and expands the cartesian product into :class:`SweepTask`
+cells — hashable, picklable descriptions of exactly one simulation run
+that the executor can farm out to workers and the cache can key by
+content.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.workload.generator import GeneratorConfig
+
+
+def jsonable(obj):
+    """Recursively convert ``obj`` into plain JSON types.
+
+    Dataclasses become dicts, enums their values, tuples lists.  Used
+    for both task fingerprints and cache payloads, so the conversion
+    must be total over everything a :class:`ScenarioConfig` contains.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(item) for item in obj]
+    if isinstance(obj, Mapping):
+        return {str(key): jsonable(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot serialise {type(obj).__name__!r} for a sweep spec")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep: a scenario run under one scheduler config.
+
+    Frozen and built from hashable parts (kwargs and tags are tuples of
+    pairs, not dicts) so tasks can key sets/dicts, and picklable so the
+    executor can ship them to worker processes.  ``tags`` carry the axis
+    values that produced the cell; they feed the human-readable
+    ``task_id`` and let report consumers regroup rows without parsing
+    scenario configs.
+    """
+
+    scenario: ScenarioConfig
+    scheduler: str = "themis"
+    scheduler_kwargs: tuple[tuple[str, object], ...] = ()
+    tags: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "scheduler_kwargs", tuple(sorted(self.scheduler_kwargs))
+        )
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def kwargs_dict(self) -> dict:
+        """Scheduler kwargs as the mapping ``make_scheduler`` expects."""
+        return dict(self.scheduler_kwargs)
+
+    @property
+    def task_id(self) -> str:
+        """Stable human-readable id: scenario/scheduler/axis values."""
+        parts = [self.scenario.name, self.scheduler]
+        parts += [f"{k}={_format_value(v)}" for k, v in self.tags]
+        parts += [f"{k}={_format_value(v)}" for k, v in self.scheduler_kwargs]
+        return "/".join(parts)
+
+    def spec(self) -> dict:
+        """Canonical JSON-safe description of everything the run depends on."""
+        return {
+            "scenario": jsonable(self.scenario),
+            "scheduler": self.scheduler,
+            "scheduler_kwargs": jsonable(dict(self.scheduler_kwargs)),
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of :meth:`spec` — the cache key material.
+
+        Tags are deliberately excluded: they are presentation metadata,
+        and two tasks that run the same simulation must share a cache
+        entry regardless of which axis produced them.
+        """
+        return hashlib.sha256(canonical_json(self.spec()).encode("utf-8")).hexdigest()
+
+
+def _validate_axes(axes: Mapping[str, Sequence], cls, label: str) -> list[tuple]:
+    known = {f.name for f in dataclasses.fields(cls)}
+    items = sorted(axes.items())
+    for name, values in items:
+        if name not in known:
+            raise ValueError(
+                f"unknown {label} axis {name!r}; valid fields: {sorted(known)}"
+            )
+        if not values:
+            raise ValueError(f"{label} axis {name!r} has no values")
+    return items
+
+
+@dataclass
+class SweepMatrix:
+    """A declarative grid of runs over schedulers, seeds and config axes.
+
+    * ``schedulers`` — policy names (the macrobenchmark axis),
+    * ``seeds`` — workload seeds (defaults to the base scenario's),
+    * ``scenario_axes`` — :class:`ScenarioConfig` fields to sweep
+      (e.g. ``lease_minutes`` for Figure 4c),
+    * ``generator_axes`` — :class:`GeneratorConfig` fields to sweep
+      (e.g. ``mean_interarrival_minutes`` for Figure 10,
+      ``network_intensive_fraction`` for Figure 9),
+    * ``scheduler_axes`` — scheduler kwargs to sweep
+      (e.g. ``fairness_knob`` for Figure 4a/4b, ``noise_theta`` for
+      Figure 11).
+
+    :meth:`expand` returns tasks in deterministic (sorted-axis,
+    insertion-order values) order, so a matrix is a stable, replayable
+    description of a whole experiment.
+    """
+
+    base: ScenarioConfig
+    schedulers: Sequence[str] = ("themis",)
+    seeds: Sequence[int] = ()
+    scenario_axes: Mapping[str, Sequence] = field(default_factory=dict)
+    generator_axes: Mapping[str, Sequence] = field(default_factory=dict)
+    scheduler_axes: Mapping[str, Sequence] = field(default_factory=dict)
+
+    def size(self) -> int:
+        """Number of cells :meth:`expand` will produce."""
+        count = max(len(self.schedulers), 1) * max(len(tuple(self.seeds)) or 1, 1)
+        for axes in (self.scenario_axes, self.generator_axes, self.scheduler_axes):
+            for values in axes.values():
+                count *= max(len(values), 1)
+        return count
+
+    def expand(self) -> list[SweepTask]:
+        """Cartesian-product the axes into a deterministic task list."""
+        if not self.schedulers:
+            raise ValueError("matrix needs at least one scheduler")
+        scen_items = _validate_axes(self.scenario_axes, ScenarioConfig, "scenario")
+        gen_items = _validate_axes(self.generator_axes, GeneratorConfig, "generator")
+        sched_items = sorted(self.scheduler_axes.items())
+        for name, values in sched_items:
+            if not values:
+                raise ValueError(f"scheduler axis {name!r} has no values")
+
+        seeds = tuple(self.seeds) or (self.base.generator.seed,)
+        tag_seed = len(seeds) > 1 or tuple(self.seeds) != ()
+        tasks: list[SweepTask] = []
+        for seed in seeds:
+            # Scenario presets embed their seed in the name
+            # ("sim256-n8-s42"); keep the displayed name truthful when
+            # the seed axis overrides it.  Unrecognised name formats
+            # pass through — the seed tag still disambiguates.
+            display_name = re.sub(
+                rf"-s{self.base.generator.seed}(?![0-9])",
+                f"-s{seed}",
+                self.base.name,
+                count=1,
+            )
+            for scen_values in itertools.product(*(v for _, v in scen_items)):
+                for gen_values in itertools.product(*(v for _, v in gen_items)):
+                    scenario = self.base.with_generator(
+                        seed=seed,
+                        **{name: value for (name, _), value in zip(gen_items, gen_values)},
+                    ).replace(
+                        name=display_name,
+                        **{name: value for (name, _), value in zip(scen_items, scen_values)},
+                    )
+                    tags: list[tuple[str, object]] = []
+                    if tag_seed:
+                        tags.append(("seed", seed))
+                    tags += [
+                        (name, value)
+                        for (name, _), value in zip(scen_items, scen_values)
+                    ]
+                    tags += [
+                        (name, value)
+                        for (name, _), value in zip(gen_items, gen_values)
+                    ]
+                    for scheduler in self.schedulers:
+                        for kw_values in itertools.product(
+                            *(v for _, v in sched_items)
+                        ):
+                            kwargs = tuple(
+                                (name, value)
+                                for (name, _), value in zip(sched_items, kw_values)
+                            )
+                            tasks.append(
+                                SweepTask(
+                                    scenario=scenario,
+                                    scheduler=scheduler,
+                                    scheduler_kwargs=kwargs,
+                                    tags=tuple(tags),
+                                )
+                            )
+        seen: set[str] = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise ValueError(f"duplicate task id {task.task_id!r} in matrix")
+            seen.add(task.task_id)
+        return tasks

@@ -1,0 +1,142 @@
+"""Per-task status/timing aggregation and the sweep summary report.
+
+The executor emits one :class:`TaskRecord` per cell as it completes;
+:class:`ProgressTracker` optionally narrates them live, and
+:class:`SweepReport` is the terminal artifact — statuses, timings,
+failure tracebacks and the reconstructed results, queryable by task id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simulation.simulator import SimulationResult
+
+#: Task terminal states.
+STATUS_OK = "ok"  # executed and produced a result
+STATUS_CACHED = "cached"  # served from the result cache, no recompute
+STATUS_FAILED = "failed"  # raised; traceback captured in ``error``
+
+
+class SweepError(RuntimeError):
+    """Raised by :meth:`SweepReport.raise_on_failure` when cells failed."""
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Outcome of one sweep cell: status, wall time, error if any."""
+
+    task_id: str
+    status: str
+    duration_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+class ProgressTracker:
+    """Streams ``[done/total] task status (time)`` lines as cells finish.
+
+    ``print_fn=None`` keeps it silent while still counting — the
+    executor always drives a tracker, so tests can assert on progress
+    without capturing stdout.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        print_fn: Optional[Callable[[str], None]] = None,
+        every: int = 1,
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self.every = max(1, every)
+        self._print = print_fn
+
+    def update(self, record: TaskRecord) -> None:
+        """Register one finished cell (and maybe narrate it)."""
+        self.done += 1
+        if self._print is None:
+            return
+        if self.done % self.every and self.done != self.total:
+            return
+        line = (
+            f"[{self.done}/{self.total}] {record.task_id} "
+            f"{record.status} ({record.duration_seconds:.2f}s)"
+        )
+        self._print(line)
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, in original task order."""
+
+    records: list[TaskRecord]
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_OK)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_CACHED)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_FAILED)
+
+    @property
+    def num_executed(self) -> int:
+        """Cells that actually ran a simulation (ok + failed, not cached)."""
+        return self.num_ok + self.num_failed
+
+    def failures(self) -> list[TaskRecord]:
+        """Records of failed cells, with tracebacks."""
+        return [r for r in self.records if r.status == STATUS_FAILED]
+
+    def result_for(self, task_id: str) -> SimulationResult:
+        """The result of one cell; raises ``KeyError`` for failed cells."""
+        return self.results[task_id]
+
+    def task_seconds(self) -> float:
+        """Sum of per-cell wall times (the serial-equivalent cost)."""
+        return sum(r.duration_seconds for r in self.records)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`SweepError` summarising every failed cell."""
+        failed = self.failures()
+        if not failed:
+            return
+        details = "\n\n".join(
+            f"--- {r.task_id} ---\n{r.error or '(no traceback captured)'}"
+            for r in failed
+        )
+        raise SweepError(f"{len(failed)} sweep task(s) failed:\n{details}")
+
+    def summary(self) -> str:
+        """Multi-line human-readable wrap-up of the sweep."""
+        lines = [
+            f"sweep: {len(self.records)} tasks | {self.num_ok} ok, "
+            f"{self.num_cached} cached, {self.num_failed} failed | "
+            f"workers={self.workers}",
+            f"wall {self.wall_seconds:.2f}s, task time {self.task_seconds():.2f}s"
+            + (
+                f", speedup {self.task_seconds() / self.wall_seconds:.2f}x"
+                if self.wall_seconds > 0
+                else ""
+            ),
+        ]
+        executed = [r for r in self.records if r.status == STATUS_OK]
+        if executed:
+            slowest = max(executed, key=lambda r: r.duration_seconds)
+            lines.append(
+                f"slowest: {slowest.task_id} ({slowest.duration_seconds:.2f}s)"
+            )
+        for record in self.failures():
+            last_line = (record.error or "").strip().splitlines()
+            lines.append(
+                f"FAILED {record.task_id}: {last_line[-1] if last_line else 'unknown'}"
+            )
+        return "\n".join(lines)

@@ -1,13 +1,19 @@
-"""Shared fixtures: small clusters, jobs, apps and traces."""
+"""Shared fixtures: small clusters, jobs, apps and traces.
+
+The ``make_app`` / ``make_job`` factories live in :mod:`helpers` (an
+importable plain module); they are re-exported here so fixture bodies
+and older imports keep working.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
-from repro.hyperparam.curves import LossCurve
-from repro.workload.app import App, CompletionSemantics
-from repro.workload.job import Job, JobSpec
+
+from helpers import make_app, make_job  # noqa: F401 — re-exported for tests
+
+__all__ = ["make_app", "make_job"]
 
 
 @pytest.fixture
@@ -35,44 +41,6 @@ def one_machine_cluster():
             name="one-machine",
         )
     )
-
-
-def make_job(
-    job_id: str = "j0",
-    model: str = "resnet50",
-    serial_work: float = 100.0,
-    max_parallelism: int = 4,
-    with_curve: bool = True,
-) -> Job:
-    """Job factory with sensible defaults."""
-    curve = LossCurve(initial=5.0, floor=0.0, alpha=0.6) if with_curve else None
-    return Job(
-        spec=JobSpec(
-            job_id=job_id,
-            model=model,
-            serial_work=serial_work,
-            max_parallelism=max_parallelism,
-            total_iterations=1000,
-            loss_curve=curve,
-        )
-    )
-
-
-def make_app(
-    app_id: str = "a0",
-    arrival: float = 0.0,
-    num_jobs: int = 2,
-    model: str = "resnet50",
-    serial_work: float = 100.0,
-    max_parallelism: int = 4,
-    semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS,
-) -> App:
-    """App factory: ``num_jobs`` identical jobs."""
-    jobs = [
-        make_job(f"{app_id}-j{i}", model, serial_work, max_parallelism)
-        for i in range(num_jobs)
-    ]
-    return App(app_id=app_id, arrival_time=arrival, jobs=jobs, semantics=semantics)
 
 
 @pytest.fixture

@@ -1,0 +1,52 @@
+"""Importable test factories shared across the unit-test suite.
+
+These used to live in ``tests/conftest.py``, but ``from conftest
+import ...`` resolves against whichever conftest pytest put on
+``sys.path`` first — with both ``tests/`` and ``benchmarks/`` collected
+from the repo root, that was ``benchmarks/conftest.py`` and the whole
+suite failed to import.  A plain module has an unambiguous name.
+"""
+
+from __future__ import annotations
+
+from repro.hyperparam.curves import LossCurve
+from repro.workload.app import App, CompletionSemantics
+from repro.workload.job import Job, JobSpec
+
+
+def make_job(
+    job_id: str = "j0",
+    model: str = "resnet50",
+    serial_work: float = 100.0,
+    max_parallelism: int = 4,
+    with_curve: bool = True,
+) -> Job:
+    """Job factory with sensible defaults."""
+    curve = LossCurve(initial=5.0, floor=0.0, alpha=0.6) if with_curve else None
+    return Job(
+        spec=JobSpec(
+            job_id=job_id,
+            model=model,
+            serial_work=serial_work,
+            max_parallelism=max_parallelism,
+            total_iterations=1000,
+            loss_curve=curve,
+        )
+    )
+
+
+def make_app(
+    app_id: str = "a0",
+    arrival: float = 0.0,
+    num_jobs: int = 2,
+    model: str = "resnet50",
+    serial_work: float = 100.0,
+    max_parallelism: int = 4,
+    semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS,
+) -> App:
+    """App factory: ``num_jobs`` identical jobs."""
+    jobs = [
+        make_job(f"{app_id}-j{i}", model, serial_work, max_parallelism)
+        for i in range(num_jobs)
+    ]
+    return App(app_id=app_id, arrival_time=arrival, jobs=jobs, semantics=semantics)

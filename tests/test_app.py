@@ -7,7 +7,7 @@ import pytest
 from repro.cluster.allocation import Allocation
 from repro.workload.app import App, AppState, CompletionSemantics
 
-from conftest import make_app, make_job
+from helpers import make_app, make_job
 
 
 def test_app_requires_jobs():

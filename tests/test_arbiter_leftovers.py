@@ -8,7 +8,7 @@ from repro.core.agent import Agent
 from repro.core.arbiter import Arbiter, ArbiterConfig
 from repro.core.fairness import FairnessEstimator
 
-from conftest import make_app
+from helpers import make_app
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.core.auction import (
 from repro.core.bids import build_bid
 from repro.core.fairness import FairnessEstimator
 
-from conftest import make_app
+from helpers import make_app
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ import pytest
 from repro.core.bids import Bid, BidEntry, build_bid
 from repro.core.fairness import FairnessEstimator
 
-from conftest import make_app
+from helpers import make_app
 
 
 @pytest.fixture

@@ -81,3 +81,55 @@ def test_figure_fig08(capsys):
     code, out, _ = run_cli(capsys, "figure", "fig08")
     assert code == 0
     assert "short-app" in out
+
+
+def test_sweep_command(tmp_path, capsys):
+    args = (
+        "sweep", "--schedulers", "themis,fifo", "--seeds", "1,2",
+        "--apps", "2", "--duration-scale", "0.05",
+        "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+    )
+    code, out, _ = run_cli(capsys, *args)
+    assert code == 0
+    assert "expanded 4 sweep cells" in out
+    assert "4 ok, 0 cached" in out
+
+    # Warm cache: same invocation recomputes zero cells.
+    code, out, _ = run_cli(capsys, *args)
+    assert code == 0
+    assert "0 ok, 4 cached, 0 failed" in out
+
+
+def test_sweep_unknown_scheduler(capsys):
+    code, _, err = run_cli(capsys, "sweep", "--schedulers", "bogus", "--apps", "2")
+    assert code == 2
+    assert "bogus" in err
+
+
+def test_sweep_writes_results_json(tmp_path, capsys):
+    out_path = tmp_path / "results.json"
+    code, out, _ = run_cli(
+        capsys, "sweep", "--schedulers", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--knobs", "", "--out", str(out_path),
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["summary"]["tasks"] == 1
+    assert len(payload["results"]) == 1
+
+    from repro.simulation.simulator import SimulationResult
+
+    result = SimulationResult.from_json(next(iter(payload["results"].values())))
+    assert result.rhos()
+
+
+def test_compare_with_workers_and_cache(tmp_path, capsys):
+    code, out, _ = run_cli(
+        capsys, "compare", "--schedulers", "fifo,tiresias", "--apps", "2",
+        "--duration-scale", "0.05", "--workers", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert code == 0
+    assert "fifo" in out and "tiresias" in out

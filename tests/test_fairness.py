@@ -14,7 +14,7 @@ from repro.core.fairness import (
 )
 from repro.workload.app import CompletionSemantics
 
-from conftest import make_app, make_job
+from helpers import make_app, make_job
 
 
 def rack_map(cluster):

@@ -7,7 +7,7 @@ import pytest
 from repro.cluster.allocation import Allocation
 from repro.workload.job import Job, JobSpec, JobState
 
-from conftest import make_job
+from helpers import make_job
 
 
 def test_new_job_state(simple_app):

@@ -9,7 +9,7 @@ from repro.core.bids import build_bid
 from repro.core.fairness import FairnessEstimator
 from repro.core.policy import solve_offline_max_min
 
-from conftest import make_app
+from helpers import make_app
 
 
 @pytest.fixture

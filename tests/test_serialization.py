@@ -1,0 +1,88 @@
+"""SimulationResult JSON round-trip (the sweep cache's contract)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.experiments.runner import run_scenario
+from repro.simulation.simulator import AppStats, SimulationConfig, SimulationResult
+from repro.workload.app import CompletionSemantics
+
+
+@pytest.fixture(scope="module")
+def result() -> SimulationResult:
+    scenario = tiny_scenario(num_apps=3, seed=7).replace(record_timeline=True)
+    return run_scenario(scenario, "themis")
+
+
+def test_simulation_config_round_trip():
+    config = SimulationConfig(
+        lease_minutes=7.5,
+        restart_overhead_minutes=0.25,
+        semantics=CompletionSemantics.FIRST_WINNER,
+        max_minutes=123.0,
+        record_timeline=True,
+    )
+    restored = SimulationConfig.from_json(config.to_json())
+    assert restored == config
+    # The dict must be pure JSON (enum flattened to its value).
+    json.dumps(config.to_json())
+
+
+def test_app_stats_round_trip(result):
+    for stats in result.app_stats:
+        restored = AppStats.from_json(stats.to_json())
+        assert restored == stats
+
+
+def test_result_round_trip_is_lossless(result):
+    """Golden property: to_json o from_json o to_json is the identity."""
+    payload = result.to_json()
+    text = json.dumps(payload, sort_keys=True)
+    restored = SimulationResult.from_json(json.loads(text))
+    assert json.dumps(restored.to_json(), sort_keys=True) == text
+
+
+def test_round_trip_preserves_metric_inputs(result):
+    restored = SimulationResult.from_json(result.to_json())
+    assert restored.rhos() == result.rhos()
+    assert restored.completion_times() == result.completion_times()
+    assert restored.placement_scores() == result.placement_scores()
+    assert restored.stats_by_app().keys() == result.stats_by_app().keys()
+    assert restored.timeline == result.timeline
+    assert restored.contention_samples == result.contention_samples
+    assert restored.makespan == result.makespan
+    assert restored.total_gpu_time == result.total_gpu_time
+    assert restored.config == result.config
+
+
+def test_round_trip_drops_live_apps_only(result):
+    """``apps`` is runtime state, everything else must survive."""
+    restored = SimulationResult.from_json(result.to_json())
+    assert restored.apps == []
+    for field in dataclasses.fields(SimulationResult):
+        if field.name == "apps":
+            continue
+        assert getattr(restored, field.name) == getattr(result, field.name), field.name
+
+
+def test_golden_schema_keys(result):
+    """The cache's on-disk schema: renaming a key is a breaking change
+    that must come with a SCHEMA_VERSION bump (see repro/sweep/cache.py)."""
+    assert set(result.to_json()) == {
+        "scheduler_name",
+        "cluster_name",
+        "cluster_gpus",
+        "config",
+        "app_stats",
+        "makespan",
+        "completed",
+        "peak_contention",
+        "contention_samples",
+        "timeline",
+        "num_rounds",
+        "events_processed",
+        "total_gpu_time",
+    }

@@ -10,7 +10,7 @@ from repro.simulation.engine import SimulationError
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.workload.trace import Trace, TraceApp, TraceJob
 
-from conftest import make_app
+from helpers import make_app
 
 
 def pair_cluster():

@@ -1,0 +1,72 @@
+"""Content-addressed result cache: keys, round-trips, invalidation."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.experiments.runner import run_scenario
+from repro.sweep import ResultCache, SweepTask
+
+
+@pytest.fixture
+def task():
+    return SweepTask(scenario=tiny_scenario(num_apps=2, seed=3), scheduler="themis")
+
+
+@pytest.fixture
+def result(task):
+    return run_scenario(task.scenario, task.scheduler, task.kwargs_dict())
+
+
+def test_store_then_load_round_trip(tmp_path, task, result):
+    cache = ResultCache(tmp_path)
+    assert cache.load(task) is None
+    cache.store(task, result)
+    loaded = cache.load(task)
+    assert loaded is not None
+    assert loaded.to_json() == result.to_json()
+    assert (cache.hits, cache.misses, cache.writes) == (1, 1, 1)
+    assert len(cache) == 1
+
+
+def test_key_is_stable_across_instances(tmp_path, task):
+    assert ResultCache(tmp_path).key_for(task) == ResultCache(tmp_path).key_for(task)
+
+
+def test_key_changes_with_inputs(tmp_path, task):
+    cache = ResultCache(tmp_path)
+    other = SweepTask(
+        scenario=task.scenario, scheduler="themis",
+        scheduler_kwargs=(("fairness_knob", 0.9),),
+    )
+    assert cache.key_for(task) != cache.key_for(other)
+
+
+def test_schema_version_invalidates(tmp_path, task, result):
+    ResultCache(tmp_path, schema_version=1).store(task, result)
+    assert ResultCache(tmp_path, schema_version=2).load(task) is None
+    assert ResultCache(tmp_path, schema_version=1).load(task) is not None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, task, result):
+    cache = ResultCache(tmp_path)
+    cache.store(task, result)
+    cache.path_for(task).write_text("{not json", encoding="utf-8")
+    assert cache.load(task) is None
+    assert cache.misses == 1
+
+
+def test_entry_is_valid_json_with_spec(tmp_path, task, result):
+    cache = ResultCache(tmp_path)
+    path = cache.store(task, result)
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    assert entry["schema_version"] == cache.schema_version
+    assert entry["spec"]["scheduler"] == "themis"
+    assert entry["task_id"] == task.task_id
+
+
+def test_no_temp_files_left_behind(tmp_path, task, result):
+    cache = ResultCache(tmp_path)
+    cache.store(task, result)
+    assert not list(tmp_path.glob(".tmp-*"))

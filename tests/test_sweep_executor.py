@@ -1,0 +1,144 @@
+"""Executor behaviour: determinism, caching, failure capture."""
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.experiments.runner import compare_schedulers
+from repro.sweep import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    ResultCache,
+    SweepError,
+    SweepMatrix,
+    SweepTask,
+    run_sweep,
+)
+
+
+def _matrix_tasks(num_apps=2, schedulers=("themis", "tiresias"), seeds=(1, 2)):
+    return SweepMatrix(
+        base=tiny_scenario(num_apps=num_apps),
+        schedulers=schedulers,
+        seeds=seeds,
+    ).expand()
+
+
+def _payloads(report):
+    return {tid: result.to_json() for tid, result in report.results.items()}
+
+
+def test_serial_and_parallel_results_are_identical():
+    """Same seed => byte-identical results for workers=1 vs workers=4."""
+    tasks = _matrix_tasks()
+    serial = run_sweep(tasks, workers=1)
+    parallel = run_sweep(tasks, workers=4)
+    assert serial.num_ok == parallel.num_ok == len(tasks)
+    assert _payloads(serial) == _payloads(parallel)
+
+
+def test_records_preserve_task_order():
+    tasks = _matrix_tasks()
+    report = run_sweep(tasks, workers=4)
+    assert [r.task_id for r in report.records] == [t.task_id for t in tasks]
+
+
+def test_cache_hit_skips_recompute(tmp_path):
+    tasks = _matrix_tasks(seeds=(5,))
+    cache = ResultCache(tmp_path)
+    cold = run_sweep(tasks, workers=1, cache=cache)
+    assert cold.num_executed == len(tasks)
+    assert cache.writes == len(tasks)
+
+    warm_cache = ResultCache(tmp_path)
+    warm = run_sweep(tasks, workers=1, cache=warm_cache)
+    assert warm.num_executed == 0
+    assert warm.num_cached == len(tasks)
+    assert warm_cache.hits == len(tasks)
+    assert warm_cache.writes == 0  # nothing recomputed => nothing rewritten
+    assert _payloads(warm) == _payloads(cold)
+    assert all(r.status == STATUS_CACHED for r in warm.records)
+
+
+def test_cache_accepts_directory_path(tmp_path):
+    tasks = _matrix_tasks(seeds=(5,))
+    run_sweep(tasks, workers=1, cache=tmp_path / "store")
+    warm = run_sweep(tasks, workers=1, cache=tmp_path / "store")
+    assert warm.num_cached == len(tasks)
+
+
+def test_changed_cell_recomputes_only_itself(tmp_path):
+    tasks = _matrix_tasks(seeds=(5,))
+    run_sweep(tasks, workers=1, cache=tmp_path)
+    changed = tasks + [
+        SweepTask(scenario=tiny_scenario(num_apps=2, seed=99), scheduler="themis",
+                  tags=(("seed", 99),))
+    ]
+    report = run_sweep(changed, workers=1, cache=tmp_path)
+    assert report.num_cached == len(tasks)
+    assert report.num_executed == 1
+
+
+def test_worker_exception_becomes_failure_record():
+    """A raising cell yields a per-task failure, not a hung/poisoned pool."""
+    good = SweepTask(scenario=tiny_scenario(num_apps=2), scheduler="themis")
+    bad = SweepTask(
+        scenario=tiny_scenario(num_apps=2), scheduler="themis",
+        scheduler_kwargs=(("not_a_real_kwarg", 1),),
+    )
+    report = run_sweep([good, bad], workers=2)
+    by_id = {r.task_id: r for r in report.records}
+    assert by_id[good.task_id].status == STATUS_OK
+    assert by_id[bad.task_id].status == STATUS_FAILED
+    assert "not_a_real_kwarg" in by_id[bad.task_id].error
+    assert good.task_id in report.results
+    assert bad.task_id not in report.results
+    with pytest.raises(SweepError, match="not_a_real_kwarg"):
+        report.raise_on_failure()
+
+
+def test_failed_cells_are_not_cached(tmp_path):
+    bad = SweepTask(
+        scenario=tiny_scenario(num_apps=2), scheduler="themis",
+        scheduler_kwargs=(("not_a_real_kwarg", 1),),
+    )
+    run_sweep([bad], workers=1, cache=tmp_path)
+    retry = run_sweep([bad], workers=1, cache=tmp_path)
+    assert retry.records[0].status == STATUS_FAILED  # re-attempted, not cached
+
+
+def test_duplicate_task_ids_rejected():
+    task = SweepTask(scenario=tiny_scenario(num_apps=2), scheduler="themis")
+    with pytest.raises(ValueError, match="duplicate"):
+        run_sweep([task, task], workers=1)
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError, match="workers"):
+        run_sweep([], workers=0)
+
+
+def test_progress_lines_stream(capsys):
+    tasks = _matrix_tasks(seeds=(5,))
+    lines = []
+    run_sweep(tasks, workers=1, progress=lines.append)
+    assert len(lines) == len(tasks)
+    assert lines[0].startswith("[1/")
+
+
+def test_compare_schedulers_goes_through_sweep(tmp_path):
+    """The macrobenchmark path: parallel + cached == plain serial."""
+    scenario = tiny_scenario(num_apps=2)
+    serial = compare_schedulers(scenario, ("themis", "fifo"))
+    parallel = compare_schedulers(
+        scenario, ("themis", "fifo"), workers=2, cache_dir=tmp_path
+    )
+    assert set(serial) == set(parallel) == {"themis", "fifo"}
+    for name in serial:
+        assert serial[name].to_json() == parallel[name].to_json()
+    # Second call is served entirely from cache but yields equal results.
+    warm = compare_schedulers(
+        scenario, ("themis", "fifo"), workers=2, cache_dir=tmp_path
+    )
+    for name in serial:
+        assert warm[name].to_json() == serial[name].to_json()

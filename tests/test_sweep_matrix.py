@@ -1,0 +1,120 @@
+"""SweepMatrix expansion and SweepTask identity/fingerprints."""
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.sweep import SweepMatrix, SweepTask, canonical_json
+
+
+@pytest.fixture
+def base():
+    return tiny_scenario(num_apps=3)
+
+
+def test_expand_cartesian_product(base):
+    matrix = SweepMatrix(
+        base=base,
+        schedulers=("themis", "tiresias"),
+        seeds=(1, 2, 3),
+        scheduler_axes={"fairness_knob": [0.0, 0.8]},
+    )
+    tasks = matrix.expand()
+    assert len(tasks) == 2 * 3 * 2 == matrix.size()
+    assert len({t.task_id for t in tasks}) == len(tasks)
+    # Every (scheduler, seed, knob) combination appears exactly once.
+    combos = {
+        (t.scheduler, t.scenario.generator.seed, t.kwargs_dict()["fairness_knob"])
+        for t in tasks
+    }
+    assert len(combos) == len(tasks)
+
+
+def test_expand_order_is_deterministic(base):
+    matrix = SweepMatrix(base=base, schedulers=("themis", "gandiva"), seeds=(1, 2))
+    first = [t.task_id for t in matrix.expand()]
+    second = [t.task_id for t in matrix.expand()]
+    assert first == second
+
+
+def test_default_seed_comes_from_base(base):
+    tasks = SweepMatrix(base=base, schedulers=("themis",)).expand()
+    assert len(tasks) == 1
+    assert tasks[0].scenario.generator.seed == base.generator.seed
+
+
+def test_scenario_and_generator_axes(base):
+    matrix = SweepMatrix(
+        base=base,
+        schedulers=("themis",),
+        scenario_axes={"lease_minutes": [10.0, 20.0]},
+        generator_axes={"network_intensive_fraction": [0.0, 1.0]},
+    )
+    tasks = matrix.expand()
+    assert len(tasks) == 4
+    assert {t.scenario.lease_minutes for t in tasks} == {10.0, 20.0}
+    assert {t.scenario.generator.network_intensive_fraction for t in tasks} == {0.0, 1.0}
+    # Axis values are recorded as tags and surface in the task id.
+    assert any("lease_minutes=10" in t.task_id for t in tasks)
+
+
+def test_unknown_axis_rejected(base):
+    with pytest.raises(ValueError, match="unknown scenario axis"):
+        SweepMatrix(
+            base=base, schedulers=("themis",), scenario_axes={"bogus": [1]}
+        ).expand()
+    with pytest.raises(ValueError, match="unknown generator axis"):
+        SweepMatrix(
+            base=base, schedulers=("themis",), generator_axes={"bogus": [1]}
+        ).expand()
+
+
+def test_empty_axis_rejected(base):
+    with pytest.raises(ValueError, match="no values"):
+        SweepMatrix(
+            base=base, schedulers=("themis",), scheduler_axes={"fairness_knob": []}
+        ).expand()
+
+
+def test_tasks_are_hashable_and_picklable(base):
+    import pickle
+
+    task = SweepTask(scenario=base, scheduler="themis",
+                     scheduler_kwargs=(("fairness_knob", 0.5),))
+    assert task in {task}
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone == task
+    assert clone.task_id == task.task_id
+
+
+def test_fingerprint_tracks_content_not_tags(base):
+    plain = SweepTask(scenario=base, scheduler="themis")
+    tagged = SweepTask(scenario=base, scheduler="themis", tags=(("seed", 1),))
+    assert plain.fingerprint() == tagged.fingerprint()
+
+    other_sched = SweepTask(scenario=base, scheduler="tiresias")
+    other_kwargs = SweepTask(
+        scenario=base, scheduler="themis", scheduler_kwargs=(("fairness_knob", 0.1),)
+    )
+    other_scenario = SweepTask(scenario=base.replace(lease_minutes=5.0),
+                               scheduler="themis")
+    fingerprints = {
+        plain.fingerprint(),
+        other_sched.fingerprint(),
+        other_kwargs.fingerprint(),
+        other_scenario.fingerprint(),
+    }
+    assert len(fingerprints) == 4
+
+
+def test_kwargs_order_does_not_change_identity(base):
+    a = SweepTask(scenario=base, scheduler="themis",
+                  scheduler_kwargs=(("a", 1), ("b", 2)))
+    b = SweepTask(scenario=base, scheduler="themis",
+                  scheduler_kwargs=(("b", 2), ("a", 1)))
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_canonical_json_is_stable(base):
+    assert canonical_json(base) == canonical_json(base.replace())
+    assert canonical_json({"b": 1, "a": (1, 2)}) == '{"a":[1,2],"b":1}'
