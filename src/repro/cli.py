@@ -8,6 +8,7 @@ Examples::
     python -m repro figure fig09 --workers 4 --cache-dir .sweep-cache
     python -m repro sweep --schedulers themis,tiresias,gandiva \\
         --seeds 1,2,3,4 --workers 4 --cache-dir .sweep-cache
+    python -m repro bench --quick --check BENCH_auction.json
     python -m repro trace --apps 30 --out trace.jsonl
 
 The CLI is a thin shell over :mod:`repro.experiments` and
@@ -282,6 +283,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        AUCTION_PROFILES,
+        E2E_PROFILES,
+        check_regression,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    profiles = list(args.profiles)
+    e2e = list(args.e2e)
+    repeats = args.repeats
+    if args.quick:
+        # CI smoke mode: one repeat, skip the (minutes-long) large
+        # auction profile and the medium end-to-end run.
+        profiles = [p for p in profiles if p != "large"]
+        e2e = [p for p in e2e if p == "e2e-small"]
+        repeats = 1
+    unknown = [p for p in profiles if p not in AUCTION_PROFILES] + [
+        p for p in e2e if p not in E2E_PROFILES
+    ]
+    if unknown:
+        print(
+            f"unknown bench profiles: {unknown}; known: "
+            f"{sorted(AUCTION_PROFILES)} + {sorted(E2E_PROFILES)}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = None
+    if args.check:
+        baseline = load_bench(args.check)
+    payload = run_bench(profiles=profiles, e2e_profiles=e2e, repeats=repeats)
+    rows = []
+    for name in profiles:
+        record = payload["auction"][name]
+        reference = record.get("reference", {})
+        rows.append([
+            name,
+            record["gpus"],
+            record["contention"],
+            record["apps"],
+            record["fast"]["seconds"],
+            reference.get("seconds", "-"),
+            record.get("speedup") or "-",
+            record["fast"]["rho_probes"],
+        ])
+    print(format_table(
+        ["profile", "gpus", "contention", "apps", "fast_s", "ref_s", "speedup", "probes"],
+        rows,
+    ))
+    for name in e2e:
+        record = payload["end_to_end"][name]
+        print(f"{name}: {record['seconds']:.2f}s wall, "
+              f"{record['num_rounds']} rounds, "
+              f"{record['events_processed']} events")
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}")
+    if baseline is not None:
+        gate = tuple(p for p in ("medium",) if p in profiles)
+        if not gate:
+            print("regression check skipped: no gated profile (medium) in this run")
+            return 0
+        failures = check_regression(
+            payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed vs", args.check)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     _fill_duration_default(args)
     trace = generate_trace(
@@ -346,6 +422,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print one line per completed cell")
     _add_exec_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the tracked auction/simulator microbenchmarks"
+    )
+    bench_parser.add_argument(
+        "--profiles", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
+        default=["small", "medium", "large"],
+        help="comma-separated auction profiles (small,medium,large)",
+    )
+    bench_parser.add_argument(
+        "--e2e", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
+        default=["e2e-small", "e2e-medium"],
+        help="comma-separated end-to-end profiles",
+    )
+    bench_parser.add_argument("--repeats", type=_positive_int, default=3,
+                              help="timing repeats per profile (min is reported)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI smoke mode: 1 repeat, skip large/e2e-medium")
+    bench_parser.add_argument("--out", default=None,
+                              help="write the bench payload to this JSON path")
+    bench_parser.add_argument("--check", default=None,
+                              help="compare against a committed baseline JSON; "
+                                   "exit 1 on >max-slowdown regression")
+    bench_parser.add_argument("--max-slowdown", type=float, default=2.0,
+                              help="allowed speedup-ratio slack vs the baseline")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser("trace", help="generate a trace JSONL file")
     trace_parser.add_argument("--apps", type=int, default=30)

@@ -55,7 +55,14 @@ class ArbiterConfig:
 
 @dataclass
 class RoundStats:
-    """Instrumentation for one scheduling round (overhead benchmarks)."""
+    """Instrumentation for one scheduling round (overhead benchmarks).
+
+    The ``solver_*`` fields expose the auction's winner-determination
+    cost: greedy moves applied across all solves, candidate pairs
+    scored by the lazy heap, warm-start moves the payment re-solves
+    replayed for free, and the number of distinct rho computations
+    (valuation-cache misses) the round's bids performed.
+    """
 
     now: float
     pool_size: int
@@ -63,6 +70,10 @@ class RoundStats:
     num_participants: int
     leftover_after_payments: int
     leftover_unassigned: int
+    solver_moves: int = 0
+    solver_pair_scores: int = 0
+    solver_replayed_moves: int = 0
+    valuation_probes: int = 0
 
 
 class Arbiter:
@@ -160,6 +171,7 @@ class Arbiter:
         else:
             leftover_unassigned = sum(outcome.leftover.values())
 
+        solve_stats = self.auction.last_stats
         self.history.append(
             RoundStats(
                 now=now,
@@ -168,6 +180,10 @@ class Arbiter:
                 num_participants=len(participants),
                 leftover_after_payments=outcome.total_leftover,
                 leftover_unassigned=leftover_unassigned,
+                solver_moves=solve_stats.moves,
+                solver_pair_scores=solve_stats.pair_scores,
+                solver_replayed_moves=solve_stats.replayed_moves,
+                valuation_probes=sum(bid.rho_probes for bid in bids.values()),
             )
         )
         return concretise(assignments, pool_by_machine)

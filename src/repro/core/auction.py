@@ -21,14 +21,56 @@ Three stages:
    caller; the ARBITER hands them to non-participating apps in a
    placement-sensitive, work-conserving way (Section 5.1, "Leftover
    Allocation").
+
+Solver complexity and the lazy heap
+-----------------------------------
+
+The original winner determination was a full rescan: every greedy step
+re-scored every ``(app, machine, step)`` move, i.e. ``O(A x M)``
+valuation probes per applied move and ``O(G/chunk x A x M)`` per solve
+(``A`` apps, ``M`` machines with free GPUs, ``G`` pool GPUs).  With
+hidden payments on, the market is re-solved once per winner, so one
+auction round cost ``O(A)`` solves — ``O(G/chunk x A^2 x M)`` probes.
+
+The default solver (:meth:`PartialAllocationAuction._solve_lazy`) is a
+CELF-style lazy-greedy over a max-heap of candidate moves.  Each heap
+entry caches the score of the best move for one ``(app, machine)``
+pair.  The **staleness invariant** that makes the heap exact is:
+
+    a cached score for pair ``(a, m)`` depends *only* on app ``a``'s
+    current bundle (and therefore its current value and headroom) and
+    on machine ``m``'s free-GPU count.  Applying a move by app ``A``
+    on machine ``Q`` therefore invalidates exactly the entries of row
+    ``A`` and column ``Q``; every other cached score is still exact.
+
+After each applied move only the ``O(A + M)`` invalidated pairs are
+re-scored (version counters mark the remaining heap entries stale, and
+stale entries are discarded lazily on pop), so the heap minimum is
+always a freshly scored, exact argmin — the solver replays the full
+rescan's choice sequence *byte-identically*, including tie-breaks,
+without relying on submodularity of the marginal gains.  Per-solve cost
+drops to ``O(A x M)`` initial scores plus ``O(G/chunk x (A + M))``
+maintenance.
+
+Payment re-solves are warm-started: the greedy state of the
+``without_i`` market evolves identically to the full market until the
+first move the full solve awarded to ``i`` (removing ``i``'s candidate
+entries cannot change any earlier argmin), so that move prefix is
+replayed without any probing and only the suffix is solved.  All
+solves share each :class:`~repro.core.bids.Bid`'s rho/valuation cache,
+so suffix probes of bundles already seen by the full solve are cache
+hits.  The pre-refactor full-rescan solver is kept as
+:func:`rescan_fair_allocation` — the reference implementation the
+equivalence tests and ``repro bench`` compare against.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
-from dataclasses import dataclass
-from typing import Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
 from repro.core.bids import Bid
 
@@ -45,6 +87,34 @@ def _merge(base: Mapping[int, int], machine_id: int, extra: int) -> dict[int, in
 
 def _bundle_total(bundle: Mapping[int, int]) -> int:
     return sum(bundle.values())
+
+
+#: Canonical bundle key: sorted ((machine, count), ...) tuple.
+_BundleKey = tuple[tuple[int, int], ...]
+
+
+def _merged_key(base: _BundleKey, machine_id: int, extra: int) -> _BundleKey:
+    """``base`` with ``extra`` more GPUs on ``machine_id``, staying sorted.
+
+    The lazy solver's probe path: extending an already-canonical key is
+    O(len(bundle)) with no dict build or re-sort (bundles are tiny —
+    a handful of machines per app).
+    """
+    out: list[tuple[int, int]] = []
+    inserted = False
+    for machine, count in base:
+        if machine == machine_id:
+            out.append((machine, count + extra))
+            inserted = True
+        elif not inserted and machine > machine_id:
+            out.append((machine_id, extra))
+            out.append((machine, count))
+            inserted = True
+        else:
+            out.append((machine, count))
+    if not inserted:
+        out.append((machine_id, extra))
+    return tuple(out)
 
 
 @dataclass
@@ -73,18 +143,48 @@ class AuctionOutcome:
         return _bundle_total(self.leftover)
 
 
+@dataclass
+class AuctionSolveStats:
+    """Instrumentation for one :meth:`PartialAllocationAuction.run` call.
+
+    ``pair_scores`` counts candidate (app, machine) scorings — each is
+    at most two valuation probes — and is the quantity the lazy heap
+    exists to minimise; ``replayed_moves`` counts warm-start moves the
+    payment re-solves applied without any scoring at all.
+    """
+
+    solves: int = 0
+    moves: int = 0
+    replayed_moves: int = 0
+    pair_scores: int = 0
+
+
+#: One applied greedy move: (app_id, machine_id, step, value after move).
+_Move = tuple[str, int, int, float]
+
+
 class PartialAllocationAuction:
     """Greedy-Nash-welfare implementation of the PA mechanism.
 
     ``chunk_size`` bounds how many co-located GPUs a single greedy step
     may hand to one app (defaults to 4 — one typical gang of the
     trace); smaller steps trade solve time for solution quality.
+
+    ``solver`` selects the winner-determination implementation:
+    ``"lazy"`` (default) is the CELF-style heap solver, ``"rescan"``
+    the pre-refactor full rescan.  Both produce identical assignments
+    (see the module docstring); ``"rescan"`` exists for equivalence
+    tests and as the ``repro bench`` reference.
     """
 
-    def __init__(self, chunk_size: int = 4) -> None:
+    def __init__(self, chunk_size: int = 4, solver: str = "lazy") -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+        if solver not in ("lazy", "rescan"):
+            raise ValueError(f"solver must be 'lazy' or 'rescan', got {solver!r}")
         self.chunk_size = chunk_size
+        self.solver = solver
+        self.last_stats = AuctionSolveStats()
 
     # ------------------------------------------------------------------
     # Stage 1: proportional-fair (max Nash welfare) assignment
@@ -97,71 +197,168 @@ class PartialAllocationAuction:
     ) -> dict[str, dict[int, int]]:
         """Greedy max-Nash-welfare assignment of the pool to bidders.
 
-        Each step evaluates, for every app and every machine with free
-        GPUs, the marginal log-valuation of grabbing 1 or ``chunk_size``
-        GPUs there, and applies the best move.  Rescue moves (taking an
-        app from zero to positive value) always dominate, largest new
-        value first, which is the lexicographic max-Nash-welfare rule.
+        Each step applies the move with the best marginal log-valuation
+        among every app grabbing 1 or ``chunk_size`` GPUs on any machine
+        with free GPUs.  Rescue moves (taking an app from zero to
+        positive value) always dominate, largest new value first, which
+        is the lexicographic max-Nash-welfare rule.
         """
+        assignment, _ = self._solve(pool, bids, exclude=exclude)
+        return assignment
+
+    def _solve(
+        self,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        exclude: Optional[str] = None,
+        prefix: Sequence[_Move] = (),
+        stats: Optional[AuctionSolveStats] = None,
+    ) -> tuple[dict[str, dict[int, int]], list[_Move]]:
+        """Dispatch to the configured solver; returns (assignment, moves)."""
+        if stats is not None:
+            stats.solves += 1
+        if self.solver == "rescan":
+            assignment = rescan_fair_allocation(
+                pool, bids, chunk_size=self.chunk_size, exclude=exclude
+            )
+            return assignment, []
+        return self._solve_lazy(pool, bids, exclude, prefix, stats)
+
+    def _score_pair(
+        self,
+        bid: Bid,
+        app_id: str,
+        machine_id: int,
+        free: int,
+        current_key: _BundleKey,
+        current_value: float,
+        headroom: int,
+    ) -> Optional[tuple[tuple, _Move]]:
+        """Best (key, move) for one (app, machine) pair, or ``None``.
+
+        Keys order rescues before gains (leading 0/1) and reproduce the
+        rescan solver's tie-breaks exactly; they are unique per entry
+        because they embed (step, app_id, machine_id).
+        """
+        if current_value <= 0.0:
+            # Rescue with the smallest possible grab: one GPU already
+            # makes the app's value positive, and lexicographic
+            # max-Nash-welfare maximises the number of positive-value
+            # apps before the product.
+            step_sizes: tuple[int, ...] = (1,)
+        else:
+            chunk = min(self.chunk_size, free, headroom)
+            step_sizes = (1,) if chunk <= 1 else (1, chunk)
+        best: Optional[tuple[tuple, _Move]] = None
+        for step in step_sizes:
+            new_value = bid.value_from_key(
+                _merged_key(current_key, machine_id, step)
+            )
+            if new_value <= current_value:
+                continue
+            move = (app_id, machine_id, step, new_value)
+            if current_value <= 0.0:
+                # Rescue: infinite log gain; prefer highest new value,
+                # then machines with the most free GPUs (so the rescued
+                # app can grow co-located), deterministic ties.
+                key = (0, -new_value, step, -free, app_id, machine_id)
+            else:
+                gain = (math.log(new_value) - math.log(current_value)) / step
+                key = (1, -gain, step, app_id, machine_id)
+            if best is None or key < best[0]:
+                best = (key, move)
+        return best
+
+    def _solve_lazy(
+        self,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        exclude: Optional[str],
+        prefix: Sequence[_Move],
+        stats: Optional[AuctionSolveStats],
+    ) -> tuple[dict[str, dict[int, int]], list[_Move]]:
+        """Lazy-greedy solver (see module docstring for the invariant)."""
         remaining = {m: c for m, c in pool.items() if c > 0}
         apps = [a for a in sorted(bids) if a != exclude]
         assignment: dict[str, dict[int, int]] = {a: {} for a in apps}
+        bundle_keys: dict[str, _BundleKey] = {a: () for a in apps}
         values = {a: bids[a].value_of({}) for a in apps}
         granted = {a: 0 for a in apps}
+        moves: list[_Move] = list(prefix)
 
-        while remaining:
-            best_rescue: Optional[tuple] = None  # (key, move)
-            best_gain: Optional[tuple] = None
-            for app_id in apps:
-                bid = bids[app_id]
-                headroom = bid.demand - granted[app_id]
-                if headroom <= 0:
-                    continue
-                current = assignment[app_id]
-                current_value = values[app_id]
-                for machine_id in sorted(remaining):
-                    free = remaining[machine_id]
-                    if current_value <= 0.0:
-                        # Rescue with the smallest possible grab: one GPU
-                        # already makes the app's value positive, and
-                        # lexicographic max-Nash-welfare maximises the
-                        # number of positive-value apps before the product.
-                        step_sizes = {1}
-                    else:
-                        step_sizes = {1, min(self.chunk_size, free, headroom)}
-                    for step in sorted(step_sizes):
-                        if step <= 0:
-                            continue
-                        bundle = _merge(current, machine_id, step)
-                        new_value = bid.value_of(bundle)
-                        if new_value <= current_value:
-                            continue
-                        move = (app_id, machine_id, step, new_value)
-                        if current_value <= 0.0:
-                            # Rescue: infinite log gain; prefer highest new
-                            # value, then machines with the most free GPUs
-                            # (so the rescued app can grow co-located),
-                            # deterministic ties.
-                            key = (-new_value, step, -free, app_id, machine_id)
-                            if best_rescue is None or key < best_rescue[0]:
-                                best_rescue = (key, move)
-                        else:
-                            gain = (math.log(new_value) - math.log(current_value)) / step
-                            key = (-gain, step, app_id, machine_id)
-                            if best_gain is None or key < best_gain[0]:
-                                best_gain = (key, move)
-            chosen = best_rescue or best_gain
-            if chosen is None:
-                break
-            best_move = chosen[1]
-            app_id, machine_id, step, new_value = best_move
+        # Warm start: replay an already-validated move sequence without
+        # re-scoring anything (see _payment_fraction).
+        for app_id, machine_id, step, new_value in prefix:
             assignment[app_id] = _merge(assignment[app_id], machine_id, step)
+            bundle_keys[app_id] = _merged_key(bundle_keys[app_id], machine_id, step)
             values[app_id] = new_value
             granted[app_id] += step
             remaining[machine_id] -= step
             if remaining[machine_id] <= 0:
                 del remaining[machine_id]
-        return assignment
+        if stats is not None:
+            stats.replayed_moves += len(prefix)
+
+        app_version = {a: 0 for a in apps}
+        machine_version = {m: 0 for m in remaining}
+        heap: list[tuple] = []
+
+        def push_pair(app_id: str, machine_id: int) -> None:
+            free = remaining.get(machine_id, 0)
+            if free <= 0:
+                return
+            bid = bids[app_id]
+            headroom = bid.demand - granted[app_id]
+            if headroom <= 0:
+                return
+            if stats is not None:
+                stats.pair_scores += 1
+            scored = self._score_pair(
+                bid,
+                app_id,
+                machine_id,
+                free,
+                bundle_keys[app_id],
+                values[app_id],
+                headroom,
+            )
+            if scored is None:
+                return
+            key, move = scored
+            token = (app_version[app_id], machine_version[machine_id])
+            heapq.heappush(heap, (key, app_id, machine_id, token, move))
+
+        for app_id in apps:
+            for machine_id in remaining:
+                push_pair(app_id, machine_id)
+
+        while heap:
+            key, app_id, machine_id, token, move = heapq.heappop(heap)
+            if token != (app_version[app_id], machine_version[machine_id]):
+                continue  # stale: a fresher entry for this pair was pushed
+            _, _, step, new_value = move
+            assignment[app_id] = _merge(assignment[app_id], machine_id, step)
+            bundle_keys[app_id] = _merged_key(bundle_keys[app_id], machine_id, step)
+            values[app_id] = new_value
+            granted[app_id] += step
+            remaining[machine_id] -= step
+            if remaining[machine_id] <= 0:
+                del remaining[machine_id]
+            moves.append(move)
+            if stats is not None:
+                stats.moves += 1
+            # Precise invalidation: only row app_id and column machine_id
+            # scores changed; re-score them now so every live heap entry
+            # stays exact.
+            app_version[app_id] += 1
+            machine_version[machine_id] += 1
+            if machine_id in remaining:
+                for other_app in apps:
+                    if other_app != app_id:
+                        push_pair(other_app, machine_id)
+            for other_machine in remaining:
+                push_pair(app_id, other_machine)
+        return assignment, moves
 
     # ------------------------------------------------------------------
     # Stage 2: hidden payments
@@ -175,6 +372,8 @@ class PartialAllocationAuction:
         pool: Mapping[int, int],
         bids: Mapping[str, Bid],
         pf_allocation: Mapping[str, Mapping[int, int]],
+        full_moves: Sequence[_Move] = (),
+        stats: Optional[AuctionSolveStats] = None,
     ) -> float:
         """``c_i`` of Pseudocode 2: the externality app ``i`` imposes.
 
@@ -187,11 +386,26 @@ class PartialAllocationAuction:
         aggregate the ratio over competitors with positive value in
         *both* markets — for everyone else the externality is already
         expressed through the allocation itself.
+
+        ``full_moves`` (the full market's greedy move sequence) lets the
+        ``without_i`` re-solve replay every move before ``i``'s first
+        win for free: up to that point the two markets' greedy states
+        are identical, and dropping ``i``'s candidate moves cannot
+        change an argmin ``i`` did not win.
         """
         others = [a for a in bids if a != app_id]
         if not others:
             return 1.0
-        without_i = self.proportional_fair_allocation(pool, bids, exclude=app_id)
+        prefix: Sequence[_Move] = ()
+        if full_moves:
+            first_win = next(
+                (i for i, move in enumerate(full_moves) if move[0] == app_id),
+                len(full_moves),
+            )
+            prefix = full_moves[:first_win]
+        without_i, _ = self._solve(
+            pool, bids, exclude=app_id, prefix=prefix, stats=stats
+        )
         log_ratio = 0.0
         for other in others:
             v_with = bids[other].value_of(pf_allocation.get(other, {}))
@@ -238,6 +452,8 @@ class PartialAllocationAuction:
         """
         pool = {m: c for m, c in pool.items() if c > 0}
         participants = tuple(sorted(bids))
+        stats = AuctionSolveStats()
+        self.last_stats = stats
         if not pool or not participants:
             return AuctionOutcome(
                 winners={},
@@ -246,7 +462,7 @@ class PartialAllocationAuction:
                 leftover=dict(pool),
                 participants=participants,
             )
-        pf_allocation = self.proportional_fair_allocation(pool, bids)
+        pf_allocation, full_moves = self._solve(pool, bids, stats=stats)
         payments: dict[str, float] = {}
         winners: dict[str, dict[int, int]] = {}
         for app_id in participants:
@@ -255,7 +471,9 @@ class PartialAllocationAuction:
                 payments[app_id] = 1.0
                 continue
             if apply_hidden_payments:
-                fraction = self._payment_fraction(app_id, pool, bids, pf_allocation)
+                fraction = self._payment_fraction(
+                    app_id, pool, bids, pf_allocation, full_moves, stats
+                )
             else:
                 fraction = 1.0
             payments[app_id] = fraction
@@ -281,6 +499,71 @@ class PartialAllocationAuction:
             participants=participants,
             nash_log_welfare=welfare,
         )
+
+
+def rescan_fair_allocation(
+    pool: Mapping[int, int],
+    bids: Mapping[str, Bid],
+    chunk_size: int = 4,
+    exclude: Optional[str] = None,
+) -> dict[str, dict[int, int]]:
+    """Pre-refactor full-rescan greedy solver (reference implementation).
+
+    Every greedy step re-scores every ``(app, machine, step)`` move —
+    ``O(apps x machines)`` valuation probes per applied move.  Kept
+    verbatim as the ground truth the lazy solver is tested against and
+    the baseline ``repro bench`` measures speedups over.
+    """
+    remaining = {m: c for m, c in pool.items() if c > 0}
+    apps = [a for a in sorted(bids) if a != exclude]
+    assignment: dict[str, dict[int, int]] = {a: {} for a in apps}
+    values = {a: bids[a].value_of({}) for a in apps}
+    granted = {a: 0 for a in apps}
+
+    while remaining:
+        best_rescue: Optional[tuple] = None  # (key, move)
+        best_gain: Optional[tuple] = None
+        for app_id in apps:
+            bid = bids[app_id]
+            headroom = bid.demand - granted[app_id]
+            if headroom <= 0:
+                continue
+            current = assignment[app_id]
+            current_value = values[app_id]
+            for machine_id in sorted(remaining):
+                free = remaining[machine_id]
+                if current_value <= 0.0:
+                    step_sizes = {1}
+                else:
+                    step_sizes = {1, min(chunk_size, free, headroom)}
+                for step in sorted(step_sizes):
+                    if step <= 0:
+                        continue
+                    bundle = _merge(current, machine_id, step)
+                    new_value = bid.value_of(bundle)
+                    if new_value <= current_value:
+                        continue
+                    move = (app_id, machine_id, step, new_value)
+                    if current_value <= 0.0:
+                        key = (-new_value, step, -free, app_id, machine_id)
+                        if best_rescue is None or key < best_rescue[0]:
+                            best_rescue = (key, move)
+                    else:
+                        gain = (math.log(new_value) - math.log(current_value)) / step
+                        key = (-gain, step, app_id, machine_id)
+                        if best_gain is None or key < best_gain[0]:
+                            best_gain = (key, move)
+        chosen = best_rescue or best_gain
+        if chosen is None:
+            break
+        app_id, machine_id, step, new_value = chosen[1]
+        assignment[app_id] = _merge(assignment[app_id], machine_id, step)
+        values[app_id] = new_value
+        granted[app_id] += step
+        remaining[machine_id] -= step
+        if remaining[machine_id] <= 0:
+            del remaining[machine_id]
+    return assignment
 
 
 def exhaustive_nash_allocation(

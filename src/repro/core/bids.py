@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.fairness import FairnessEstimator
+from repro.core.fairness import FairnessEstimator, value_from_rho
 from repro.workload.app import App
 
 
@@ -78,7 +78,15 @@ class Bid:
         self.noise_theta = noise_theta
         self.noise_salt = noise_salt
         self._estimator = estimator
+        # One rho/value cache per bid, shared across the auction's full
+        # solve and every ``without_i`` payment re-solve (the solver
+        # probes the same bundles in all of them).  ``rho_probes``
+        # counts cache misses — actual carve computations — and
+        # ``rho_lookups`` all queries; the perf harness reports both.
         self._rho_cache: dict[tuple, float] = {}
+        self._value_cache: dict[tuple, float] = {}
+        self.rho_probes = 0
+        self.rho_lookups = 0
         # The app's holdings and job states are fixed for the duration
         # of the auction; snapshot them once (hot path — the winner
         # determination probes many incremental bundles).
@@ -96,10 +104,20 @@ class Bid:
         Raises when the bundle exceeds the offer — an AGENT cannot bid
         on GPUs it was not shown.
         """
-        key = _bundle_key(extra_counts)
+        return self.rho_from_key(_bundle_key(extra_counts))
+
+    def rho_from_key(self, key: tuple[tuple[int, int], ...]) -> float:
+        """``rho_of`` for a pre-canonicalised bundle key.
+
+        The auction solver maintains each app's bundle as a sorted
+        ``(machine, count)`` tuple and extends it incrementally, so the
+        hot path skips the per-probe dict build and re-sort.
+        """
+        self.rho_lookups += 1
         cached = self._rho_cache.get(key)
         if cached is not None:
             return cached
+        self.rho_probes += 1
         total_counts = dict(self._base_counts)
         for machine_id, count in key:
             if count > self.offered_counts.get(machine_id, 0):
@@ -116,13 +134,24 @@ class Bid:
         return rho
 
     def value_of(self, extra_counts: Mapping[int, int]) -> float:
-        """Valuation ``V = 1 / rho`` of a bundle (0 when rho is unbounded)."""
-        rho = self.rho_of(extra_counts)
-        if math.isinf(rho):
-            return 0.0
-        if rho <= 0:
-            return math.inf
-        return 1.0 / rho
+        """Valuation ``V = 1 / rho`` of a bundle (0 when rho is unbounded).
+
+        A degenerate ``rho <= 0`` (an app whose estimated shared finish
+        time is not ahead of ``now``) is clamped to the finite
+        :data:`~repro.core.fairness.VALUE_CEILING` instead of ``inf`` —
+        the solver's log-gain keys and ``nash_log_welfare`` must stay
+        finite and totally ordered.
+        """
+        return self.value_from_key(_bundle_key(extra_counts))
+
+    def value_from_key(self, key: tuple[tuple[int, int], ...]) -> float:
+        """``value_of`` for a pre-canonicalised bundle key (hot path)."""
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            return cached
+        value = value_from_rho(self.rho_from_key(key))
+        self._value_cache[key] = value
+        return value
 
     def bundle_size(self, extra_counts: Mapping[int, int]) -> int:
         """Total GPUs in a bundle."""

@@ -39,6 +39,28 @@ from repro.workload.job import Job
 #: Internal job descriptor: (remaining_work, parallelism_cap, profile, job_id).
 _JobTuple = tuple[float, int, SensitivityProfile, str]
 
+#: Ceiling on valuations when rho is (degenerately) zero or negative.
+#: ``V = 1/rho`` would otherwise be ``inf``, and the auction's greedy
+#: gain computation and Nash-log-welfare take ``log`` of it — an ``inf``
+#: sort key poisons every downstream comparison.  A large finite value
+#: preserves "this app values any allocation maximally" semantics while
+#: keeping all arithmetic finite.
+VALUE_CEILING = 1e12
+
+
+def value_from_rho(rho: float) -> float:
+    """Auction valuation ``V = 1/rho``, clamped to finite range.
+
+    ``inf`` rho (fully starved) maps to 0; a degenerate ``rho <= 0``
+    maps to :data:`VALUE_CEILING`.  The single conversion point shared
+    by :class:`FairnessEstimator` and :class:`~repro.core.bids.Bid`.
+    """
+    if math.isinf(rho):
+        return 0.0
+    if rho <= 0:
+        return VALUE_CEILING
+    return min(1.0 / rho, VALUE_CEILING)
+
 
 @dataclass(frozen=True)
 class JobAllotment:
@@ -404,9 +426,4 @@ class FairnessEstimator:
         scaling assumption, which the PA mechanism's truthfulness
         argument requires (Section 5.1).
         """
-        rho = self.rho(app, now, extra_counts)
-        if math.isinf(rho):
-            return 0.0
-        if rho <= 0:
-            return math.inf
-        return 1.0 / rho
+        return value_from_rho(self.rho(app, now, extra_counts))

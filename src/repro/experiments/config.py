@@ -39,6 +39,8 @@ class ScenarioConfig:
     record_timeline: bool = False
     max_minutes: Optional[float] = None
     semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS
+    #: Cap on retained contention/timeline samples (None = keep all).
+    downsample: Optional[int] = None
 
     def build_cluster(self) -> Cluster:
         """Materialise the scenario's cluster."""
@@ -60,6 +62,7 @@ class ScenarioConfig:
             semantics=self.semantics,
             max_minutes=self.max_minutes,
             record_timeline=self.record_timeline,
+            downsample=self.downsample,
         )
 
     def replace(self, **changes) -> "ScenarioConfig":

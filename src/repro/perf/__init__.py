@@ -1,0 +1,27 @@
+"""Performance benchmarking: tracked microbenchmarks for the hot paths.
+
+:mod:`repro.perf.bench` times the partial-allocation auction (lazy
+solver vs. the full-rescan reference) and end-to-end simulation runs at
+small/medium/large contention, producing the ``BENCH_auction.json``
+payload the CI regression guard and ``repro bench`` consume.
+"""
+
+from repro.perf.bench import (
+    AUCTION_PROFILES,
+    E2E_PROFILES,
+    AuctionBenchProfile,
+    EndToEndProfile,
+    build_auction_instance,
+    check_regression,
+    run_bench,
+)
+
+__all__ = [
+    "AUCTION_PROFILES",
+    "E2E_PROFILES",
+    "AuctionBenchProfile",
+    "EndToEndProfile",
+    "build_auction_instance",
+    "check_regression",
+    "run_bench",
+]

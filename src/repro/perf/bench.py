@@ -1,0 +1,353 @@
+"""Microbenchmark harness for the PA-auction hot path.
+
+Each :class:`AuctionBenchProfile` describes one contended auction round
+— a cluster size, a contention factor (aggregate unmet demand over
+offered GPUs) and a bidder count — from which a deterministic instance
+is synthesised: apps hold a slice of the cluster already (so the greedy
+solver exercises the gain path, not just rescues), the rest of the
+GPUs form the offered pool, and every app bids through the real
+:class:`~repro.core.bids.Bid` / :class:`~repro.core.fairness.FairnessEstimator`
+machinery.
+
+For every profile the harness times :meth:`PartialAllocationAuction.run`
+with the default lazy solver and (optionally) with the pre-refactor
+full-rescan reference solver, asserts the two outcomes are identical,
+and reports wall-clock plus valuation-probe counts.  The *speedup*
+ratio (reference / lazy on the same machine, same instance) is the
+machine-independent number the CI regression guard tracks across
+commits; absolute seconds are recorded for context only.
+
+End-to-end profiles time a whole ``themis`` simulation through
+:func:`repro.experiments.runner.run_scenario`, covering the simulator's
+round loop (active-job index, batched lease expiries) as well as the
+auction.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import Cluster, ClusterSpec, MachineSpec, build_cluster
+from repro.core.auction import AuctionOutcome, PartialAllocationAuction
+from repro.core.bids import Bid, build_bid
+from repro.core.fairness import FairnessEstimator
+from repro.workload.app import App
+from repro.workload.job import Job, JobSpec
+
+#: Schema version of the BENCH_auction.json payload.
+BENCH_SCHEMA = 1
+
+#: Models sampled for synthetic bench apps (mix of placement-sensitive
+#: and compute-bound profiles so valuations are not all alike).
+_BENCH_MODELS = ("resnet50", "vgg16", "transformer", "inceptionv3", "lstm-lm")
+
+
+@dataclass(frozen=True)
+class AuctionBenchProfile:
+    """One synthetic auction round to benchmark."""
+
+    name: str
+    gpus: int
+    contention: float  # aggregate unmet demand / offered GPUs
+    num_apps: int
+    gpus_per_machine: int = 4
+    held_fraction: float = 0.25  # slice of the cluster apps already hold
+    hidden_payments: bool = True
+    chunk_size: int = 4
+    seed: int = 0
+    #: Skip the (much slower) rescan reference by default for this
+    #: profile; the lazy solver is still timed.
+    reference: bool = True
+
+
+@dataclass(frozen=True)
+class EndToEndProfile:
+    """One whole-simulation run to benchmark."""
+
+    name: str
+    num_apps: int
+    seed: int = 42
+    duration_scale: float = 0.1
+    scheduler: str = "themis"
+
+
+#: The tracked auction profiles: 64–512 GPUs at 2x–8x contention.  The
+#: ``medium`` profile (128 GPUs, 4x contention, hidden payments on) is
+#: the acceptance/CI gate.  ``large`` skips the rescan reference — at
+#: 512 GPUs the O(apps x machines)-per-move rescan needs minutes.
+AUCTION_PROFILES: dict[str, AuctionBenchProfile] = {
+    p.name: p
+    for p in (
+        AuctionBenchProfile(name="small", gpus=64, contention=2.0, num_apps=8),
+        AuctionBenchProfile(name="medium", gpus=128, contention=4.0, num_apps=16),
+        AuctionBenchProfile(
+            name="large", gpus=512, contention=8.0, num_apps=32, reference=False
+        ),
+    )
+}
+
+E2E_PROFILES: dict[str, EndToEndProfile] = {
+    p.name: p
+    for p in (
+        EndToEndProfile(name="e2e-small", num_apps=6, duration_scale=0.05),
+        EndToEndProfile(name="e2e-medium", num_apps=12, duration_scale=0.1),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Instance synthesis
+# ----------------------------------------------------------------------
+def _bench_cluster(profile: AuctionBenchProfile) -> Cluster:
+    machines = max(1, profile.gpus // profile.gpus_per_machine)
+    return build_cluster(
+        ClusterSpec(
+            machine_specs=(
+                MachineSpec(count=machines, gpus_per_machine=profile.gpus_per_machine),
+            ),
+            num_racks=max(1, machines // 8),
+            name=f"bench-{profile.name}",
+        )
+    )
+
+
+def _bench_apps(
+    profile: AuctionBenchProfile, cluster: Cluster, rng: random.Random
+) -> list[App]:
+    """Apps whose aggregate demand hits ``contention x offered GPUs``."""
+    offered = int(round(profile.gpus * (1.0 - profile.held_fraction)))
+    target_demand = int(round(profile.contention * offered))
+    per_job = profile.gpus_per_machine
+    jobs_per_app = max(1, round(target_demand / (per_job * profile.num_apps)))
+    apps = []
+    for index in range(profile.num_apps):
+        jobs = [
+            Job(
+                spec=JobSpec(
+                    job_id=f"b{index}-j{j}",
+                    model=rng.choice(_BENCH_MODELS),
+                    serial_work=rng.uniform(50.0, 400.0),
+                    max_parallelism=per_job,
+                )
+            )
+            for j in range(jobs_per_app)
+        ]
+        apps.append(
+            App(app_id=f"b{index:03d}", arrival_time=rng.uniform(0.0, 120.0), jobs=jobs)
+        )
+    return apps
+
+
+def build_auction_instance(
+    profile: AuctionBenchProfile,
+) -> tuple[dict[int, int], dict[str, Bid]]:
+    """Deterministic (pool, bids) for one profile.
+
+    ``held_fraction`` of the machines are handed whole to apps
+    round-robin before bidding, so bids carry non-empty base
+    allocations and positive current values; the remaining machines
+    form the offered pool.  Fresh :class:`Bid` objects (cold valuation
+    caches) are returned on every call so repeated timings are honest.
+    """
+    rng = random.Random(profile.seed)
+    cluster = _bench_cluster(profile)
+    apps = _bench_apps(profile, cluster, rng)
+    machines = list(cluster.machines)
+    held = machines[: int(len(machines) * profile.held_fraction)]
+    for slot, machine in enumerate(held):
+        app = apps[slot % len(apps)]
+        job = app.jobs[(slot // len(apps)) % len(app.jobs)]
+        job.set_allocation(0.0, job.allocation.union(machine.gpus), overhead=0.0)
+    pool = {
+        machine.machine_id: machine.num_gpus
+        for machine in machines[len(held):]
+    }
+    estimator = FairnessEstimator(cluster)
+    now = 150.0
+    bids = {
+        app.app_id: build_bid(app, estimator, now, pool)
+        for app in apps
+        if app.unmet_demand() > 0
+    }
+    return pool, bids
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def _outcome_digest(outcome: AuctionOutcome) -> list:
+    """Canonical, JSON-stable digest of an auction outcome."""
+    return [
+        sorted(
+            (app_id, sorted(bundle.items()))
+            for app_id, bundle in outcome.winners.items()
+        ),
+        sorted(outcome.payments.items()),
+        sorted(outcome.leftover.items()),
+        outcome.nash_log_welfare,
+    ]
+
+
+def _time_solver(
+    profile: AuctionBenchProfile, solver: str, repeats: int
+) -> tuple[dict, list]:
+    """Time ``auction.run`` on fresh instances; returns (record, digest)."""
+    auction = PartialAllocationAuction(chunk_size=profile.chunk_size, solver=solver)
+    seconds: list[float] = []
+    digest: list = []
+    probes = lookups = moves = pair_scores = 0
+    for _ in range(max(1, repeats)):
+        pool, bids = build_auction_instance(profile)
+        start = time.perf_counter()
+        outcome = auction.run(
+            pool, bids, apply_hidden_payments=profile.hidden_payments
+        )
+        seconds.append(time.perf_counter() - start)
+        digest = _outcome_digest(outcome)
+        probes = sum(bid.rho_probes for bid in bids.values())
+        lookups = sum(bid.rho_lookups for bid in bids.values())
+        moves = auction.last_stats.moves
+        pair_scores = auction.last_stats.pair_scores
+    record = {
+        "seconds": min(seconds),
+        "seconds_mean": statistics.fmean(seconds),
+        "repeats": len(seconds),
+        "rho_probes": probes,
+        "rho_lookups": lookups,
+        "solver_moves": moves,
+        "solver_pair_scores": pair_scores,
+    }
+    return record, digest
+
+
+def run_auction_bench(
+    profile: AuctionBenchProfile,
+    repeats: int = 3,
+    include_reference: Optional[bool] = None,
+) -> dict:
+    """Benchmark one auction profile; returns its JSON record."""
+    if include_reference is None:
+        include_reference = profile.reference
+    fast, fast_digest = _time_solver(profile, "lazy", repeats)
+    record = {
+        "gpus": profile.gpus,
+        "contention": profile.contention,
+        "apps": profile.num_apps,
+        "hidden_payments": profile.hidden_payments,
+        "fast": fast,
+    }
+    if include_reference:
+        reference, ref_digest = _time_solver(profile, "rescan", repeats)
+        record["reference"] = reference
+        record["identical_outcomes"] = fast_digest == ref_digest
+        record["speedup"] = (
+            reference["seconds"] / fast["seconds"] if fast["seconds"] > 0 else None
+        )
+    return record
+
+
+def run_end_to_end_bench(profile: EndToEndProfile, repeats: int = 1) -> dict:
+    """Time a full simulation run (imports deferred: heavier module)."""
+    from repro.experiments.config import sim_scenario
+    from repro.experiments.runner import run_scenario
+
+    scenario = sim_scenario(
+        num_apps=profile.num_apps,
+        seed=profile.seed,
+        duration_scale=profile.duration_scale,
+    )
+    seconds = []
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run_scenario(scenario, profile.scheduler)
+        seconds.append(time.perf_counter() - start)
+    return {
+        "apps": profile.num_apps,
+        "scheduler": profile.scheduler,
+        "seconds": min(seconds),
+        "repeats": len(seconds),
+        "makespan": result.makespan,
+        "num_rounds": result.num_rounds,
+        "events_processed": result.events_processed,
+    }
+
+
+def run_bench(
+    profiles: Sequence[str] = ("small", "medium", "large"),
+    e2e_profiles: Sequence[str] = ("e2e-small", "e2e-medium"),
+    repeats: int = 3,
+    include_reference: Optional[bool] = None,
+) -> dict:
+    """Run the selected profiles and assemble the BENCH payload."""
+    payload: dict = {"schema": BENCH_SCHEMA, "auction": {}, "end_to_end": {}}
+    for name in profiles:
+        payload["auction"][name] = run_auction_bench(
+            AUCTION_PROFILES[name], repeats=repeats, include_reference=include_reference
+        )
+    for name in e2e_profiles:
+        payload["end_to_end"][name] = run_end_to_end_bench(
+            E2E_PROFILES[name], repeats=repeats
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Regression guard
+# ----------------------------------------------------------------------
+def check_regression(
+    current: Mapping,
+    baseline: Mapping,
+    max_slowdown: float = 2.0,
+    gate_profiles: Sequence[str] = ("medium",),
+) -> list[str]:
+    """Compare a fresh bench run against a committed baseline.
+
+    The guarded metric is the *speedup ratio* (rescan reference over
+    lazy solver, measured on the same machine in the same process),
+    which is comparable across machines; a profile regresses when its
+    ratio falls below ``baseline / max_slowdown``.  Outcome divergence
+    between the two solvers is always a failure.  Returns a list of
+    failure messages (empty = pass).
+    """
+    failures: list[str] = []
+    for name in gate_profiles:
+        cur = current.get("auction", {}).get(name)
+        base = baseline.get("auction", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: profile missing from current run")
+            continue
+        if cur.get("identical_outcomes") is False:
+            failures.append(f"{name}: lazy and rescan solvers diverged")
+        if base is None:
+            continue  # new profile: nothing to compare against yet
+        cur_speedup = cur.get("speedup")
+        base_speedup = base.get("speedup")
+        if cur_speedup is None or base_speedup is None:
+            continue
+        floor = base_speedup / max_slowdown
+        if cur_speedup < floor:
+            failures.append(
+                f"{name}: auction solve regressed — speedup {cur_speedup:.2f}x "
+                f"vs baseline {base_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def load_bench(path: str) -> dict:
+    """Read a BENCH_auction.json payload."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_bench(payload: Mapping, path: str) -> None:
+    """Write a BENCH_auction.json payload (stable key order)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

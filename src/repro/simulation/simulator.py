@@ -39,6 +39,42 @@ from repro.workload.trace import Trace
 _WORK_EPSILON = 1e-6
 
 
+class DownsampledSeries:
+    """Append-only series bounded to at most ``cap`` retained entries.
+
+    Accepts every ``stride``-th appended item; whenever the retained
+    list would exceed ``cap``, every second retained entry is dropped
+    and the stride doubles.  The retained set is always "every
+    ``stride``-th append", so long traces keep an evenly thinned record
+    instead of growing without bound (or truncating one end).
+    """
+
+    __slots__ = ("cap", "_stride", "_appends", "_items")
+
+    def __init__(self, cap: int) -> None:
+        if cap < 2:
+            raise ValueError(f"downsample cap must be >= 2, got {cap}")
+        self.cap = cap
+        self._stride = 1
+        self._appends = 0
+        self._items: list = []
+
+    def append(self, item) -> None:
+        """Record ``item`` if it falls on the current stride."""
+        if self._appends % self._stride == 0:
+            self._items.append(item)
+            if len(self._items) > self.cap:
+                self._items = self._items[::2]
+                self._stride *= 2
+        self._appends += 1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Runtime knobs shared by all schedulers under comparison."""
@@ -48,12 +84,17 @@ class SimulationConfig:
     semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS
     max_minutes: Optional[float] = None
     record_timeline: bool = False
+    #: Cap on retained ``contention_samples`` / ``timeline`` entries
+    #: (``None`` keeps every sample — unbounded on long traces).
+    downsample: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lease_minutes <= 0:
             raise ValueError(f"lease_minutes must be > 0, got {self.lease_minutes}")
         if self.restart_overhead_minutes < 0:
             raise ValueError("restart_overhead_minutes must be >= 0")
+        if self.downsample is not None and self.downsample < 2:
+            raise ValueError(f"downsample must be >= 2, got {self.downsample}")
 
     def to_json(self) -> dict:
         """Plain-JSON dict (enums by value) for the result cache."""
@@ -213,15 +254,25 @@ class ClusterSimulator:
         self.engine = SimulationEngine()
         self.leases = LeaseManager()
         self.active_apps: dict[str, App] = {}
+        #: Jobs of arrived apps still able to consume GPUs; kept so a
+        #: round advances O(active jobs) instead of rescanning every
+        #: app x job pair.  Inactive jobs are dropped lazily.
+        self._active_jobs: dict[str, Job] = {}
         self._job_events: dict[str, Event] = {}
         self._job_owner: dict[str, App] = {}
         self._auction_pending = False
         self._last_round: tuple[float, frozenset[int]] | None = None
         self._down_gpu_ids: set[int] = set()
+        #: Expiry timestamps with a pending LEASE_EXPIRY event; K leases
+        #: expiring at one instant schedule one event, not K.
+        self._expiry_times_scheduled: set[float] = set()
         self.num_rounds = 0
         self.peak_contention = 0.0
-        self.contention_samples: list[tuple[float, float]] = []
-        self.timeline: list[tuple[float, str, int]] = []
+        cap = self.config.downsample
+        self.contention_samples = (
+            DownsampledSeries(cap) if cap else []
+        )  # type: ignore[assignment]
+        self.timeline = DownsampledSeries(cap) if cap else []  # type: ignore[assignment]
         for app in self.apps:
             for job in app.jobs:
                 self._job_owner[job.job_id] = app
@@ -253,6 +304,8 @@ class ClusterSimulator:
             self.active_apps[app.app_id] = app
             for job in app.jobs:
                 job.last_update = engine.now
+                if job.is_active:
+                    self._active_jobs[job.job_id] = job
             hook = getattr(self.scheduler, "on_app_arrival", None)
             if callable(hook):
                 hook(engine.now, app)
@@ -274,6 +327,7 @@ class ClusterSimulator:
         self._run_round(engine.now)
 
     def _lease_expiry_callback(self, engine: SimulationEngine, event: Event) -> None:
+        self._expiry_times_scheduled.discard(event.time)
         self._request_round()
 
     def _make_job_finish_callback(self, job: Job):
@@ -299,11 +353,9 @@ class ClusterSimulator:
         self._process_tuners(now)
         self._sample_contention(now)
         pool = self.leases.pool_for_auction(now, self.cluster.gpus)
-        pool = [
-            gpu
-            for gpu in pool
-            if gpu.gpu_id not in self._down_gpu_ids and self._reclaimable(gpu)
-        ]
+        pool = [gpu for gpu in pool if gpu.gpu_id not in self._down_gpu_ids]
+        for gpu in pool:
+            self._release_orphaned_lease(gpu)
         if not pool:
             return
         round_key = (now, frozenset(gpu.gpu_id for gpu in pool))
@@ -314,24 +366,26 @@ class ClusterSimulator:
         assignment = self.scheduler.assign(now, pool)
         self._apply_assignment(now, pool, assignment)
 
-    def _reclaimable(self, gpu: Gpu) -> bool:
-        """A pooled GPU is reclaimable unless its holder vanished mid-round."""
+    def _release_orphaned_lease(self, gpu: Gpu) -> None:
+        """Free a pooled GPU whose lease holder vanished mid-round.
+
+        A finished app's leases should already have been released; this
+        is a belt-and-braces sweep (every pooled GPU stays reclaimable
+        either way, so there is nothing to filter on).
+        """
         lease = self.leases.lease_of(gpu)
-        if lease is None:
-            return True
-        app = self.active_apps.get(lease.app_id)
-        if app is None:
-            # Holder finished; its leases should already be released, but
-            # be safe and free the GPU now.
+        if lease is not None and lease.app_id not in self.active_apps:
             self.leases.release(gpu)
-            return True
-        return True
 
     def _advance_active_jobs(self, now: float) -> None:
-        for app in self.active_apps.values():
-            for job in app.jobs:
-                if job.is_active:
-                    job.advance_to(now)
+        stale: list[str] = []
+        for job_id, job in self._active_jobs.items():
+            if job.is_active:
+                job.advance_to(now)
+            else:
+                stale.append(job_id)
+        for job_id in stale:
+            del self._active_jobs[job_id]
 
     def _process_tuners(self, now: float) -> None:
         """Let intra-app schedulers kill hyper-parameter losers."""
@@ -441,12 +495,17 @@ class ClusterSimulator:
                 new_lease = self.leases.grant(
                     gpu, app.app_id, job.job_id, now, self.config.lease_minutes
                 )
-                self.engine.schedule(
-                    new_lease.expiry,
-                    self._lease_expiry_callback,
-                    kind=EventKind.LEASE_EXPIRY,
-                    label=f"lease:{gpu.gpu_id}",
-                )
+                # One expiry event per distinct timestamp: a round that
+                # grants K leases (same ``now``, same duration) used to
+                # schedule K identical wake-ups.
+                if new_lease.expiry not in self._expiry_times_scheduled:
+                    self._expiry_times_scheduled.add(new_lease.expiry)
+                    self.engine.schedule(
+                        new_lease.expiry,
+                        self._lease_expiry_callback,
+                        kind=EventKind.LEASE_EXPIRY,
+                        label=f"lease:{new_lease.expiry:.3f}",
+                    )
             else:
                 lease.job_id = job.job_id
 
@@ -581,8 +640,8 @@ class ClusterSimulator:
             makespan=now,
             completed=completed,
             peak_contention=self.peak_contention,
-            contention_samples=self.contention_samples,
-            timeline=self.timeline,
+            contention_samples=list(self.contention_samples),
+            timeline=list(self.timeline),
             num_rounds=self.num_rounds,
             events_processed=self.engine.events_processed,
             total_gpu_time=sum(s.gpu_time for s in stats),

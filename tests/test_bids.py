@@ -115,3 +115,44 @@ def test_starved_rho_not_noised(estimator):
     app = make_app()
     bid = build_bid(app, estimator, now=5.0, offered_counts={0: 4}, noise_theta=0.2)
     assert math.isinf(bid.rho_of({}))
+
+
+def test_zero_rho_value_clamped_to_finite_ceiling(estimator):
+    """rho <= 0 (all work done at arrival) must not produce an inf value:
+    the auction's greedy gains and nash_log_welfare take log(V)."""
+    from repro.core.fairness import VALUE_CEILING
+
+    app = make_app(num_jobs=2)
+    for job in app.jobs:
+        job.kill(0.0)
+    bid = build_bid(app, estimator, now=0.0, offered_counts={0: 4})
+    assert bid.rho_of({}) == 0.0
+    value = bid.value_of({})
+    assert value == VALUE_CEILING
+    assert math.isfinite(value)
+    assert math.isfinite(math.log(value))
+
+
+def test_injected_zero_rho_bundle_clamped(estimator):
+    """Any bundle whose (possibly noisy) rho degenerates to <= 0 clamps."""
+    from repro.core.fairness import VALUE_CEILING
+
+    app = make_app(num_jobs=2, max_parallelism=2)
+    bid = build_bid(app, estimator, now=10.0, offered_counts={0: 4})
+    bid._rho_cache[((0, 2),)] = 0.0
+    assert bid.value_of({0: 2}) == VALUE_CEILING
+    # The clamped value must be cached and stable.
+    assert bid.value_of({0: 2}) == VALUE_CEILING
+
+
+def test_value_cache_shared_across_probes(estimator):
+    app = make_app(num_jobs=2, max_parallelism=2)
+    bid = build_bid(app, estimator, now=10.0, offered_counts={0: 4})
+    before = bid.rho_probes
+    first = bid.value_of({0: 2})
+    probes_after_first = bid.rho_probes
+    assert probes_after_first == before + 1
+    assert bid.value_of({0: 2}) == first
+    assert bid.value_from_key(((0, 2),)) == first
+    assert bid.rho_probes == probes_after_first  # all cache hits
+    assert bid.rho_lookups >= probes_after_first

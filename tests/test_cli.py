@@ -133,3 +133,49 @@ def test_compare_with_workers_and_cache(tmp_path, capsys):
     )
     assert code == 0
     assert "fifo" in out and "tiresias" in out
+
+
+def test_bench_small_profile(capsys, tmp_path):
+    out_path = tmp_path / "bench.json"
+    code, out, _ = run_cli(
+        capsys, "bench", "--profiles", "small", "--e2e", "",
+        "--repeats", "1", "--out", str(out_path),
+    )
+    assert code == 0
+    assert "speedup" in out
+    import json
+    payload = json.loads(out_path.read_text())
+    record = payload["auction"]["small"]
+    assert record["identical_outcomes"] is True
+    assert record["fast"]["seconds"] > 0
+    assert record["reference"]["seconds"] > 0
+
+
+def test_bench_unknown_profile(capsys):
+    code, _, err = run_cli(capsys, "bench", "--profiles", "bogus", "--e2e", "")
+    assert code == 2
+    assert "bogus" in err
+
+
+def test_bench_regression_check(capsys, tmp_path):
+    import json
+    # A baseline with a tiny speedup can never fail the >=baseline/2 gate;
+    # an absurdly large one always does.
+    lenient = tmp_path / "lenient.json"
+    lenient.write_text(json.dumps(
+        {"schema": 1, "auction": {"medium": {"speedup": 0.01}}}))
+    strict = tmp_path / "strict.json"
+    strict.write_text(json.dumps(
+        {"schema": 1, "auction": {"medium": {"speedup": 1e9}}}))
+    code, out, _ = run_cli(
+        capsys, "bench", "--profiles", "medium", "--e2e", "", "--repeats", "1",
+        "--check", str(lenient),
+    )
+    assert code == 0
+    assert "regression check passed" in out
+    code, _, err = run_cli(
+        capsys, "bench", "--profiles", "medium", "--e2e", "", "--repeats", "1",
+        "--check", str(strict),
+    )
+    assert code == 1
+    assert "REGRESSION" in err

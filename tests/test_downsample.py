@@ -1,0 +1,66 @@
+"""Bounded contention/timeline recording (the ``downsample`` knob)."""
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.experiments.runner import run_scenario
+from repro.simulation.simulator import DownsampledSeries, SimulationConfig
+
+
+def test_series_respects_cap_at_any_length():
+    for cap in (2, 3, 8, 50):
+        series = DownsampledSeries(cap)
+        for i in range(1000):
+            series.append(i)
+            assert len(series) <= cap
+        assert len(series) >= cap // 2  # decimation never empties it
+
+
+def test_series_keeps_every_strideth_append():
+    series = DownsampledSeries(4)
+    for i in range(16):
+        series.append(i)
+    items = list(series)
+    assert items[0] == 0
+    strides = {b - a for a, b in zip(items, items[1:])}
+    assert len(strides) == 1  # evenly thinned, not truncated
+
+
+def test_series_below_cap_keeps_everything():
+    series = DownsampledSeries(100)
+    for i in range(50):
+        series.append(i)
+    assert list(series) == list(range(50))
+
+
+def test_series_rejects_degenerate_cap():
+    with pytest.raises(ValueError):
+        DownsampledSeries(1)
+
+
+def test_config_validates_downsample():
+    with pytest.raises(ValueError):
+        SimulationConfig(downsample=1)
+    assert SimulationConfig(downsample=16).downsample == 16
+
+
+def test_config_json_round_trip_with_downsample():
+    config = SimulationConfig(downsample=32)
+    assert SimulationConfig.from_json(config.to_json()) == config
+
+
+def test_bounded_run_stays_within_cap_and_metrics_match():
+    scenario = tiny_scenario(num_apps=4, seed=5).replace(record_timeline=True)
+    unbounded = run_scenario(scenario, "themis")
+    cap = 16
+    assert len(unbounded.contention_samples) > cap  # knob actually bites
+    bounded = run_scenario(scenario.replace(downsample=cap), "themis")
+    assert len(bounded.contention_samples) <= cap
+    assert len(bounded.timeline) <= cap
+    # Recording granularity must not perturb the simulation itself.
+    assert bounded.rhos() == unbounded.rhos()
+    assert bounded.makespan == unbounded.makespan
+    assert bounded.num_rounds == unbounded.num_rounds
+    # Retained samples are a subsequence of the unbounded record.
+    it = iter(unbounded.contention_samples)
+    assert all(sample in it for sample in bounded.contention_samples)
