@@ -8,7 +8,10 @@ Examples::
     python -m repro figure fig09 --workers 4 --cache-dir .sweep-cache
     python -m repro sweep --schedulers themis,tiresias,gandiva \\
         --seeds 1,2,3,4 --workers 4 --cache-dir .sweep-cache
+    python -m repro sweep --cluster hetero --gpu-mix v100:0.5,p100:0.25,k80:0.25 \\
+        --schedulers themis,tiresias --seeds 1,2
     python -m repro bench --quick --check BENCH_auction.json
+    python -m repro cache prune --dir .sweep-cache --max-age-days 30
     python -m repro trace --apps 30 --out trace.jsonl
 
 The CLI is a thin shell over :mod:`repro.experiments` and
@@ -23,7 +26,13 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.experiments.config import ScenarioConfig, sim_scenario, testbed_scenario
+from repro.cluster.topology import DEFAULT_GPU_MIX
+from repro.experiments.config import (
+    ScenarioConfig,
+    hetero_scenario,
+    sim_scenario,
+    testbed_scenario,
+)
 from repro.experiments.figures import (
     fig01_task_duration_cdf,
     fig02_placement_throughput,
@@ -38,6 +47,7 @@ from repro.experiments.figures import (
 from repro.experiments.report import format_figure, format_table
 from repro.experiments.runner import compare_schedulers, run_scenario
 from repro.metrics.fairness import jain_index, max_fairness
+from repro.metrics.hetero import is_heterogeneous, per_type_rows
 from repro.metrics.jct import average_jct
 from repro.metrics.placement import score_summary
 from repro.schedulers.registry import SCHEDULER_NAMES
@@ -96,6 +106,25 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _gpu_mix(text: str) -> tuple[tuple[str, float], ...]:
+    """Parse ``v100:0.5,p100:0.25,k80:0.25`` into a gpu_mix tuple."""
+    try:
+        pairs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, fraction = part.split(":")
+            pairs.append((name.strip(), float(fraction)))
+        if not pairs:
+            raise ValueError
+        return tuple(pairs)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected name:fraction pairs like 'v100:0.5,k80:0.5', got {text!r}"
+        )
+
+
 def _parse_schedulers(text: str) -> Optional[list[str]]:
     """Split/validate a scheduler list; None (plus stderr) on unknown names.
 
@@ -112,17 +141,31 @@ def _parse_schedulers(text: str) -> Optional[list[str]]:
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
-    builder = sim_scenario if args.cluster == "sim" else testbed_scenario
-    return builder(
-        num_apps=args.apps,
-        seed=args.seed,
-        duration_scale=args.duration_scale,
-    ).replace(lease_minutes=args.lease)
+    if args.cluster == "hetero":
+        scenario = hetero_scenario(
+            num_apps=args.apps,
+            seed=args.seed,
+            duration_scale=args.duration_scale,
+            gpu_mix=args.gpu_mix,
+        )
+    else:
+        builder = sim_scenario if args.cluster == "sim" else testbed_scenario
+        scenario = builder(
+            num_apps=args.apps,
+            seed=args.seed,
+            duration_scale=args.duration_scale,
+        )
+    return scenario.replace(lease_minutes=args.lease)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser, default_apps: int) -> None:
-    parser.add_argument("--cluster", choices=("sim", "testbed"), default="testbed",
-                        help="256-GPU simulated cluster or 50-GPU testbed")
+    parser.add_argument("--cluster", choices=("sim", "testbed", "hetero"),
+                        default="testbed",
+                        help="256-GPU simulated cluster, 50-GPU testbed, or the "
+                             "mixed-generation 256-GPU fleet")
+    parser.add_argument("--gpu-mix", type=_gpu_mix, default=DEFAULT_GPU_MIX,
+                        help="GPU-generation mixture for --cluster hetero, "
+                             "e.g. v100:0.5,p100:0.25,k80:0.25")
     parser.add_argument("--apps", type=int, default=default_apps,
                         help="number of apps to generate")
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
@@ -141,7 +184,7 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
 
 def _fill_duration_default(args: argparse.Namespace) -> None:
     if args.duration_scale is None:
-        args.duration_scale = 0.4 if args.cluster == "sim" else 0.08
+        args.duration_scale = 0.4 if args.cluster in ("sim", "hetero") else 0.08
 
 
 def _summary_row(name: str, result) -> list:
@@ -258,6 +301,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             + [record.status, record.duration_seconds]
         )
     print(format_table(_SUMMARY_HEADERS + ["status", "seconds"], rows))
+    _print_per_type_breakdown(tasks, report)
+    if args.seeds and len(args.seeds) > 1:
+        agg_rows = report.aggregate(tasks)
+        if agg_rows:
+            print("\ncross-seed aggregation (mean +/- 95% CI):")
+            headers = list(agg_rows[0].keys())
+            print(format_table(headers, [[row.get(h) for h in headers] for row in agg_rows]))
     print(report.summary())
     if args.out:
         payload = {
@@ -281,6 +331,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"FAILED {record.task_id}:\n{record.error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _print_per_type_breakdown(tasks, report) -> None:
+    """Per-GPU-generation metric rows for heterogeneous sweep cells."""
+    type_rows = []
+    for task in tasks:
+        result = report.results.get(task.task_id)
+        if result is None or not is_heterogeneous(result):
+            continue
+        for row in per_type_rows(result):
+            type_rows.append(
+                [
+                    task.task_id,
+                    row["gpu_type"],
+                    row["gpus"],
+                    row["gpu_time"],
+                    row["utilization"],
+                    row["weighted_rho"],
+                    row["weighted_jct"],
+                    row["weighted_placement"],
+                ]
+            )
+    if type_rows:
+        print("\nper-GPU-type breakdown (rho/jct/placement weighted by GPU time):")
+        print(format_table(
+            ["task", "gpu_type", "gpus", "gpu_time", "util",
+             "rho", "jct", "placement"],
+            type_rows,
+        ))
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -343,9 +422,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench(payload, args.out)
         print(f"wrote {args.out}")
     if baseline is not None:
-        gate = tuple(p for p in ("medium",) if p in profiles)
+        gate = tuple(p for p in ("medium", "hetero-medium") if p in profiles)
         if not gate:
-            print("regression check skipped: no gated profile (medium) in this run")
+            print("regression check skipped: no gated profile "
+                  "(medium/hetero-medium) in this run")
             return 0
         failures = check_regression(
             payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
@@ -355,6 +435,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"REGRESSION {failure}", file=sys.stderr)
             return 1
         print("regression check passed vs", args.check)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweep import ResultCache
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"no cache directory at {directory}", file=sys.stderr)
+        return 2
+    cache = ResultCache(directory)
+    entries = cache.entries()
+    if args.action == "stats":
+        total = sum(e.size_bytes for e in entries)
+        print(f"{len(entries)} entries, {total / 1e6:.2f} MB in {directory}")
+        print(f"schema version: {cache.schema_version}")
+        if entries:
+            import datetime
+
+            oldest = datetime.datetime.fromtimestamp(entries[0].modified)
+            newest = datetime.datetime.fromtimestamp(entries[-1].modified)
+            print(f"oldest entry: {oldest:%Y-%m-%d %H:%M}, newest: {newest:%Y-%m-%d %H:%M}")
+        return 0
+    if args.action == "list":
+        rows = []
+        for entry in entries[-args.limit:] if args.limit else entries:
+            header = entry.describe()
+            rows.append([
+                entry.key[:12],
+                header.get("task_id") or "?",
+                header.get("schema_version"),
+                entry.size_bytes,
+            ])
+        print(format_table(["key", "task_id", "schema", "bytes"], rows))
+        return 0
+    # prune
+    kwargs = {}
+    if args.max_age_days is not None:
+        kwargs["max_age_seconds"] = args.max_age_days * 86400.0
+    if args.max_size_mb is not None:
+        kwargs["max_total_bytes"] = int(args.max_size_mb * 1e6)
+    if args.max_entries is not None:
+        kwargs["max_entries"] = args.max_entries
+    try:
+        stats = cache.prune(**kwargs)
+    except ValueError as error:
+        print(f"cache prune: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"pruned {stats.removed} entries ({stats.bytes_freed / 1e6:.2f} MB), "
+        f"{stats.kept} kept, {stats.tmp_removed} orphaned temp files removed"
+    )
     return 0
 
 
@@ -428,8 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--profiles", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
-        default=["small", "medium", "large"],
-        help="comma-separated auction profiles (small,medium,large)",
+        default=["small", "medium", "hetero-medium", "large"],
+        help="comma-separated auction profiles "
+             "(small,medium,hetero-medium,large)",
     )
     bench_parser.add_argument(
         "--e2e", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
@@ -448,6 +583,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--max-slowdown", type=float, default=2.0,
                               help="allowed speedup-ratio slack vs the baseline")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or prune a sweep result-cache directory"
+    )
+    cache_parser.add_argument("action", choices=("stats", "list", "prune"),
+                              help="stats: totals; list: entries; prune: GC")
+    cache_parser.add_argument("--dir", default=".sweep-cache",
+                              help="cache directory (default .sweep-cache)")
+    cache_parser.add_argument("--limit", type=_positive_int, default=None,
+                              help="list: show only the newest N entries")
+    cache_parser.add_argument("--max-age-days", type=float, default=None,
+                              help="prune: drop entries older than this")
+    cache_parser.add_argument("--max-size-mb", type=float, default=None,
+                              help="prune: keep total size under this bound")
+    cache_parser.add_argument("--max-entries", type=int, default=None,
+                              help="prune: keep at most this many entries")
+    cache_parser.set_defaults(func=_cmd_cache)
 
     trace_parser = sub.add_parser("trace", help="generate a trace JSONL file")
     trace_parser.add_argument("--apps", type=int, default=30)

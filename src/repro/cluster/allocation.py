@@ -28,12 +28,14 @@ class Allocation:
     3
     """
 
-    __slots__ = ("_gpus", "_key")
+    __slots__ = ("_gpus", "_key", "_effective", "_type_counts")
 
     def __init__(self, gpus: Iterable[Gpu] = ()) -> None:
         unique = {gpu.gpu_id: gpu for gpu in gpus}
         self._gpus: tuple[Gpu, ...] = tuple(unique[g] for g in sorted(unique))
         self._key = frozenset(unique)
+        self._effective: float | None = None
+        self._type_counts: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Basic container behaviour
@@ -52,6 +54,27 @@ class Allocation:
     def gpu_ids(self) -> frozenset[int]:
         """The member GPU ids."""
         return self._key
+
+    @property
+    def effective_size(self) -> float:
+        """Speed-weighted GPU count (= ``size`` on homogeneous clusters).
+
+        The unit every heterogeneity-aware estimate works in: a V100
+        counts 1.0, an older generation counts its speed factor.
+        """
+        if self._effective is None:
+            self._effective = sum(gpu.speed for gpu in self._gpus)
+        return self._effective
+
+    def per_type_counts(self) -> dict[str, int]:
+        """Map GPU-type name -> number of member GPUs of that generation."""
+        if self._type_counts is None:
+            counts: dict[str, int] = {}
+            for gpu in self._gpus:
+                name = gpu.gpu_type.name
+                counts[name] = counts.get(name, 0) + 1
+            self._type_counts = counts
+        return dict(self._type_counts)
 
     def __len__(self) -> int:
         return len(self._gpus)

@@ -11,6 +11,14 @@ The paper evaluates on two clusters:
 Arbitrary clusters are described with :class:`ClusterSpec` and built with
 :func:`build_cluster`.
 
+Beyond the paper, GPUs carry a :class:`GpuType` (generation name +
+relative speed factor), so mixed V100/P100/K80-style fleets are
+first-class: :func:`mixed_sim_cluster` builds the paper-shaped cluster
+with a generation mixture, and :class:`ClusterCapacity` exposes the
+speed-sorted compute totals the fairness estimator needs.  A cluster
+whose GPUs are all speed 1.0 behaves bit-identically to the original
+homogeneous model.
+
 Topology is immutable after construction; allocation state (who holds a
 GPU) lives in the simulator, not here, so topology objects can be shared
 freely between scheduler instances under comparison.
@@ -19,7 +27,55 @@ freely between scheduler instances under comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence, Union
+
+
+@dataclass(frozen=True)
+class GpuType:
+    """One GPU generation: a name and a relative speed factor.
+
+    ``speed`` is throughput relative to the cluster's reference
+    generation (1.0 = fastest).  A job placed on ``G`` GPUs of speed
+    ``s`` progresses at ``G * s`` work-units per minute before the
+    placement slowdown ``S`` is applied, so *effective compute* — the
+    speed-weighted GPU count — replaces raw counts wherever progress,
+    valuations or fairness are estimated.
+    """
+
+    name: str
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gpu type needs a non-empty name")
+        if self.speed <= 0:
+            raise ValueError(f"gpu speed must be > 0, got {self.speed}")
+
+
+#: The implicit generation of every GPU before heterogeneity is opted
+#: into.  Speed 1.0 everywhere reproduces the homogeneous model exactly.
+DEFAULT_GPU_TYPE = GpuType("default", 1.0)
+
+#: Named generations for the mixed-fleet presets.  Relative speeds
+#: follow the rough V100 : P100 : K80 ResNet-class throughput ratios
+#: reported by heterogeneity-aware follow-on work (Gavel et al.).
+GPU_TYPES: dict[str, GpuType] = {
+    "v100": GpuType("v100", 1.0),
+    "p100": GpuType("p100", 0.6),
+    "k80": GpuType("k80", 0.35),
+}
+
+
+def resolve_gpu_type(gpu_type: Union[str, GpuType]) -> GpuType:
+    """Accept a :class:`GpuType` or a preset name from :data:`GPU_TYPES`."""
+    if isinstance(gpu_type, GpuType):
+        return gpu_type
+    key = str(gpu_type).lower()
+    if key == DEFAULT_GPU_TYPE.name:
+        return DEFAULT_GPU_TYPE
+    if key not in GPU_TYPES:
+        raise KeyError(f"unknown gpu type {gpu_type!r}; available: {sorted(GPU_TYPES)}")
+    return GPU_TYPES[key]
 
 
 @dataclass(frozen=True)
@@ -29,15 +85,24 @@ class Gpu:
     ``slot_id`` identifies the NVLink island within the machine; GPUs in
     the same slot communicate over NVLink, GPUs in different slots of the
     same machine over PCIe (paper's 4-level locality, Section 8.1).
+    ``gpu_type`` carries the device generation; machines are internally
+    homogeneous, so every GPU of a machine shares one type.
     """
 
     gpu_id: int
     machine_id: int
     rack_id: int
     slot_id: int
+    gpu_type: GpuType = DEFAULT_GPU_TYPE
+
+    @property
+    def speed(self) -> float:
+        """Relative speed factor of this GPU's generation."""
+        return self.gpu_type.speed
 
     def __repr__(self) -> str:
-        return f"Gpu({self.gpu_id}@m{self.machine_id}/r{self.rack_id}/s{self.slot_id})"
+        suffix = "" if self.gpu_type is DEFAULT_GPU_TYPE else f"/{self.gpu_type.name}"
+        return f"Gpu({self.gpu_id}@m{self.machine_id}/r{self.rack_id}/s{self.slot_id}{suffix})"
 
 
 @dataclass(frozen=True)
@@ -53,6 +118,7 @@ class MachineSpec:
     count: int
     gpus_per_machine: int
     nvlink_group_size: int = 2
+    gpu_type: GpuType = DEFAULT_GPU_TYPE
 
     def __post_init__(self) -> None:
         if self.count < 0:
@@ -94,11 +160,23 @@ class ClusterSpec:
 
 
 class Machine:
-    """A machine holding one or more GPUs, possibly in NVLink slot groups."""
+    """A machine holding one or more GPUs, possibly in NVLink slot groups.
+
+    Machines are internally homogeneous: all GPUs share one
+    :class:`GpuType`.  This is what lets the auction keep its
+    per-machine *count* bid representation under heterogeneity — a
+    count on a machine implies a speed class.
+    """
 
     def __init__(self, machine_id: int, rack_id: int, gpus: list[Gpu]) -> None:
         if not gpus:
             raise ValueError("a machine must hold at least one GPU")
+        if len({gpu.gpu_type for gpu in gpus}) > 1:
+            raise ValueError(
+                f"machine {machine_id} mixes GPU types "
+                f"{sorted({gpu.gpu_type.name for gpu in gpus})}; "
+                "machines must be internally homogeneous"
+            )
         self.machine_id = machine_id
         self.rack_id = rack_id
         self.gpus: tuple[Gpu, ...] = tuple(gpus)
@@ -107,6 +185,16 @@ class Machine:
     def num_gpus(self) -> int:
         """Number of GPUs installed in this machine."""
         return len(self.gpus)
+
+    @property
+    def gpu_type(self) -> GpuType:
+        """The (single) GPU generation installed in this machine."""
+        return self.gpus[0].gpu_type
+
+    @property
+    def speed(self) -> float:
+        """Relative speed factor of this machine's GPUs."""
+        return self.gpus[0].gpu_type.speed
 
     @property
     def slot_ids(self) -> tuple[int, ...]:
@@ -119,6 +207,67 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine(m{self.machine_id}, rack={self.rack_id}, gpus={self.num_gpus})"
+
+
+class ClusterCapacity:
+    """Speed-sorted compute capacity: ``fastest(n)`` prefix sums.
+
+    The ideal running time of Section 5.2 assumes the app runs alone
+    with perfect placement; under heterogeneity "alone on the cluster"
+    means "on the *fastest* N GPUs", so T_id divides work by the sum of
+    the top-N speed factors.  For an all-speed-1.0 cluster
+    ``fastest(n) == float(n)`` exactly and every derived quantity is
+    bit-identical to the homogeneous count model.
+    """
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, speeds: Iterable[float]) -> None:
+        ordered = sorted(speeds, reverse=True)
+        if not ordered:
+            raise ValueError("capacity needs at least one GPU speed")
+        if ordered[-1] <= 0:
+            raise ValueError("gpu speeds must be > 0")
+        prefix = [0.0]
+        total = 0.0
+        for speed in ordered:
+            total += speed
+            prefix.append(total)
+        self._prefix: tuple[float, ...] = tuple(prefix)
+
+    @classmethod
+    def uniform(cls, num_gpus: int) -> "ClusterCapacity":
+        """Capacity of ``num_gpus`` speed-1.0 GPUs (the legacy count model)."""
+        if num_gpus <= 0:
+            raise ValueError(f"cluster_gpus must be > 0, got {num_gpus}")
+        return cls([1.0] * num_gpus)
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs backing this capacity."""
+        return len(self._prefix) - 1
+
+    @property
+    def total(self) -> float:
+        """Aggregate speed-weighted compute of the whole cluster."""
+        return self._prefix[-1]
+
+    def fastest(self, n: int) -> float:
+        """Summed speed factors of the ``n`` fastest GPUs (clamped)."""
+        return self._prefix[min(max(n, 0), self.num_gpus)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterCapacity(gpus={self.num_gpus}, total={self.total:g})"
+
+
+CapacityLike = Union[int, ClusterCapacity]
+
+
+def as_capacity(capacity: CapacityLike) -> ClusterCapacity:
+    """Coerce a legacy GPU count into a uniform :class:`ClusterCapacity`."""
+    if isinstance(capacity, ClusterCapacity):
+        return capacity
+    return ClusterCapacity.uniform(capacity)
 
 
 class Cluster:
@@ -139,6 +288,12 @@ class Cluster:
         self._racks: dict[int, list[Machine]] = {}
         for machine in self.machines:
             self._racks.setdefault(machine.rack_id, []).append(machine)
+        self._machine_speeds = {m.machine_id: m.speed for m in self.machines}
+        self._capacity = ClusterCapacity(gpu.speed for gpu in self._gpus)
+        counts: dict[str, int] = {}
+        for gpu in self._gpus:
+            counts[gpu.gpu_type.name] = counts.get(gpu.gpu_type.name, 0) + 1
+        self._gpus_by_type = dict(sorted(counts.items()))
 
     # ------------------------------------------------------------------
     # Size queries
@@ -167,6 +322,42 @@ class Cluster:
     def rack_ids(self) -> tuple[int, ...]:
         """Sorted rack identifiers."""
         return tuple(sorted(self._racks))
+
+    # ------------------------------------------------------------------
+    # Heterogeneity queries
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> ClusterCapacity:
+        """Speed-sorted compute capacity (shared, immutable)."""
+        return self._capacity
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate speed-weighted compute of every GPU."""
+        return self._capacity.total
+
+    @property
+    def gpu_types(self) -> tuple[GpuType, ...]:
+        """Distinct GPU generations present, fastest first."""
+        distinct = {m.gpu_type for m in self.machines}
+        return tuple(sorted(distinct, key=lambda t: (-t.speed, t.name)))
+
+    def machine_speeds(self) -> dict[int, float]:
+        """machine_id -> speed factor (machines are internally homogeneous).
+
+        Returns a fresh dict: clusters are shared freely between
+        scheduler instances under comparison, so callers must not be
+        able to mutate shared lookup state.
+        """
+        return dict(self._machine_speeds)
+
+    def speed_of_machine(self, machine_id: int) -> float:
+        """Speed factor of one machine's GPUs."""
+        return self._machine_speeds[machine_id]
+
+    def gpus_by_type(self) -> dict[str, int]:
+        """GPU counts per generation name, sorted by name."""
+        return dict(self._gpus_by_type)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -218,7 +409,13 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
             for index in range(machine_spec.gpus_per_machine):
                 slot_id = index // machine_spec.nvlink_group_size
                 gpus.append(
-                    Gpu(gpu_id=gpu_id, machine_id=machine_id, rack_id=rack_id, slot_id=slot_id)
+                    Gpu(
+                        gpu_id=gpu_id,
+                        machine_id=machine_id,
+                        rack_id=rack_id,
+                        slot_id=slot_id,
+                        gpu_type=machine_spec.gpu_type,
+                    )
                 )
                 gpu_id += 1
             machines.append(Machine(machine_id=machine_id, rack_id=rack_id, gpus=gpus))
@@ -245,6 +442,82 @@ def themis_sim_cluster(scale: float = 1.0, num_racks: int = 8) -> Cluster:
         ),
         num_racks=num_racks,
         name=f"themis-sim-{scale:g}x",
+    )
+    return build_cluster(spec)
+
+
+#: Default generation mixture for the heterogeneous presets: half the
+#: fleet current-generation, the rest split between two older ones —
+#: the composition the mixed-fleet example sweep uses.
+DEFAULT_GPU_MIX: tuple[tuple[str, float], ...] = (
+    ("v100", 0.5),
+    ("p100", 0.25),
+    ("k80", 0.25),
+)
+
+
+def split_by_mix(count: int, mix: Sequence[tuple[str, float]]) -> list[tuple[GpuType, int]]:
+    """Split ``count`` machines across GPU generations by mix fractions.
+
+    Largest-remainder apportionment: totals are preserved exactly and
+    the split is deterministic in the mix order.  Fractions are
+    normalised, so ``(("v100", 2), ("k80", 1))`` style ratios work too.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not mix:
+        raise ValueError("gpu mix needs at least one (type, fraction) entry")
+    types = [resolve_gpu_type(name) for name, _ in mix]
+    weights = [float(fraction) for _, fraction in mix]
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError(f"gpu mix fractions must be >= 0 and sum > 0, got {weights}")
+    total_weight = sum(weights)
+    quotas = [count * w / total_weight for w in weights]
+    floors = [int(q) for q in quotas]
+    remainder = count - sum(floors)
+    by_fraction = sorted(
+        range(len(mix)), key=lambda i: (-(quotas[i] - floors[i]), i)
+    )
+    for i in by_fraction[:remainder]:
+        floors[i] += 1
+    return [(gpu_type, n) for gpu_type, n in zip(types, floors)]
+
+
+def mixed_sim_cluster(
+    scale: float = 1.0,
+    mix: Sequence[tuple[str, float]] = DEFAULT_GPU_MIX,
+    num_racks: int = 8,
+) -> Cluster:
+    """A mixed-generation variant of the 256-GPU simulation cluster.
+
+    Keeps the paper's machine shapes (4/2/1-GPU boxes in the Section
+    8.1 proportions) but splits each shape's machine count across GPU
+    generations by ``mix`` — e.g. the default 50/25/25 V100/P100/K80
+    fleet.  Machines stay internally homogeneous, so the auction's
+    per-machine count bids remain well defined.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    shapes = (
+        (max(1, round(40 * scale)), 4),
+        (max(1, round(32 * scale)), 2),
+        (max(1, round(32 * scale)), 1),
+    )
+    specs: list[MachineSpec] = []
+    for count, gpus_per_machine in shapes:
+        for gpu_type, split_count in split_by_mix(count, mix):
+            if split_count > 0:
+                specs.append(
+                    MachineSpec(
+                        count=split_count,
+                        gpus_per_machine=gpus_per_machine,
+                        gpu_type=gpu_type,
+                    )
+                )
+    spec = ClusterSpec(
+        machine_specs=tuple(specs),
+        num_racks=num_racks,
+        name=f"themis-sim-hetero-{scale:g}x",
     )
     return build_cluster(spec)
 

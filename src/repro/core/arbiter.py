@@ -88,6 +88,7 @@ class Arbiter:
         self.cluster = cluster
         self.config = config or ArbiterConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._speed_of = cluster.machine_speeds()
         self.auction = PartialAllocationAuction(chunk_size=self.config.chunk_size)
         self.rounds = 0
         self.last_outcome: Optional[AuctionOutcome] = None
@@ -200,6 +201,8 @@ class Arbiter:
     ) -> int:
         """Hand withheld GPUs to non-participants, one GPU at a time.
 
+        Machines are drained fastest GPU generation first, so the most
+        valuable leftovers reach non-participants before the stragglers.
         Preference order per GPU: a non-participating app that already
         occupies the GPU's machine (the paper's placement-sensitive
         rule, random among candidates), then any app with unmet demand
@@ -216,7 +219,10 @@ class Arbiter:
             for app_id, agent in agents.items()
         }
         unassigned = 0
-        for machine_id in sorted(leftover):
+        machine_order = sorted(
+            leftover, key=lambda m: (-self._speed_of.get(m, 1.0), m)
+        )
+        for machine_id in machine_order:
             for _ in range(leftover[machine_id]):
                 candidates = [
                     app_id

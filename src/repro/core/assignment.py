@@ -15,7 +15,7 @@ sum (placement score for Gandiva, loss reduction for SLAQ).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.cluster.topology import Gpu
 
@@ -138,19 +138,23 @@ def take_packed(
     pool_by_machine: dict[int, list[Gpu]],
     count: int,
     preferred_machines: Sequence[int] = (),
+    speed_of: Optional[Mapping[int, float]] = None,
 ) -> list[Gpu]:
     """Remove up to ``count`` GPUs from the pool, packing tightly.
 
     Drains preferred machines first (where the requester already has
-    GPUs), then machines with the most free GPUs — the straightforward
-    placement-aware fill used by the non-auction baselines.  Mutates
+    GPUs), then machines with the most *effective* free compute
+    (count x GPU speed class when ``speed_of`` is given, plain count
+    otherwise) — the straightforward placement- and generation-aware
+    fill used by the non-auction baselines.  Mutates
     ``pool_by_machine``.
     """
     taken: list[Gpu] = []
     preferred = [m for m in preferred_machines if pool_by_machine.get(m)]
+    weight = (lambda m: speed_of.get(m, 1.0)) if speed_of else (lambda m: 1.0)
     rest = sorted(
         (m for m in pool_by_machine if m not in set(preferred)),
-        key=lambda m: (-len(pool_by_machine[m]), m),
+        key=lambda m: (-len(pool_by_machine[m]) * weight(m), m),
     )
     for machine_id in list(preferred) + rest:
         if count <= 0:

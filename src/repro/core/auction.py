@@ -259,9 +259,17 @@ class PartialAllocationAuction:
             move = (app_id, machine_id, step, new_value)
             if current_value <= 0.0:
                 # Rescue: infinite log gain; prefer highest new value,
-                # then machines with the most free GPUs (so the rescued
-                # app can grow co-located), deterministic ties.
-                key = (0, -new_value, step, -free, app_id, machine_id)
+                # then machines with the most *effective* free compute
+                # (count x speed class — so the rescued app can grow
+                # co-located on fast GPUs), deterministic ties.
+                key = (
+                    0,
+                    -new_value,
+                    step,
+                    -free * bid.machine_speed(machine_id),
+                    app_id,
+                    machine_id,
+                )
             else:
                 gain = (math.log(new_value) - math.log(current_value)) / step
                 key = (1, -gain, step, app_id, machine_id)
@@ -545,7 +553,13 @@ def rescan_fair_allocation(
                         continue
                     move = (app_id, machine_id, step, new_value)
                     if current_value <= 0.0:
-                        key = (-new_value, step, -free, app_id, machine_id)
+                        key = (
+                            -new_value,
+                            step,
+                            -free * bid.machine_speed(machine_id),
+                            app_id,
+                            machine_id,
+                        )
                         if best_rescue is None or key < best_rescue[0]:
                             best_rescue = (key, move)
                     else:

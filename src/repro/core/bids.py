@@ -157,6 +157,15 @@ class Bid:
         """Total GPUs in a bundle."""
         return sum(c for c in extra_counts.values() if c > 0)
 
+    def machine_speed(self, machine_id: int) -> float:
+        """Speed class of one offered machine's GPUs.
+
+        The offer vector stays per-machine counts (the paper's R), but
+        each dimension carries the machine's GPU generation; the solver
+        uses it to break ties toward faster free compute.
+        """
+        return self._estimator.machine_speed(machine_id)
+
     # ------------------------------------------------------------------
     # The explicit table (Figure 3b)
     # ------------------------------------------------------------------

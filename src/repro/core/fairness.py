@@ -14,7 +14,9 @@ winner determination probes incremental bundles), so this module is
 built for that hot path:
 
 * all estimates work on per-machine GPU *counts* — the paper's own bid
-  representation — never on concrete GPU sets,
+  representation — never on concrete GPU sets; machines are internally
+  homogeneous, so a count on a machine implies a GPU generation and the
+  carve scores it in speed-weighted *effective compute*,
 * :class:`AppSnapshot` freezes an app's job list (sorted once) for the
   duration of an auction,
 * the carve loop stops as soon as the count pool drains, so the cost is
@@ -64,7 +66,11 @@ def value_from_rho(rho: float) -> float:
 
 @dataclass(frozen=True)
 class JobAllotment:
-    """What one job would get out of a hypothetical app-level allocation."""
+    """What one job would get out of a hypothetical app-level allocation.
+
+    ``effective`` is the speed-weighted GPU count (= ``gpus`` on a
+    homogeneous cluster); ``rate = effective * slowdown``.
+    """
 
     job_id: str
     gpus: int
@@ -72,41 +78,61 @@ class JobAllotment:
     slowdown: float
     rate: float
     remaining_work: float
+    effective: float = 0.0
+
+
+#: Heap entry: (negated effective free compute, machine_id, count-at-push).
+_PoolEntry = tuple[float, int, int]
 
 
 class _CountPool:
     """Per-machine free-GPU counts with lazy-heap best-machine queries.
 
-    ``best(racks)`` returns the machine with the most free GPUs among
-    the given racks (or globally when ``racks`` is empty), preferring
-    lower machine ids on ties.  Counts only decrease, so stale heap
-    entries are discarded lazily.
+    ``best(racks)`` returns the machine with the most *effective* free
+    compute (count x speed factor; machines are internally homogeneous)
+    among the given racks — or globally when ``racks`` is empty —
+    preferring lower machine ids on ties.  With all speeds 1.0 this is
+    exactly the original most-free-GPUs rule, tie-breaks included.
+    Counts only decrease, so stale heap entries are discarded lazily.
     """
 
-    __slots__ = ("counts", "rack_of", "_global_heap", "_rack_heaps")
+    __slots__ = ("counts", "rack_of", "speed_of", "_global_heap", "_rack_heaps")
 
-    def __init__(self, counts: Mapping[int, int], rack_of: Mapping[int, int]) -> None:
+    def __init__(
+        self,
+        counts: Mapping[int, int],
+        rack_of: Mapping[int, int],
+        speed_of: Optional[Mapping[int, float]] = None,
+    ) -> None:
         self.counts = {m: c for m, c in counts.items() if c > 0}
         self.rack_of = rack_of
-        self._global_heap = [(-c, m) for m, c in self.counts.items()]
+        self.speed_of = speed_of
+        self._global_heap: list[_PoolEntry] = [
+            (-c * self._speed(m), m, c) for m, c in self.counts.items()
+        ]
         heapq.heapify(self._global_heap)
-        self._rack_heaps: dict[int, list[tuple[int, int]]] = {}
+        self._rack_heaps: dict[int, list[_PoolEntry]] = {}
         for machine_id, count in self.counts.items():
             self._rack_heaps.setdefault(rack_of[machine_id], []).append(
-                (-count, machine_id)
+                (-count * self._speed(machine_id), machine_id, count)
             )
         for heap in self._rack_heaps.values():
             heapq.heapify(heap)
 
+    def _speed(self, machine_id: int) -> float:
+        if self.speed_of is None:
+            return 1.0
+        return self.speed_of.get(machine_id, 1.0)
+
     def __bool__(self) -> bool:
         return bool(self.counts)
 
-    def _peek(self, heap: list[tuple[int, int]]) -> Optional[tuple[int, int]]:
-        """Valid top (neg_count, machine) of a heap, discarding stale entries."""
+    def _peek(self, heap: list[_PoolEntry]) -> Optional[_PoolEntry]:
+        """Valid top entry of a heap, discarding stale entries."""
         counts = self.counts
         while heap:
             entry = heap[0]
-            if counts.get(entry[1], 0) == -entry[0]:
+            if counts.get(entry[1], 0) == entry[2]:
                 return entry
             heapq.heappop(heap)
         return None
@@ -114,7 +140,7 @@ class _CountPool:
     def best(self, racks: Sequence[int]) -> Optional[int]:
         """Best machine within ``racks``, or globally when none match."""
         if racks:
-            top: Optional[tuple[int, int]] = None
+            top: Optional[_PoolEntry] = None
             for rack_id in racks:
                 heap = self._rack_heaps.get(rack_id)
                 if not heap:
@@ -136,7 +162,7 @@ class _CountPool:
         remaining = available - grab
         if remaining > 0:
             self.counts[machine_id] = remaining
-            entry = (-remaining, machine_id)
+            entry = (-remaining * self._speed(machine_id), machine_id, remaining)
             heapq.heappush(self._global_heap, entry)
             heapq.heappush(self._rack_heaps[self.rack_of[machine_id]], entry)
         else:
@@ -159,28 +185,37 @@ def _classify_taken(
     return LocalityLevel.CLUSTER
 
 
+#: One carved allotment: (job_tuple, gpus, level, rate, effective_gpus).
+_Carved = tuple[_JobTuple, int, LocalityLevel, float, float]
+
+
 def _carve_fast(
     job_tuples: Sequence[_JobTuple],
     machine_counts: Mapping[int, int],
     rack_of: Mapping[int, int],
     nvlink_group_size: int,
-) -> tuple[list[tuple[_JobTuple, int, LocalityLevel, float]], int]:
+    speed_of: Optional[Mapping[int, float]] = None,
+) -> tuple[list[_Carved], int]:
     """Core carve loop over pre-sorted job tuples.
 
     Returns ``(allotments, next_index)`` where ``allotments`` holds one
-    ``(job_tuple, gpus, level, rate)`` entry per job that received GPUs
-    and ``next_index`` is the index of the first job that received
-    nothing (the pool drained).  Jobs are assumed sorted by remaining
-    work ascending, mirroring the intra-app distributor.
+    ``(job_tuple, gpus, level, rate, effective)`` entry per job that
+    received GPUs and ``next_index`` is the index of the first job that
+    received nothing (the pool drained).  ``effective`` is the
+    speed-weighted GPU count and ``rate = effective * S(level)``; with
+    no ``speed_of`` both reduce to the homogeneous count model.  Jobs
+    are assumed sorted by remaining work ascending, mirroring the
+    intra-app distributor.
     """
-    pool = _CountPool(machine_counts, rack_of)
-    out: list[tuple[_JobTuple, int, LocalityLevel, float]] = []
+    pool = _CountPool(machine_counts, rack_of, speed_of)
+    out: list[_Carved] = []
     index = 0
     for index, job in enumerate(job_tuples):
         if not pool:
             return out, index
         need = job[1]
         taken: dict[int, int] = {}
+        effective = 0.0
         used_racks: list[int] = []
         while need > 0 and pool:
             machine_id = pool.best(used_racks)
@@ -190,6 +225,7 @@ def _carve_fast(
             if grab <= 0:
                 break
             taken[machine_id] = taken.get(machine_id, 0) + grab
+            effective += grab * pool._speed(machine_id)
             rack_id = rack_of[machine_id]
             if rack_id not in used_racks:
                 used_racks.append(rack_id)
@@ -199,7 +235,7 @@ def _carve_fast(
             return out, index
         level = _classify_taken(taken, rack_of, nvlink_group_size)
         factor = 1.0 if total <= 1 else job[2].at(level)
-        out.append((job, total, level, total * factor))
+        out.append((job, total, level, effective * factor, effective))
     return out, index + 1
 
 
@@ -219,26 +255,31 @@ def carve_allotments(
     machine_counts: Mapping[int, int],
     rack_of: Mapping[int, int],
     nvlink_group_size: int = 2,
+    speed_of: Optional[Mapping[int, float]] = None,
 ) -> list[JobAllotment]:
     """Greedily split per-machine GPU counts across jobs (Section 5.2, step 4).
 
     Jobs are served shortest-remaining-work first; each takes up to its
-    ``max_parallelism`` GPUs, draining co-located machines before
-    spilling across racks.  Returns one allotment per *active* job,
-    including zero-GPU allotments once the pool is drained.
+    ``max_parallelism`` GPUs, draining the machines with the most
+    effective free compute before spilling across racks.  Returns one
+    allotment per *active* job, including zero-GPU allotments once the
+    pool is drained.
     """
     tuples = _job_tuples(jobs)
-    carved, next_index = _carve_fast(tuples, machine_counts, rack_of, nvlink_group_size)
+    carved, next_index = _carve_fast(
+        tuples, machine_counts, rack_of, nvlink_group_size, speed_of
+    )
     allotments = [
         JobAllotment(
             job_id=job[3],
             gpus=gpus,
             level=level,
-            slowdown=rate / gpus if gpus else 1.0,
+            slowdown=rate / effective if effective else 1.0,
             rate=rate,
             remaining_work=job[0],
+            effective=effective,
         )
-        for job, gpus, level, rate in carved
+        for job, gpus, level, rate, effective in carved
     ]
     # Jobs from next_index on received nothing (the pool drained).
     for job in tuples[next_index:]:
@@ -269,17 +310,25 @@ def packing_utility(
     machine_counts: Mapping[int, int],
     rack_of: Mapping[int, int],
     nvlink_group_size: int = 2,
+    speed_of: Optional[Mapping[int, float]] = None,
 ) -> float:
-    """Gandiva's social objective: sum of ``gpus * placement_score``.
+    """Gandiva's social objective: effective compute times placement score.
 
     Carves the counts across the jobs exactly like the valuation path
     and scores each allocated job by the 4-level placement score of its
-    spread — the quantity Gandiva's introspective migration maximises.
+    spread, weighted by the speed of the GPUs packed — the quantity
+    Gandiva's introspective migration maximises (``gpus * score`` on a
+    homogeneous cluster).
     """
     from repro.cluster.placement import PLACEMENT_SCORES
 
-    carved, _ = _carve_fast(job_tuples, machine_counts, rack_of, nvlink_group_size)
-    return sum(gpus * PLACEMENT_SCORES[level] for _, gpus, level, _rate in carved)
+    carved, _ = _carve_fast(
+        job_tuples, machine_counts, rack_of, nvlink_group_size, speed_of
+    )
+    return sum(
+        effective * PLACEMENT_SCORES[level]
+        for _job, _gpus, level, _rate, effective in carved
+    )
 
 
 @dataclass(frozen=True)
@@ -316,11 +365,22 @@ class FairnessEstimator:
         self._rack_of = {
             machine.machine_id: machine.rack_id for machine in cluster.machines
         }
+        self._speed_of = cluster.machine_speeds()
+        self.capacity = cluster.capacity
 
     @property
     def rack_map(self) -> dict[int, int]:
         """Cached machine id -> rack id mapping for carve calls."""
         return self._rack_of
+
+    @property
+    def speed_map(self) -> dict[int, float]:
+        """Cached machine id -> GPU speed factor mapping for carve calls."""
+        return self._speed_of
+
+    def machine_speed(self, machine_id: int) -> float:
+        """Speed factor of one machine's GPUs (1.0 for unknown machines)."""
+        return self._speed_of.get(machine_id, 1.0)
 
     # ------------------------------------------------------------------
     # Snapshots (hot path)
@@ -333,7 +393,7 @@ class FairnessEstimator:
             arrival_time=app.arrival_time,
             job_tuples=tuple(tuples),
             total_remaining=sum(item[0] for item in tuples),
-            t_ideal=app.ideal_running_time(self.cluster.num_gpus),
+            t_ideal=app.ideal_running_time(self.capacity),
         )
 
     def shared_time_from_snapshot(
@@ -352,17 +412,21 @@ class FairnessEstimator:
         if not snap.job_tuples:
             return elapsed
         carved, _ = _carve_fast(
-            snap.job_tuples, machine_counts, self._rack_of, self.nvlink_group_size
+            snap.job_tuples,
+            machine_counts,
+            self._rack_of,
+            self.nvlink_group_size,
+            self._speed_of,
         )
         if self.semantics is CompletionSemantics.FIRST_WINNER:
             finish = math.inf
-            for job, gpus, level, rate in carved:
+            for job, _gpus, _level, rate, _effective in carved:
                 if rate > 0:
                     finish = min(finish, elapsed + job[0] / rate)
             return finish
         if snap.total_remaining <= 0:
             return elapsed
-        aggregate_rate = sum(rate for *_, rate in carved)
+        aggregate_rate = sum(rate for *_, rate, _effective in carved)
         if aggregate_rate <= 0:
             return math.inf
         return elapsed + snap.total_remaining / aggregate_rate
@@ -382,7 +446,7 @@ class FairnessEstimator:
     # ------------------------------------------------------------------
     def ideal_time(self, app: App) -> float:
         """T_id — running time alone on the whole cluster (Section 5.2 step 5)."""
-        return app.ideal_running_time(self.cluster.num_gpus)
+        return app.ideal_running_time(self.capacity)
 
     def shared_time(
         self, app: App, now: float, machine_counts: Mapping[int, int]

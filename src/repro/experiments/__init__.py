@@ -11,6 +11,7 @@ results as text tables (the benchmark suite prints these).
 
 from repro.experiments.config import (
     ScenarioConfig,
+    hetero_scenario,
     sim_scenario,
     testbed_scenario,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "fig11_bid_error_sweep",
     "format_figure",
     "format_table",
+    "hetero_scenario",
     "run_scenario",
     "sim_scenario",
     "testbed_scenario",

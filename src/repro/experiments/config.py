@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.cluster.topology import Cluster, testbed_cluster, themis_sim_cluster
+from repro.cluster.topology import (
+    DEFAULT_GPU_MIX,
+    Cluster,
+    mixed_sim_cluster,
+    testbed_cluster,
+    themis_sim_cluster,
+)
 from repro.simulation.simulator import SimulationConfig
 from repro.workload.app import CompletionSemantics
 from repro.workload.generator import GeneratorConfig, generate_trace
@@ -32,8 +38,14 @@ class ScenarioConfig:
 
     name: str
     generator: GeneratorConfig
-    cluster_kind: str = "sim"  # "sim" (256 GPUs) or "testbed" (50 GPUs)
+    #: "sim" (256 GPUs), "testbed" (50 GPUs) or "hetero" (the sim
+    #: cluster shape with a mixed-generation GPU fleet).
+    cluster_kind: str = "sim"
     cluster_scale: float = 1.0
+    #: GPU-generation mixture for ``cluster_kind="hetero"``: a tuple of
+    #: (type name, fraction) pairs — the heterogeneity-ratio sweep axis.
+    #: Empty means :data:`~repro.cluster.topology.DEFAULT_GPU_MIX`.
+    gpu_mix: tuple = ()
     lease_minutes: float = 20.0
     restart_overhead_minutes: float = 0.5
     record_timeline: bool = False
@@ -48,6 +60,9 @@ class ScenarioConfig:
             return themis_sim_cluster(scale=self.cluster_scale)
         if self.cluster_kind == "testbed":
             return testbed_cluster()
+        if self.cluster_kind == "hetero":
+            mix = tuple(tuple(pair) for pair in self.gpu_mix) or DEFAULT_GPU_MIX
+            return mixed_sim_cluster(scale=self.cluster_scale, mix=mix)
         raise ValueError(f"unknown cluster kind {self.cluster_kind!r}")
 
     def build_trace(self) -> Trace:
@@ -119,6 +134,34 @@ def testbed_scenario(
             jobs_per_app_max=jobs_per_app_max,
         ),
         cluster_kind="testbed",
+        **kwargs,
+    )
+
+
+def hetero_scenario(
+    num_apps: int = 40,
+    seed: int = 42,
+    duration_scale: float = 0.4,
+    gpu_mix: tuple = DEFAULT_GPU_MIX,
+    **kwargs,
+) -> ScenarioConfig:
+    """A mixed-generation variant of the 256-GPU simulation scenario.
+
+    Same workload distributions as :func:`sim_scenario`, replayed on
+    the paper-shaped cluster whose machine fleet is split across GPU
+    generations by ``gpu_mix`` (default 50/25/25 V100/P100/K80).  The
+    mix is the heterogeneity-ratio sweep axis; pass it through
+    ``scenario_axes={"gpu_mix": [...]}`` to sweep fleet compositions.
+    """
+    mix = tuple(tuple(pair) for pair in gpu_mix)
+    mix_tag = "-".join(f"{name}{fraction:g}" for name, fraction in mix)
+    return ScenarioConfig(
+        name=f"hetero256-n{num_apps}-s{seed}-{mix_tag}",
+        generator=GeneratorConfig(
+            num_apps=num_apps, seed=seed, duration_scale=duration_scale
+        ),
+        cluster_kind="hetero",
+        gpu_mix=mix,
         **kwargs,
     )
 

@@ -15,6 +15,7 @@ from repro.metrics.fairness import (
     max_fairness,
     rho_spread,
 )
+from repro.metrics.hetero import is_heterogeneous, per_type_rows
 from repro.metrics.jct import average_jct, cdf, jct_summary, percentile
 from repro.metrics.placement import placement_cdf, score_summary
 from repro.metrics.sharing import (
@@ -31,9 +32,11 @@ __all__ = [
     "cdf",
     "distance_from_ideal",
     "gpu_time_total",
+    "is_heterogeneous",
     "jain_index",
     "jct_summary",
     "max_fairness",
+    "per_type_rows",
     "percentile",
     "placement_cdf",
     "rho_spread",

@@ -32,8 +32,13 @@ import time
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from repro.cluster.allocation import Allocation
-from repro.cluster.topology import Cluster, ClusterSpec, MachineSpec, build_cluster
+from repro.cluster.topology import (
+    Cluster,
+    ClusterSpec,
+    MachineSpec,
+    build_cluster,
+    split_by_mix,
+)
 from repro.core.auction import AuctionOutcome, PartialAllocationAuction
 from repro.core.bids import Bid, build_bid
 from repro.core.fairness import FairnessEstimator
@@ -64,6 +69,11 @@ class AuctionBenchProfile:
     #: Skip the (much slower) rescan reference by default for this
     #: profile; the lazy solver is still timed.
     reference: bool = True
+    #: GPU-generation mixture, (type name, fraction) pairs; empty means
+    #: a homogeneous default-type cluster.  Machines are split across
+    #: generations by largest remainder, so the valuation path exercises
+    #: the speed-weighted carve and the speed-class tie-breaks.
+    gpu_mix: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -78,14 +88,22 @@ class EndToEndProfile:
 
 
 #: The tracked auction profiles: 64–512 GPUs at 2x–8x contention.  The
-#: ``medium`` profile (128 GPUs, 4x contention, hidden payments on) is
-#: the acceptance/CI gate.  ``large`` skips the rescan reference — at
-#: 512 GPUs the O(apps x machines)-per-move rescan needs minutes.
+#: ``medium`` and ``hetero-medium`` profiles (128 GPUs, 4x contention,
+#: hidden payments on; the latter on a 50/25/25 V100/P100/K80 fleet)
+#: are the acceptance/CI gates.  ``large`` skips the rescan reference —
+#: at 512 GPUs the O(apps x machines)-per-move rescan needs minutes.
 AUCTION_PROFILES: dict[str, AuctionBenchProfile] = {
     p.name: p
     for p in (
         AuctionBenchProfile(name="small", gpus=64, contention=2.0, num_apps=8),
         AuctionBenchProfile(name="medium", gpus=128, contention=4.0, num_apps=16),
+        AuctionBenchProfile(
+            name="hetero-medium",
+            gpus=128,
+            contention=4.0,
+            num_apps=16,
+            gpu_mix=(("v100", 0.5), ("p100", 0.25), ("k80", 0.25)),
+        ),
         AuctionBenchProfile(
             name="large", gpus=512, contention=8.0, num_apps=32, reference=False
         ),
@@ -106,11 +124,23 @@ E2E_PROFILES: dict[str, EndToEndProfile] = {
 # ----------------------------------------------------------------------
 def _bench_cluster(profile: AuctionBenchProfile) -> Cluster:
     machines = max(1, profile.gpus // profile.gpus_per_machine)
+    if profile.gpu_mix:
+        specs = tuple(
+            MachineSpec(
+                count=count,
+                gpus_per_machine=profile.gpus_per_machine,
+                gpu_type=gpu_type,
+            )
+            for gpu_type, count in split_by_mix(machines, profile.gpu_mix)
+            if count > 0
+        )
+    else:
+        specs = (
+            MachineSpec(count=machines, gpus_per_machine=profile.gpus_per_machine),
+        )
     return build_cluster(
         ClusterSpec(
-            machine_specs=(
-                MachineSpec(count=machines, gpus_per_machine=profile.gpus_per_machine),
-            ),
+            machine_specs=specs,
             num_racks=max(1, machines // 8),
             name=f"bench-{profile.name}",
         )
@@ -280,7 +310,7 @@ def run_end_to_end_bench(profile: EndToEndProfile, repeats: int = 1) -> dict:
 
 
 def run_bench(
-    profiles: Sequence[str] = ("small", "medium", "large"),
+    profiles: Sequence[str] = ("small", "medium", "hetero-medium", "large"),
     e2e_profiles: Sequence[str] = ("e2e-small", "e2e-medium"),
     repeats: int = 3,
     include_reference: Optional[bool] = None,
@@ -305,7 +335,7 @@ def check_regression(
     current: Mapping,
     baseline: Mapping,
     max_slowdown: float = 2.0,
-    gate_profiles: Sequence[str] = ("medium",),
+    gate_profiles: Sequence[str] = ("medium", "hetero-medium"),
 ) -> list[str]:
     """Compare a fresh bench run against a committed baseline.
 

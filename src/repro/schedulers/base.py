@@ -75,5 +75,11 @@ class InterAppScheduler(abc.ABC):
             if app.unmet_demand() > 0
         ]
 
+    def machine_speeds(self) -> dict[int, float]:
+        """machine_id -> GPU speed class of the bound cluster."""
+        if self.sim is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a simulator")
+        return self.sim.cluster.machine_speeds()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

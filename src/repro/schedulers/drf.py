@@ -1,11 +1,14 @@
 """DRF-style instantaneous resource fairness baseline (Section 2.2).
 
 With GPUs as the single resource, Dominant Resource Fairness reduces to
-max-min fairness on GPU counts: water-fill one GPU at a time to the
-app with the smallest current holding (relative to its demand).  This
-is the "established scheme" whose failure modes — indifference to task
-length and to placement — motivate the paper; the ablation benchmarks
-measure them directly.
+max-min fairness on GPU shares: water-fill one GPU at a time to the app
+with the smallest current holding (relative to its demand).  On a mixed
+fleet the dominant share is *speed-weighted* — holding one K80 is a
+smaller share of the cluster's compute than holding one V100 — which
+reduces to plain GPU counts when every GPU has speed 1.0.  This is the
+"established scheme" whose failure modes — indifference to task length
+and to placement — motivate the paper; the ablation benchmarks measure
+them directly.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from repro.schedulers.base import InterAppScheduler
 
 
 class DrfScheduler(InterAppScheduler):
-    """Max-min water-filling on GPU counts (single-resource DRF)."""
+    """Max-min water-filling on speed-weighted GPU shares (single-resource DRF)."""
 
     name = "drf"
 
@@ -27,7 +30,8 @@ class DrfScheduler(InterAppScheduler):
         apps = self.apps_with_demand()
         if not apps:
             return {}
-        holdings = {app.app_id: app.allocation().size for app in apps}
+        speed_of = self.machine_speeds()
+        holdings = {app.app_id: app.allocation().effective_size for app in apps}
         demand_left = {app.app_id: app.unmet_demand() for app in apps}
         machines_of = {app.app_id: set(app.allocation().machine_ids) for app in apps}
         result: dict[str, list[Gpu]] = {app.app_id: [] for app in apps}
@@ -35,14 +39,16 @@ class DrfScheduler(InterAppScheduler):
             candidates = [a for a in sorted(holdings) if demand_left[a] > 0]
             if not candidates:
                 break
-            # Max-min: smallest dominant share (= GPU count) first.
+            # Max-min: smallest dominant share (= effective compute held) first.
             chosen = min(candidates, key=lambda a: (holdings[a], a))
-            taken = take_packed(pool_by_machine, 1, sorted(machines_of[chosen]))
+            taken = take_packed(
+                pool_by_machine, 1, sorted(machines_of[chosen]), speed_of=speed_of
+            )
             if not taken:
                 break
             gpu = taken[0]
             result[chosen].append(gpu)
-            holdings[chosen] += 1
+            holdings[chosen] += gpu.speed
             demand_left[chosen] -= 1
             machines_of[chosen].add(gpu.machine_id)
         return {a: gpus for a, gpus in result.items() if gpus}

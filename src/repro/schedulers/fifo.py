@@ -25,12 +25,15 @@ class FifoScheduler(InterAppScheduler):
         ranked = sorted(
             self.apps_with_demand(), key=lambda app: (app.arrival_time, app.app_id)
         )
+        speed_of = self.machine_speeds()
         for app in ranked:
             if not pool_by_machine:
                 break
             want = app.unmet_demand()
             preferred = app.allocation().machine_ids
-            taken = take_packed(pool_by_machine, want, preferred_machines=preferred)
+            taken = take_packed(
+                pool_by_machine, want, preferred_machines=preferred, speed_of=speed_of
+            )
             if taken:
                 result[app.app_id] = taken
         return result

@@ -30,6 +30,7 @@ class GandivaScheduler(InterAppScheduler):
         super().__init__()
         self.chunk_size = chunk_size
         self._rack_of: dict[int, int] = {}
+        self._speed_of: dict[int, float] = {}
 
     def on_bind(self) -> None:
         assert self.sim is not None
@@ -37,6 +38,7 @@ class GandivaScheduler(InterAppScheduler):
             machine.machine_id: machine.rack_id
             for machine in self.sim.cluster.machines
         }
+        self._speed_of = self.sim.cluster.machine_speeds()
 
     def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
         apps = self.apps_with_demand()
@@ -61,7 +63,9 @@ class GandivaScheduler(InterAppScheduler):
                 merged = dict(base_counts)
                 for machine_id, count in bundle.items():
                     merged[machine_id] = merged.get(machine_id, 0) + count
-                return packing_utility(tuples, merged, self._rack_of)
+                return packing_utility(
+                    tuples, merged, self._rack_of, speed_of=self._speed_of
+                )
 
             return utility
 

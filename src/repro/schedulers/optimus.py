@@ -44,10 +44,14 @@ class OptimusScheduler(InterAppScheduler):
         return [(row[0], row[1]) for row in rows]
 
     @staticmethod
-    def _estimated_completion(snapshot: Sequence[tuple[float, int]], gpus: int) -> float:
+    def _estimated_completion(
+        snapshot: Sequence[tuple[float, int]], gpus: float
+    ) -> float:
         """Sum of per-job completion estimates with ``gpus`` split greedily.
 
-        Optimus' linear-scaling assumption: a job with ``g`` GPUs takes
+        ``gpus`` is measured in *effective* compute units (speed-weighted
+        GPU count, = plain count on a homogeneous cluster).  Optimus'
+        linear-scaling assumption: a job with ``g`` effective GPUs takes
         ``remaining / g``; jobs beyond the GPU supply dominate the sum
         via a large (but finite) waiting proxy so marginal gains remain
         comparable.
@@ -67,7 +71,7 @@ class OptimusScheduler(InterAppScheduler):
         return total
 
     def _time_reduction(
-        self, snapshot: Sequence[tuple[float, int]], held: int, extra: int
+        self, snapshot: Sequence[tuple[float, int]], held: float, extra: float
     ) -> float:
         base = self._estimated_completion(snapshot, held)
         improved = self._estimated_completion(snapshot, held + extra)
@@ -79,12 +83,17 @@ class OptimusScheduler(InterAppScheduler):
             return {}
         pool_by_machine = group_pool(pool)
         counts = {m: len(g) for m, g in pool_by_machine.items()}
+        speed_of = self.machine_speeds()
+
+        def bundle_effective(bundle: dict[int, int]) -> float:
+            return sum(c * speed_of.get(m, 1.0) for m, c in bundle.items())
+
         snapshots = {app.app_id: self._job_snapshot(app) for app in apps}
-        held = {app.app_id: app.allocation().size for app in apps}
+        held = {app.app_id: app.allocation().effective_size for app in apps}
         utilities = {
             app.app_id: (
                 lambda bundle, app_id=app.app_id: self._time_reduction(
-                    snapshots[app_id], held[app_id], sum(bundle.values())
+                    snapshots[app_id], held[app_id], bundle_effective(bundle)
                 )
             )
             for app in apps

@@ -57,14 +57,15 @@ class SlaqScheduler(InterAppScheduler):
         return rows
 
     def _loss_reduction(
-        self, snapshot: list[tuple], held_gpus: int, window: float, extra_gpus: int
+        self, snapshot: list[tuple], held_gpus: float, window: float, extra_gpus: float
     ) -> float:
         """Predicted loss decrease of an app over one lease window.
 
-        Jobs split the app's hypothetical GPU total (existing + bundle)
-        up to their parallelism caps, progress at the placement-blind
-        rate ``G`` work-units/minute, and each contributes its loss
-        delta after that much extra work.
+        Jobs split the app's hypothetical GPU total (existing + bundle,
+        both in speed-weighted *effective* units) up to their
+        parallelism caps, progress at the placement-blind rate ``G``
+        work-units/minute, and each contributes its loss delta after
+        that much extra work.
         """
         total_gpus = held_gpus + extra_gpus
         reduction = 0.0
@@ -86,12 +87,17 @@ class SlaqScheduler(InterAppScheduler):
         pool_by_machine = group_pool(pool)
         counts = {m: len(g) for m, g in pool_by_machine.items()}
         window = self.sim.config.lease_minutes if self.sim else 20.0
+        speed_of = self.machine_speeds()
+
+        def bundle_effective(bundle: dict[int, int]) -> float:
+            return sum(c * speed_of.get(m, 1.0) for m, c in bundle.items())
+
         snapshots = {app.app_id: self._job_snapshot(app) for app in apps}
-        held = {app.app_id: app.allocation().size for app in apps}
+        held = {app.app_id: app.allocation().effective_size for app in apps}
         utilities = {
             app.app_id: (
                 lambda bundle, app_id=app.app_id: self._loss_reduction(
-                    snapshots[app_id], held[app_id], window, sum(bundle.values())
+                    snapshots[app_id], held[app_id], window, bundle_effective(bundle)
                 )
             )
             for app in apps

@@ -49,7 +49,10 @@ class StrawmanScheduler(InterAppScheduler):
             key=lambda app: (-self.estimator.rho_current(app, now), app.app_id),
         )
         taken = take_packed(
-            pool_by_machine, worst.unmet_demand(), worst.allocation().machine_ids
+            pool_by_machine,
+            worst.unmet_demand(),
+            worst.allocation().machine_ids,
+            speed_of=self.machine_speeds(),
         )
         if not taken:
             return {}

@@ -8,7 +8,12 @@ service.  This model represents a version of Least Acquired Service
 Tiresias is deliberately placement-*unaware* ("Tiresias's inefficacy
 arises from its focus on simple resource fairness which ignores
 placement sensitivity"): GPUs are taken round-robin across machines,
-modelling a scheduler that treats the cluster as a flat GPU pool.
+modelling a scheduler that treats the cluster as a flat GPU pool.  On
+mixed fleets the LAS metric itself is generation-aware — attained
+service accrues in speed-weighted effective GPU-minutes (see
+:meth:`repro.workload.job.Job.advance_to`), so a K80-hour counts for
+less than a V100-hour — while the *fill* stays deliberately blind to
+both placement and speed, true to the emulation.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ works; see :mod:`repro.schedulers.base`.
 from __future__ import annotations
 
 import math
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.cluster.allocation import Allocation
@@ -104,9 +104,16 @@ class SimulationConfig:
 
     @classmethod
     def from_json(cls, data: Mapping) -> "SimulationConfig":
-        """Inverse of :meth:`to_json`."""
-        kwargs = dict(data)
-        kwargs["semantics"] = CompletionSemantics(kwargs["semantics"])
+        """Inverse of :meth:`to_json`, tolerant of schema growth.
+
+        Unknown keys (written by a newer build) are ignored and missing
+        new fields take their defaults, so old cache entries and result
+        payloads deserialise instead of raising on every schema change.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if "semantics" in kwargs:
+            kwargs["semantics"] = CompletionSemantics(kwargs["semantics"])
         return cls(**kwargs)
 
 
@@ -125,15 +132,23 @@ class AppStats:
     mean_placement_score: float
     num_jobs: int
     total_work: float
+    #: GPU-minutes split by GPU-generation name (heterogeneity reports).
+    gpu_time_by_type: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
-        """Plain-JSON dict; all fields are scalars already."""
+        """Plain-JSON dict; all fields are scalars or plain dicts already."""
         return asdict(self)
 
     @classmethod
     def from_json(cls, data: Mapping) -> "AppStats":
-        """Inverse of :meth:`to_json`."""
-        return cls(**{f.name: data[f.name] for f in fields(cls)})
+        """Inverse of :meth:`to_json`, tolerant of schema growth.
+
+        Unknown keys are ignored and missing new fields (e.g. payloads
+        written before ``gpu_time_by_type`` existed) take their
+        defaults, so schema growth does not invalidate old caches.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass
@@ -154,6 +169,10 @@ class SimulationResult:
     num_rounds: int
     events_processed: int
     total_gpu_time: float
+    #: Cluster composition and consumption per GPU-generation name;
+    #: single-entry ("default") on homogeneous clusters.
+    cluster_gpus_by_type: dict = field(default_factory=dict)
+    gpu_time_by_type: dict = field(default_factory=dict)
 
     def stats_by_app(self) -> dict[str, AppStats]:
         """Index the per-app stats by app id."""
@@ -208,11 +227,17 @@ class SimulationResult:
             "num_rounds": self.num_rounds,
             "events_processed": self.events_processed,
             "total_gpu_time": self.total_gpu_time,
+            "cluster_gpus_by_type": dict(self.cluster_gpus_by_type),
+            "gpu_time_by_type": dict(self.gpu_time_by_type),
         }
 
     @classmethod
     def from_json(cls, data: Mapping) -> "SimulationResult":
-        """Rebuild a result from :meth:`to_json` output (``apps`` empty)."""
+        """Rebuild a result from :meth:`to_json` output (``apps`` empty).
+
+        Missing new keys default (old payloads stay loadable) and
+        unknown keys are ignored, mirroring the dataclass round-trips.
+        """
         return cls(
             scheduler_name=data["scheduler_name"],
             cluster_name=data["cluster_name"],
@@ -228,6 +253,8 @@ class SimulationResult:
             num_rounds=data["num_rounds"],
             events_processed=data["events_processed"],
             total_gpu_time=data["total_gpu_time"],
+            cluster_gpus_by_type=dict(data.get("cluster_gpus_by_type", {})),
+            gpu_time_by_type=dict(data.get("gpu_time_by_type", {})),
         )
 
 
@@ -608,12 +635,19 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def _collect(self) -> SimulationResult:
         now = self.engine.now
+        capacity = self.cluster.capacity
         stats: list[AppStats] = []
+        gpu_time_by_type: dict[str, float] = {}
         for app in self.apps:
-            ideal = app.ideal_running_time(self.cluster.num_gpus)
+            ideal = app.ideal_running_time(capacity)
             finished = app.finished_at
             completion = None if finished is None else finished - app.arrival_time
-            rho = app.finish_time_fairness(now, self.cluster.num_gpus)
+            rho = app.finish_time_fairness(now, capacity)
+            per_type = app.gpu_time_by_type()
+            for type_name, minutes in per_type.items():
+                gpu_time_by_type[type_name] = (
+                    gpu_time_by_type.get(type_name, 0.0) + minutes
+                )
             stats.append(
                 AppStats(
                     app_id=app.app_id,
@@ -627,6 +661,7 @@ class ClusterSimulator:
                     mean_placement_score=app.mean_placement_score(),
                     num_jobs=app.num_jobs,
                     total_work=app.total_work(),
+                    gpu_time_by_type=per_type,
                 )
             )
         completed = all(app.state is AppState.FINISHED for app in self.apps)
@@ -645,4 +680,6 @@ class ClusterSimulator:
             num_rounds=self.num_rounds,
             events_processed=self.engine.events_processed,
             total_gpu_time=sum(s.gpu_time for s in stats),
+            cluster_gpus_by_type=self.cluster.gpus_by_type(),
+            gpu_time_by_type=dict(sorted(gpu_time_by_type.items())),
         )

@@ -31,7 +31,7 @@ Quickstart::
     print(report.summary())
 """
 
-from repro.sweep.cache import SCHEMA_VERSION, ResultCache
+from repro.sweep.cache import SCHEMA_VERSION, CacheEntry, PruneStats, ResultCache
 from repro.sweep.executor import execute_task, run_sweep
 from repro.sweep.matrix import SweepMatrix, SweepTask, canonical_json, jsonable
 from repro.sweep.progress import (
@@ -49,7 +49,9 @@ __all__ = [
     "STATUS_CACHED",
     "STATUS_FAILED",
     "STATUS_OK",
+    "CacheEntry",
     "ProgressTracker",
+    "PruneStats",
     "ResultCache",
     "SweepError",
     "SweepMatrix",

@@ -10,6 +10,11 @@ once without touching the directory.
 Entries are single JSON files (``<key>.json``) written atomically, so a
 killed sweep never leaves a truncated entry behind and concurrent
 sweeps sharing a directory at worst redo a cell.
+
+The cache also garbage-collects: :meth:`ResultCache.prune` applies
+age-, size- and count-bounds (oldest-written entries evicted first) and
+sweeps orphaned temp files; ``repro cache`` exposes inspect/prune on
+the command line.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -26,7 +33,52 @@ from repro.sweep.matrix import SweepTask, canonical_json
 
 #: Bump whenever simulator/scheduler semantics change in a way that
 #: alters results for identical configs — it invalidates all entries.
-SCHEMA_VERSION = 1
+#: 2: heterogeneity-aware cluster model (GPU generations; per-type
+#:    stats added to SimulationResult/AppStats; ScenarioConfig gained
+#:    ``gpu_mix``, GeneratorConfig the gpu-type-affinity knobs).
+SCHEMA_VERSION = 2
+
+#: Orphaned ``.tmp-*`` files from a killed writer older than this are
+#: swept by :meth:`ResultCache.prune`.
+_TMP_MAX_AGE_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache entry (payload not loaded)."""
+
+    path: Path
+    key: str
+    size_bytes: int
+    modified: float
+
+    def describe(self) -> dict:
+        """Read the entry's header fields (task id, scheduler, schema).
+
+        Returns an empty dict for corrupt/unreadable entries instead of
+        raising — inspect must work on directories a killed sweep left
+        behind.
+        """
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return {
+                "task_id": entry.get("task_id"),
+                "schema_version": entry.get("schema_version"),
+                "scheduler": entry.get("spec", {}).get("scheduler"),
+            }
+        except (OSError, ValueError):
+            return {}
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """What one :meth:`ResultCache.prune` call did."""
+
+    removed: int
+    kept: int
+    bytes_freed: int
+    tmp_removed: int = 0
 
 
 class ResultCache:
@@ -102,6 +154,105 @@ class ResultCache:
             raise
         self.writes += 1
         return path
+
+    # ------------------------------------------------------------------
+    # Inspection and garbage collection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """All entries, oldest (least recently written) first."""
+        found: list[CacheEntry] = []
+        for path in self.cache_dir.glob("*.json"):
+            if path.name.startswith("."):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted by a concurrent prune
+            found.append(
+                CacheEntry(
+                    path=path,
+                    key=path.stem,
+                    size_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        found.sort(key=lambda entry: (entry.modified, entry.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Aggregate on-disk size of all entries."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def prune(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> PruneStats:
+        """Age- and size-bounded garbage collection.
+
+        Entries older than ``max_age_seconds`` are dropped first; then,
+        while the directory exceeds ``max_total_bytes`` or
+        ``max_entries``, the oldest surviving entries go — eviction is
+        strictly oldest-written-first, so a warm sweep's fresh cells
+        survive a bound that evicts last month's.  Orphaned ``.tmp-*``
+        files from killed writers are swept too.  All bounds are
+        optional; with none given only the tmp sweep runs.
+        """
+        for label, bound in (
+            ("max_age_seconds", max_age_seconds),
+            ("max_total_bytes", max_total_bytes),
+            ("max_entries", max_entries),
+        ):
+            if bound is not None and bound < 0:
+                raise ValueError(f"{label} must be >= 0, got {bound}")
+        clock = time.time() if now is None else now
+        entries = self.entries()
+        removed = 0
+        bytes_freed = 0
+
+        def drop(entry: CacheEntry) -> None:
+            nonlocal removed, bytes_freed
+            try:
+                entry.path.unlink()
+            except OSError:
+                return  # already gone: a concurrent prune won the race
+            removed += 1
+            bytes_freed += entry.size_bytes
+
+        survivors: list[CacheEntry] = []
+        for entry in entries:
+            if (
+                max_age_seconds is not None
+                and clock - entry.modified > max_age_seconds
+            ):
+                drop(entry)
+            else:
+                survivors.append(entry)
+        if max_entries is not None:
+            while len(survivors) > max_entries:
+                drop(survivors.pop(0))
+        if max_total_bytes is not None:
+            total = sum(entry.size_bytes for entry in survivors)
+            while survivors and total > max_total_bytes:
+                oldest = survivors.pop(0)
+                total -= oldest.size_bytes
+                drop(oldest)
+        tmp_removed = 0
+        for path in self.cache_dir.glob(".tmp-*"):
+            try:
+                if clock - path.stat().st_mtime > _TMP_MAX_AGE_SECONDS:
+                    path.unlink()
+                    tmp_removed += 1
+            except OSError:
+                continue
+        return PruneStats(
+            removed=removed,
+            kept=len(survivors),
+            bytes_freed=bytes_freed,
+            tmp_removed=tmp_removed,
+        )
 
     def __len__(self) -> int:
         # glob("*.json") also matches dot-prefixed names, which would

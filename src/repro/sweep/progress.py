@@ -8,10 +8,29 @@ failure tracebacks and the reconstructed results, queryable by task id.
 
 from __future__ import annotations
 
+import math
+import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.simulation.simulator import SimulationResult
+
+#: z-value of the two-sided 95% normal interval used by
+#: :meth:`SweepReport.aggregate`'s ``*_ci95`` columns.
+_Z_95 = 1.96
+
+
+def _default_metrics() -> dict[str, Callable[[SimulationResult], float]]:
+    """Headline metrics for cross-seed aggregation (local import: the
+    metrics package imports this module's SimulationResult dependency)."""
+    from repro.metrics.fairness import jain_index, max_fairness
+    from repro.metrics.jct import average_jct
+
+    return {
+        "max_rho": lambda result: max_fairness(result.rhos()),
+        "jain": lambda result: jain_index(result.rhos()),
+        "avg_jct": lambda result: average_jct(result.completion_times()),
+    }
 
 #: Task terminal states.
 STATUS_OK = "ok"  # executed and produced a result
@@ -103,6 +122,68 @@ class SweepReport:
     def task_seconds(self) -> float:
         """Sum of per-cell wall times (the serial-equivalent cost)."""
         return sum(r.duration_seconds for r in self.records)
+
+    def aggregate(
+        self,
+        tasks: Sequence,
+        metrics: Optional[Mapping[str, Callable[[SimulationResult], float]]] = None,
+        seed_tag: str = "seed",
+    ) -> list[dict]:
+        """Cross-seed mean/CI rows, one per (scheduler, non-seed axes) group.
+
+        Tasks sharing everything but their ``seed`` tag collapse into
+        one row whose ``<metric>_mean`` / ``<metric>_ci95`` columns are
+        the sample mean and half-width of the normal-approximation 95%
+        interval (``1.96 * s / sqrt(n)``; 0.0 when ``n < 2``) over the
+        group's completed results, plus an ``n`` column.  Non-finite
+        metric values (starved apps report ``inf`` rho) are excluded
+        from the statistics.  Failed cells are skipped, so a partially
+        failed sweep still aggregates.  ``metrics`` maps column-name
+        prefixes to callables on :class:`SimulationResult`; the default
+        covers max rho, Jain's index and average JCT.
+        """
+        metric_fns = dict(metrics) if metrics is not None else _default_metrics()
+        groups: dict[tuple, tuple[dict, list[SimulationResult]]] = {}
+        for task in tasks:
+            result = self.results.get(task.task_id)
+            if result is None:
+                continue
+            identity = {"scheduler": task.scheduler}
+            identity.update(
+                (key, value) for key, value in task.tags if key != seed_tag
+            )
+            identity.update(task.scheduler_kwargs)
+            key = tuple(sorted((k, repr(v)) for k, v in identity.items()))
+            groups.setdefault(key, (identity, []))[1].append(result)
+        rows: list[dict] = []
+        for _key, (identity, results) in sorted(groups.items()):
+            row = dict(identity)
+            row["n"] = len(results)
+            for name, fn in metric_fns.items():
+                values = []
+                for result in results:
+                    # Metrics raise on empty inputs (e.g. max_fairness on
+                    # a run with no finished apps); such cells simply
+                    # contribute no sample rather than killing the whole
+                    # aggregation.
+                    try:
+                        values.append(fn(result))
+                    except (ValueError, ZeroDivisionError):
+                        continue
+                values = [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+                if not values:
+                    row[f"{name}_mean"] = math.nan
+                    row[f"{name}_ci95"] = math.nan
+                    continue
+                mean = statistics.fmean(values)
+                if len(values) >= 2:
+                    ci = _Z_95 * statistics.stdev(values) / math.sqrt(len(values))
+                else:
+                    ci = 0.0
+                row[f"{name}_mean"] = mean
+                row[f"{name}_ci95"] = ci
+            rows.append(row)
+        return rows
 
     def raise_on_failure(self) -> None:
         """Raise :class:`SweepError` summarising every failed cell."""

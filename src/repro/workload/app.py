@@ -27,8 +27,9 @@ import math
 from typing import Iterable, Optional, Sequence
 
 from repro.cluster.allocation import Allocation
-from repro.cluster.topology import Gpu
+from repro.cluster.topology import CapacityLike, Gpu, as_capacity
 from repro.workload.job import Job, JobState
+from repro.workload.models import effective_gpus
 
 
 class AppState(enum.Enum):
@@ -122,6 +123,14 @@ class App:
         """Total GPU-minutes consumed by all jobs so far (efficiency metric)."""
         return sum(job.gpu_time for job in self.jobs)
 
+    def gpu_time_by_type(self) -> dict[str, float]:
+        """GPU-minutes per GPU-generation name, aggregated over jobs."""
+        totals: dict[str, float] = {}
+        for job in self.jobs:
+            for type_name, minutes in job.gpu_time_by_type.items():
+                totals[type_name] = totals.get(type_name, 0.0) + minutes
+        return dict(sorted(totals.items()))
+
     def attained_service(self) -> float:
         """Total attained GPU service (Tiresias' LAS metric)."""
         return sum(job.attained_service for job in self.jobs)
@@ -147,34 +156,38 @@ class App:
             return all(not job.is_active for job in self.jobs)
         return any(job.state == JobState.FINISHED for job in self.jobs)
 
-    def ideal_running_time(self, cluster_gpus: int) -> float:
+    def ideal_running_time(self, capacity: CapacityLike) -> float:
         """T_id: running time alone on the whole cluster, ideal placement.
 
-        For ``FIRST_WINNER`` this is the paper's ``min_j W_j / G_ideal_j``
-        (Section 5.2, step 5).  For ``ALL_JOBS`` the app finishes with its
-        last job, and running alone it is limited both by its largest job
-        and by total work over cluster capacity, hence the max of the
-        two lower bounds.
+        ``capacity`` is a plain GPU count (the homogeneous model) or a
+        :class:`~repro.cluster.topology.ClusterCapacity`; running alone
+        on a mixed fleet means running on the *fastest* GPUs, so each
+        job's ideal rate is the summed speed of the top
+        ``max_parallelism`` GPUs.  For ``FIRST_WINNER`` this is the
+        paper's ``min_j W_j / G_ideal_j`` (Section 5.2, step 5).  For
+        ``ALL_JOBS`` the app finishes with its last job, and running
+        alone it is limited both by its largest job and by total work
+        over cluster capacity, hence the max of the two lower bounds.
         """
-        if cluster_gpus <= 0:
-            raise ValueError(f"cluster_gpus must be > 0, got {cluster_gpus}")
+        cap = as_capacity(capacity)
         per_job = [
-            job.spec.serial_work / min(job.max_parallelism, cluster_gpus)
+            job.spec.serial_work
+            / cap.fastest(min(job.max_parallelism, cap.num_gpus))
             for job in self.jobs
         ]
         if self.semantics is CompletionSemantics.FIRST_WINNER:
             return min(per_job)
         bound_job = max(per_job)
-        bound_capacity = self.total_work() / cluster_gpus
+        bound_capacity = self.total_work() / cap.total
         return max(bound_job, bound_capacity)
 
-    def finish_time_fairness(self, now: float, cluster_gpus: int) -> float:
+    def finish_time_fairness(self, now: float, capacity: CapacityLike) -> float:
         """Realised rho for a finished app, estimated rho otherwise.
 
         For finished apps this is the evaluation metric of Figure 5a:
         actual shared running time over ideal running time.
         """
-        t_id = self.ideal_running_time(cluster_gpus)
+        t_id = self.ideal_running_time(capacity)
         if self.state is AppState.FINISHED and self.finished_at is not None:
             return (self.finished_at - self.arrival_time) / t_id
         return self.elapsed(now) / t_id if t_id > 0 else math.inf
@@ -208,11 +221,17 @@ class App:
                     taken.add(gpu.gpu_id)
         pool = [gpu for gpu in granted if gpu.gpu_id not in taken]
         # Group the pool machine-by-machine so gang-scheduled jobs pick up
-        # co-located GPUs; iterate larger machine groups first.
+        # co-located GPUs; iterate machines with the most *effective*
+        # compute first (count x speed — machines are internally
+        # homogeneous), so faster generations are handed out before
+        # slower ones of equal size.
         by_machine: dict[int, list[Gpu]] = {}
         for gpu in pool:
             by_machine.setdefault(gpu.machine_id, []).append(gpu)
-        machine_order = sorted(by_machine, key=lambda m: (-len(by_machine[m]), m))
+        machine_order = sorted(
+            by_machine,
+            key=lambda m: (-len(by_machine[m]) * by_machine[m][0].speed, m),
+        )
         for machine_id in machine_order:
             for gpu in sorted(by_machine[machine_id], key=lambda g: g.gpu_id):
                 best_job = self._pick_job_for_gpu(active, assigned, gpu)
@@ -223,12 +242,14 @@ class App:
     @staticmethod
     def _rate_of(job: Job, gpus: list[Gpu]) -> float:
         """Placement-adjusted progress rate of a hypothetical GPU set."""
-        useful = min(len(gpus), job.max_parallelism)
-        if useful == 0:
+        if not gpus:
+            return 0.0
+        effective = effective_gpus(gpus, cap=job.max_parallelism)
+        if effective <= 0.0:
             return 0.0
         from repro.cluster.placement import slowdown  # local: avoid cycle at import
 
-        return useful * slowdown(job.model_profile.sensitivity, gpus)
+        return effective * slowdown(job.model_profile.sensitivity, gpus)
 
     @classmethod
     def _pick_job_for_gpu(
@@ -240,7 +261,8 @@ class App:
         """Choose the job that should absorb one more GPU.
 
         Jobs whose rate would *drop* are filtered out (the decline);
-        among the rest, machine-local fills win, then rack-local, then
+        among the rest, jobs whose GPU-type affinity matches this GPU's
+        generation win, then machine-local fills, then rack-local, then
         the emptiest job — which reassembles whole-machine gangs from
         machine-grouped grants instead of interleaving slot pairs.
         Returns ``None`` when every job declines.
@@ -254,9 +276,12 @@ class App:
             gain = cls._rate_of(job, current + [gpu]) - cls._rate_of(job, current)
             if gain <= 1e-12:
                 continue
+            affinity = job.spec.gpu_type
+            mismatch = 0 if affinity is None or gpu.gpu_type.name == affinity else 1
             same_machine = any(g.machine_id == gpu.machine_id for g in current)
             same_rack = any(g.rack_id == gpu.rack_id for g in current)
             key = (
+                mismatch,
                 0 if same_machine else (1 if same_rack else 2),
                 len(current),
                 job.job_id,

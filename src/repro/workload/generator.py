@@ -57,6 +57,14 @@ class GeneratorConfig:
     duration_sigma: float = 0.55
     # GPU demand per job: "most require 4 GPUs, a few just 2".
     four_gpu_fraction: float = 0.8
+    # Optional GPU-generation affinity: with probability
+    # ``gpu_type_affinity_fraction`` an app pins all its jobs to one
+    # generation drawn uniformly from ``gpu_type_affinities`` (jobs of
+    # an app share a model structure, so they share the affinity too).
+    # Disabled by default — the affinity RNG stream is only consumed
+    # when enabled, so default traces are byte-identical.
+    gpu_type_affinities: tuple[str, ...] = ()
+    gpu_type_affinity_fraction: float = 0.0
     # Loss-curve sampling (good vs poor hyper-parameter draws).
     loss_initial_range: tuple[float, float] = (3.0, 8.0)
     loss_alpha_range: tuple[float, float] = (0.3, 1.2)
@@ -75,6 +83,19 @@ class GeneratorConfig:
             raise ValueError("four_gpu_fraction must be in [0, 1]")
         if self.duration_scale <= 0:
             raise ValueError("duration_scale must be > 0")
+        if not 0.0 <= self.gpu_type_affinity_fraction <= 1.0:
+            raise ValueError("gpu_type_affinity_fraction must be in [0, 1]")
+        if self.gpu_type_affinity_fraction > 0.0 and not self.gpu_type_affinities:
+            raise ValueError(
+                "gpu_type_affinity_fraction > 0 requires gpu_type_affinities"
+            )
+        # Validate preset names up front: a typo'd affinity would never
+        # match any GPU and silently rank those jobs last in every
+        # distribution instead of expressing a preference.
+        from repro.cluster.topology import resolve_gpu_type
+
+        for name in self.gpu_type_affinities:
+            resolve_gpu_type(name)
 
     def with_contention(self, factor: float) -> "GeneratorConfig":
         """Config with arrivals compressed by ``factor`` (Figure 10's 1X/2X/4X)."""
@@ -136,12 +157,23 @@ def generate_trace(config: GeneratorConfig) -> Trace:
     model_rng = streams.get("models")
     loss_rng = streams.get("loss-curves")
 
+    affinity_enabled = (
+        config.gpu_type_affinity_fraction > 0.0 and bool(config.gpu_type_affinities)
+    )
+    affinity_rng = streams.get("gpu-affinity") if affinity_enabled else None
+
     apps: list[TraceApp] = []
     clock = 0.0
     for app_index in range(config.num_apps):
         clock += float(arrivals_rng.exponential(config.mean_interarrival_minutes))
         model_name, _ = _sample_model(config, model_rng)
         num_jobs = _sample_jobs_per_app(config, jobs_rng)
+        affinity = None
+        if affinity_rng is not None:
+            if affinity_rng.random() < config.gpu_type_affinity_fraction:
+                affinity = config.gpu_type_affinities[
+                    int(affinity_rng.integers(len(config.gpu_type_affinities)))
+                ]
         jobs: list[TraceJob] = []
         for job_index in range(num_jobs):
             duration = _sample_duration(config, duration_rng)
@@ -162,6 +194,7 @@ def generate_trace(config: GeneratorConfig) -> Trace:
                     loss_floor=0.0,
                     loss_alpha=loss_alpha,
                     loss_knee=100.0,
+                    gpu_type=affinity,
                 )
             )
         apps.append(
@@ -176,6 +209,9 @@ def generate_trace(config: GeneratorConfig) -> Trace:
         "network_intensive_fraction": config.network_intensive_fraction,
         "duration_scale": config.duration_scale,
     }
+    if affinity_enabled:
+        metadata["gpu_type_affinities"] = list(config.gpu_type_affinities)
+        metadata["gpu_type_affinity_fraction"] = config.gpu_type_affinity_fraction
     return Trace(
         apps=tuple(apps),
         name=f"synthetic-seed{config.seed}",

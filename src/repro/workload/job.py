@@ -27,7 +27,7 @@ from typing import Optional
 from repro.cluster.allocation import Allocation
 from repro.cluster.placement import slowdown
 from repro.hyperparam.curves import LossCurve
-from repro.workload.models import ModelProfile, get_model
+from repro.workload.models import ModelProfile, effective_gpus, get_model
 
 
 class JobState(enum.Enum):
@@ -55,6 +55,11 @@ class JobSpec:
     max_parallelism: int
     total_iterations: int = 1000
     loss_curve: Optional[LossCurve] = None
+    #: Optional GPU-generation affinity (a :class:`~repro.cluster.topology.GpuType`
+    #: name).  A soft preference: the intra-app distributor steers
+    #: matching GPUs to this job first, but any GPU still works (at its
+    #: own speed).
+    gpu_type: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.serial_work <= 0:
@@ -84,6 +89,9 @@ class Job:
     attained_service: float = 0.0
     score_integral: float = 0.0
     allocated_time: float = 0.0
+    #: GPU-minutes accrued per GPU-generation name (device time, like
+    #: :attr:`gpu_time`, split by type for the heterogeneity reports).
+    gpu_time_by_type: dict = field(default_factory=dict)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     #: Optional tighter parallelism cap set by the app scheduler
@@ -129,14 +137,18 @@ class Job:
     def rate(self) -> float:
         """Work units consumed per minute with the current allocation.
 
-        The paper's placement-sensitive scaling: ``G * S(placement)``,
-        capped at ``max_parallelism`` GPUs worth of useful work.
+        The paper's placement-sensitive scaling generalised to mixed
+        GPU generations: ``E * S(placement)`` where ``E`` is the
+        speed-weighted count of the fastest ``max_parallelism`` GPUs
+        held (``= G`` on a homogeneous cluster).
         """
-        useful = min(self.allocation.size, self.spec.max_parallelism)
-        if useful == 0:
+        if self.allocation.size == 0:
+            return 0.0
+        effective = effective_gpus(self.allocation.gpus, cap=self.spec.max_parallelism)
+        if effective <= 0.0:
             return 0.0
         factor = slowdown(self.model_profile.sensitivity, self.allocation.gpus)
-        return useful * factor
+        return effective * factor
 
     def current_slowdown(self) -> float:
         """Slowdown factor S of the current allocation (1.0 when idle)."""
@@ -161,9 +173,16 @@ class Job:
         held = self.allocation.size
         if held > 0:
             self.gpu_time += held * dt
-            self.attained_service += held * dt
+            # Attained service is measured in *effective* compute so the
+            # LAS baseline (Tiresias) ranks a K80-hour below a V100-hour;
+            # identical to held * dt on homogeneous clusters.
+            self.attained_service += self.allocation.effective_size * dt
             self.score_integral += self.allocation.score() * dt
             self.allocated_time += dt
+            for type_name, count in self.allocation.per_type_counts().items():
+                self.gpu_time_by_type[type_name] = (
+                    self.gpu_time_by_type.get(type_name, 0.0) + count * dt
+                )
         productive = dt
         if self.overhead_remaining > 0.0:
             consumed = min(self.overhead_remaining, productive)

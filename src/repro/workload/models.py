@@ -18,7 +18,7 @@ that is what drives every placement-related result in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.cluster.placement import SensitivityProfile, slowdown
 from repro.cluster.topology import Gpu
@@ -124,16 +124,36 @@ def models_by_family(network_intensive: bool) -> tuple[ModelProfile, ...]:
     )
 
 
+def effective_gpus(gpus: Iterable[Gpu], cap: Optional[int] = None) -> float:
+    """Speed-weighted GPU count of an allocation, optionally capped.
+
+    With a ``cap`` (a job's max parallelism) only the fastest ``cap``
+    GPUs count — a rational gang drops its slowest stragglers first.
+    On an all-speed-1.0 cluster this is exactly ``min(len(gpus), cap)``.
+    """
+    speeds = [gpu.speed for gpu in gpus]
+    if cap is not None and len(speeds) > cap:
+        speeds.sort(reverse=True)
+        speeds = speeds[: max(cap, 0)]
+    return sum(speeds)
+
+
 def throughput(profile: ModelProfile, gpus: Iterable[Gpu]) -> float:
     """Aggregate training throughput of ``profile`` on a GPU allocation.
 
-    Implements the paper's scaling model (Section 5.2): throughput is
-    ``single_gpu * G * S(placement)`` where ``S`` is the slowdown at the
-    worst locality boundary spanned.  This reproduces Figure 2: e.g.
-    vgg16 on 4 co-located GPUs runs at ~0.90 scaling but collapses to
-    ~0.45 when split 2x2 across two machines.
+    Implements the paper's scaling model (Section 5.2), generalised to
+    mixed GPU generations: throughput is ``single_gpu * E * S(placement)``
+    where ``E`` is the speed-weighted GPU count and ``S`` the slowdown at
+    the worst locality boundary spanned.  On a homogeneous cluster
+    ``E = G`` and this reproduces Figure 2 exactly: e.g. vgg16 on 4
+    co-located GPUs runs at ~0.90 scaling but collapses to ~0.45 when
+    split 2x2 across two machines.
     """
     gpus = list(gpus)
     if not gpus:
         return 0.0
-    return profile.single_gpu_throughput * len(gpus) * slowdown(profile.sensitivity, gpus)
+    return (
+        profile.single_gpu_throughput
+        * effective_gpus(gpus)
+        * slowdown(profile.sensitivity, gpus)
+    )

@@ -12,7 +12,7 @@ objects for simulation.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
@@ -40,12 +40,18 @@ class TraceJob:
     loss_floor: float = 0.0
     loss_alpha: float = 0.5
     loss_knee: float = 100.0
+    #: Optional GPU-generation affinity (a type name, e.g. "v100"): a
+    #: soft preference the intra-app distributor honours on mixed
+    #: clusters.  ``None`` (the default) means any generation.
+    gpu_type: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration_minutes <= 0:
             raise ValueError(f"duration_minutes must be > 0, got {self.duration_minutes}")
         if self.max_parallelism <= 0:
             raise ValueError(f"max_parallelism must be > 0, got {self.max_parallelism}")
+        if self.gpu_type is not None and not self.gpu_type:
+            raise ValueError("gpu_type affinity must be None or a non-empty name")
         get_model(self.model)  # validate the model exists
 
     @property
@@ -71,6 +77,7 @@ class TraceJob:
             max_parallelism=self.max_parallelism,
             total_iterations=self.total_iterations,
             loss_curve=self.loss_curve(),
+            gpu_type=self.gpu_type,
         )
         return Job(spec=spec)
 
@@ -176,6 +183,7 @@ class Trace:
                         loss_floor=job.loss_floor,
                         loss_alpha=job.loss_alpha,
                         loss_knee=job.loss_knee,
+                        gpu_type=job.gpu_type,
                     )
                     for job in app.jobs
                 ),
@@ -221,7 +229,13 @@ class Trace:
                     seed = header.get("seed")
                     metadata = header.get("metadata", {})
                     continue
-                jobs = tuple(TraceJob(**job) for job in record["jobs"])
+                # Tolerate unknown keys written by newer builds (the
+                # same forward-compatibility rule the result cache uses).
+                known = {f.name for f in dataclass_fields(TraceJob)}
+                jobs = tuple(
+                    TraceJob(**{k: v for k, v in job.items() if k in known})
+                    for job in record["jobs"]
+                )
                 apps.append(
                     TraceApp(
                         app_id=record["app_id"],

@@ -1,0 +1,130 @@
+"""Equivalence suite: all-speed-1.0 clusters reproduce the homogeneous model.
+
+The heterogeneity refactor threads GPU generations through every layer
+— topology, progress model, rho estimation, auction tie-breaks,
+baseline fills.  Its safety property is that the speed factor is the
+*only* thing that changes behaviour: a cluster whose GPUs are labelled
+with distinct generation names but all speed 1.0 must reproduce the
+original homogeneous simulation **byte-identically** for every
+registered scheduler (type names may only show up in the by-type
+reporting fields, which aggregate to identical totals).
+
+This is the same equivalence-testing discipline the PR 2 auction
+rebuild used: the homogeneous path is the reference implementation, and
+these tests pin it across >= 3 seeded scenarios x the full scheduler
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.topology import (
+    ClusterSpec,
+    GpuType,
+    MachineSpec,
+    build_cluster,
+)
+from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.workload.generator import GeneratorConfig, generate_trace
+
+#: Machine shapes of the 50-GPU testbed, reused for both builds.
+_SHAPES = ((4, 4), (3, 2), (3, 1))  # (count, gpus_per_machine)
+
+SEEDS = (7, 11, 23)
+
+
+def _cluster(speed_labels: bool, speeds: tuple[float, float, float] = (1.0, 1.0, 1.0)):
+    """Testbed-shaped cluster; optionally with per-shape GPU-type labels."""
+    names = ("v100", "p100", "k80")
+    specs = []
+    for (count, gpus_per_machine), name, speed in zip(_SHAPES, names, speeds):
+        kwargs = {}
+        if speed_labels:
+            kwargs["gpu_type"] = GpuType(name, speed)
+        specs.append(
+            MachineSpec(count=count, gpus_per_machine=gpus_per_machine, **kwargs)
+        )
+    return build_cluster(
+        ClusterSpec(machine_specs=tuple(specs), num_racks=2, name="equiv")
+    )
+
+
+def _trace(seed: int):
+    return generate_trace(
+        GeneratorConfig(
+            num_apps=3,
+            seed=seed,
+            duration_scale=0.1,
+            jobs_per_app_median=3.0,
+            jobs_per_app_max=6,
+        )
+    )
+
+
+def _run(cluster, seed: int, scheduler: str):
+    sim = ClusterSimulator(
+        cluster=cluster,
+        workload=_trace(seed),
+        scheduler=make_scheduler(scheduler),
+        config=SimulationConfig(lease_minutes=10.0),
+    )
+    return sim.run()
+
+
+def _canonical(result) -> str:
+    """Full result payload minus the (name-carrying) by-type fields."""
+    payload = result.to_json()
+    payload.pop("cluster_name")
+    payload.pop("cluster_gpus_by_type")
+    payload.pop("gpu_time_by_type")
+    for stats in payload["app_stats"]:
+        stats.pop("gpu_time_by_type")
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_speed_one_labels_are_byte_identical(scheduler, seed):
+    """Labelled-but-speed-1.0 GPUs change nothing, for every scheduler."""
+    baseline = _run(_cluster(speed_labels=False), seed, scheduler)
+    labelled = _run(_cluster(speed_labels=True), seed, scheduler)
+    assert _canonical(labelled) == _canonical(baseline)
+    # The by-type split is the only difference, and it is conservative:
+    # per-type device minutes sum to the same totals on both sides.
+    assert sum(labelled.gpu_time_by_type.values()) == pytest.approx(
+        sum(baseline.gpu_time_by_type.values())
+    )
+    assert sum(labelled.cluster_gpus_by_type.values()) == baseline.cluster_gpus
+    assert set(baseline.gpu_time_by_type) <= {"default"}
+    assert set(labelled.gpu_time_by_type) <= {"v100", "p100", "k80"}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_slow_generations_actually_change_results(scheduler):
+    """Sanity inverse: speeds below 1.0 must not be a silent no-op."""
+    seed = SEEDS[0]
+    baseline = _run(_cluster(speed_labels=False), seed, scheduler)
+    mixed = _run(
+        _cluster(speed_labels=True, speeds=(1.0, 0.6, 0.35)), seed, scheduler
+    )
+    assert mixed.completed
+    # Slower silicon means strictly less effective compute: the same
+    # workload cannot finish faster than on the all-fast cluster.
+    assert mixed.makespan >= baseline.makespan
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_mixed_cluster_runs_end_to_end(scheduler):
+    """Every registered scheduler completes a mixed-generation trace."""
+    result = _run(
+        _cluster(speed_labels=True, speeds=(1.0, 0.6, 0.35)), SEEDS[1], scheduler
+    )
+    assert result.completed
+    assert set(result.cluster_gpus_by_type) == {"v100", "p100", "k80"}
+    assert sum(result.gpu_time_by_type.values()) == pytest.approx(
+        result.total_gpu_time
+    )

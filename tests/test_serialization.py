@@ -85,4 +85,7 @@ def test_golden_schema_keys(result):
         "num_rounds",
         "events_processed",
         "total_gpu_time",
+        # Added with the heterogeneity model (SCHEMA_VERSION 2).
+        "cluster_gpus_by_type",
+        "gpu_time_by_type",
     }

@@ -1,0 +1,103 @@
+"""Cross-seed mean/CI aggregation computed by SweepReport.aggregate."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import tiny_scenario
+from repro.sweep import SweepMatrix, SweepTask, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    matrix = SweepMatrix(
+        base=tiny_scenario(num_apps=2),
+        schedulers=("fifo", "tiresias"),
+        seeds=(1, 2, 3),
+    )
+    tasks = matrix.expand()
+    report = run_sweep(tasks)
+    report.raise_on_failure()
+    return tasks, report
+
+
+def test_groups_collapse_seeds(sweep):
+    tasks, report = sweep
+    rows = report.aggregate(tasks)
+    assert len(rows) == 2  # one row per scheduler, seeds collapsed
+    by_scheduler = {row["scheduler"]: row for row in rows}
+    assert set(by_scheduler) == {"fifo", "tiresias"}
+    for row in rows:
+        assert row["n"] == 3
+        for metric in ("max_rho", "jain", "avg_jct"):
+            assert math.isfinite(row[f"{metric}_mean"])
+            assert row[f"{metric}_ci95"] >= 0.0
+
+
+def test_mean_and_ci_match_hand_computation(sweep):
+    import statistics
+
+    tasks, report = sweep
+    fifo_tasks = [t for t in tasks if t.scheduler == "fifo"]
+    values = [
+        max(report.result_for(t.task_id).rhos()) for t in fifo_tasks
+    ]
+    rows = report.aggregate(tasks)
+    row = next(r for r in rows if r["scheduler"] == "fifo")
+    assert row["max_rho_mean"] == pytest.approx(statistics.fmean(values))
+    expected_ci = 1.96 * statistics.stdev(values) / math.sqrt(len(values))
+    assert row["max_rho_ci95"] == pytest.approx(expected_ci)
+
+
+def test_custom_metrics_and_single_sample_ci(sweep):
+    tasks, report = sweep
+    one = [t for t in tasks if t.scheduler == "fifo"][:1]
+    rows = report.aggregate(one, metrics={"makespan": lambda r: r.makespan})
+    assert len(rows) == 1
+    assert rows[0]["n"] == 1
+    assert rows[0]["makespan_ci95"] == 0.0  # no spread from one sample
+
+
+def test_non_seed_tags_stay_separate(sweep):
+    _, report = sweep
+    # Tasks differing in a non-seed tag must not collapse together.
+    a = SweepTask(scenario=tiny_scenario(num_apps=2, seed=1), scheduler="fifo",
+                  tags=(("seed", 1), ("lease_minutes", 10.0)))
+    b = SweepTask(scenario=tiny_scenario(num_apps=2, seed=1), scheduler="fifo",
+                  tags=(("seed", 1), ("lease_minutes", 20.0)))
+    # Reuse any computed result under both ids to isolate grouping logic.
+    result = next(iter(report.results.values()))
+    report.results[a.task_id] = result
+    report.results[b.task_id] = result
+    rows = report.aggregate([a, b])
+    assert len(rows) == 2
+    assert {row["lease_minutes"] for row in rows} == {10.0, 20.0}
+
+
+def test_cells_with_no_finished_apps_do_not_crash(sweep):
+    """A max_minutes-truncated cell has no finished apps; the default
+    metrics raise on empty inputs and must be excluded, not fatal."""
+    tasks, report = sweep
+    truncated = SweepTask(
+        scenario=tiny_scenario(num_apps=2, seed=4).replace(max_minutes=0.001),
+        scheduler="fifo",
+    )
+    from repro.sweep import execute_task
+
+    result, error, _ = execute_task(truncated)
+    assert error is None and not result.completed
+    report.results[truncated.task_id] = result
+    rows = report.aggregate(list(tasks) + [truncated])
+    row = next(r for r in rows if r["scheduler"] == "fifo")
+    # The truncated cell joins the group but contributes no JCT sample.
+    assert row["n"] == 4
+    assert math.isfinite(row["avg_jct_mean"])
+
+
+def test_failed_cells_are_skipped(sweep):
+    tasks, report = sweep
+    ghost = SweepTask(scenario=tiny_scenario(num_apps=2, seed=99), scheduler="fifo")
+    rows = report.aggregate(list(tasks) + [ghost])
+    # The ghost has no result; counts must not include it.
+    row = next(r for r in rows if r["scheduler"] == "fifo")
+    assert row["n"] == 3
