@@ -1,0 +1,66 @@
+"""Whole-trace macro-benchmarks (``pytest benchmarks/perf``).
+
+Runs the tracked :mod:`repro.perf.bench` sim profile(s), asserts the
+incremental and cold-rebuild paths produce byte-identical results, and
+records the measured table under ``benchmarks/results/perf_sim.txt`` so
+the perf trajectory is inspectable per checkout.  Wall-clock assertions
+are deliberately loose (the hard regression gate is the CI
+``repro bench sim --quick --check`` job, which compares the
+machine-independent incremental-over-cold speedup ratio against the
+committed ``BENCH_sim.json`` baseline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import SIM_PROFILES, run_sim_bench
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="module")
+def sim_records():
+    """Run the small sim profile once per mode."""
+    records = {"sim-small": run_sim_bench(SIM_PROFILES["sim-small"], repeats=1)}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = ["profile gpus peak_contention rounds inc_s cold_s speedup events_per_s probes"]
+    for name, record in records.items():
+        lines.append(
+            f"{name} {record['gpus']} {record['peak_contention']:.2f} "
+            f"{record['rounds']} {record['incremental']['seconds']:.3f} "
+            f"{record['cold']['seconds']:.3f} {record['speedup']:.2f} "
+            f"{record['incremental']['events_per_sec']:.1f} "
+            f"{record['incremental']['rho_probes']}"
+        )
+    text = "\n".join(lines)
+    (RESULTS_DIR / "perf_sim.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+    return records
+
+
+def test_incremental_matches_cold(sim_records):
+    for name, record in sim_records.items():
+        assert record["identical_results"], f"{name}: incremental diverged from cold"
+
+
+def test_incremental_is_faster(sim_records):
+    # The committed baseline shows >1.6x on sim-small (and >2x on
+    # sim-medium); >1.05x here tolerates a heavily loaded benchmark
+    # machine without going flaky.
+    assert sim_records["sim-small"]["speedup"] > 1.05
+
+
+def test_incremental_does_less_valuation_work(sim_records):
+    record = sim_records["sim-small"]
+    assert record["incremental"]["rho_probes"] > 0
+    assert record["incremental"]["rho_probes"] < record["cold"]["rho_probes"]
+
+
+def test_throughput_metrics_recorded(sim_records):
+    record = sim_records["sim-small"]
+    for mode in ("incremental", "cold"):
+        assert record[mode]["events_per_sec"] > 0
+        assert record[mode]["rounds_per_sec"] > 0

@@ -11,6 +11,7 @@ Examples::
     python -m repro sweep --cluster hetero --gpu-mix v100:0.5,p100:0.25,k80:0.25 \\
         --schedulers themis,tiresias --seeds 1,2
     python -m repro bench --quick --check BENCH_auction.json
+    python -m repro bench sim --check BENCH_sim.json --out BENCH_sim.json
     python -m repro cache prune --dir .sweep-cache --max-age-days 30
     python -m repro trace --apps 30 --out trace.jsonl
 
@@ -363,6 +364,8 @@ def _print_per_type_breakdown(tasks, report) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "sim":
+        return _cmd_bench_sim(args)
     from repro.perf.bench import (
         AUCTION_PROFILES,
         E2E_PROFILES,
@@ -372,7 +375,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
-    profiles = list(args.profiles)
+    profiles = list(args.profiles or AUCTION_PROFILES)
     e2e = list(args.e2e)
     repeats = args.repeats
     if args.quick:
@@ -422,12 +425,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench(payload, args.out)
         print(f"wrote {args.out}")
     if baseline is not None:
-        gate = tuple(p for p in ("medium", "hetero-medium") if p in profiles)
+        gate = tuple(
+            p for p in ("medium", "hetero-medium", "large") if p in profiles
+        )
         if not gate:
             print("regression check skipped: no gated profile "
-                  "(medium/hetero-medium) in this run")
+                  "(medium/hetero-medium/large) in this run")
             return 0
         failures = check_regression(
+            payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed vs", args.check)
+    return 0
+
+
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    """``repro bench sim``: the whole-trace incremental-vs-cold suite."""
+    from repro.perf.bench import (
+        SIM_PROFILES,
+        check_sim_regression,
+        load_bench,
+        run_sim_suite,
+        write_bench,
+    )
+
+    profiles = list(args.profiles or SIM_PROFILES)
+    repeats = args.repeats
+    if args.quick:
+        # CI smoke mode: the small profile only.  Two repeats per mode
+        # (min-of-N) so the gated speedup ratio is not a single
+        # unaveraged timing pair on a noisy shared runner.
+        profiles = [p for p in profiles if p == "sim-small"] or ["sim-small"]
+        repeats = min(repeats, 2) if repeats else 2
+    unknown = [p for p in profiles if p not in SIM_PROFILES]
+    if unknown:
+        print(
+            f"unknown sim bench profiles: {unknown}; known: {sorted(SIM_PROFILES)}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_bench(args.check) if args.check else None
+    payload = run_sim_suite(profiles=profiles, repeats=repeats)
+    rows = []
+    for name in profiles:
+        record = payload["sim"][name]
+        rows.append([
+            name,
+            record["gpus"],
+            round(record["peak_contention"], 2),
+            record["rounds"],
+            round(record["incremental"]["seconds"], 3),
+            round(record["cold"]["seconds"], 3),
+            round(record["speedup"], 2) if record["speedup"] else "-",
+            round(record["incremental"]["events_per_sec"], 1),
+            record["incremental"]["rho_probes"],
+            record["identical_results"],
+        ])
+    print(format_table(
+        ["profile", "gpus", "contention", "rounds", "inc_s", "cold_s",
+         "speedup", "events/s", "probes", "identical"],
+        rows,
+    ))
+    if args.out:
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}")
+    if baseline is not None:
+        gate = tuple(p for p in ("sim-small", "sim-medium") if p in profiles)
+        if not gate:
+            print("regression check skipped: no gated profile "
+                  "(sim-small/sim-medium) in this run")
+            return 0
+        failures = check_sim_regression(
             payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
         )
         if failures:
@@ -558,13 +630,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     bench_parser = sub.add_parser(
-        "bench", help="run the tracked auction/simulator microbenchmarks"
+        "bench", help="run the tracked auction/simulator benchmarks"
+    )
+    bench_parser.add_argument(
+        "suite", nargs="?", choices=("auction", "sim"), default="auction",
+        help="auction: PA-solver microbenchmarks (BENCH_auction.json); "
+             "sim: whole-trace incremental-vs-cold macro-benchmark "
+             "(BENCH_sim.json)",
     )
     bench_parser.add_argument(
         "--profiles", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
-        default=["small", "medium", "hetero-medium", "large"],
-        help="comma-separated auction profiles "
-             "(small,medium,hetero-medium,large)",
+        default=None,
+        help="comma-separated profiles; defaults to every profile of the "
+             "selected suite (auction: small,medium,hetero-medium,large; "
+             "sim: sim-small,sim-medium,sim-8x,sim-hetero,sim-failures)",
     )
     bench_parser.add_argument(
         "--e2e", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
@@ -574,7 +653,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--repeats", type=_positive_int, default=3,
                               help="timing repeats per profile (min is reported)")
     bench_parser.add_argument("--quick", action="store_true",
-                              help="CI smoke mode: 1 repeat, skip large/e2e-medium")
+                              help="CI smoke mode: 1 repeat; auction suite skips "
+                                   "large/e2e-medium, sim suite runs sim-small only")
     bench_parser.add_argument("--out", default=None,
                               help="write the bench payload to this JSON path")
     bench_parser.add_argument("--check", default=None,

@@ -28,7 +28,15 @@ class Allocation:
     3
     """
 
-    __slots__ = ("_gpus", "_key", "_effective", "_type_counts")
+    __slots__ = (
+        "_gpus",
+        "_key",
+        "_effective",
+        "_type_counts",
+        "_machine_counts",
+        "_score",
+        "_type_items",
+    )
 
     def __init__(self, gpus: Iterable[Gpu] = ()) -> None:
         unique = {gpu.gpu_id: gpu for gpu in gpus}
@@ -36,6 +44,9 @@ class Allocation:
         self._key = frozenset(unique)
         self._effective: float | None = None
         self._type_counts: dict[str, int] | None = None
+        self._machine_counts: dict[int, int] | None = None
+        self._score: float | None = None
+        self._type_items: tuple[tuple[str, int], ...] | None = None
 
     # ------------------------------------------------------------------
     # Basic container behaviour
@@ -75,6 +86,16 @@ class Allocation:
                 counts[name] = counts.get(name, 0) + 1
             self._type_counts = counts
         return dict(self._type_counts)
+
+    def type_count_items(self) -> tuple[tuple[str, int], ...]:
+        """``per_type_counts().items()`` as a shared immutable tuple.
+
+        The GPU-time integrator reads the split every simulated minute a
+        job holds this allocation; the tuple avoids a dict copy per read.
+        """
+        if self._type_items is None:
+            self._type_items = tuple(self.per_type_counts().items())
+        return self._type_items
 
     def __len__(self) -> int:
         return len(self._gpus)
@@ -143,8 +164,12 @@ class Allocation:
 
         This is the paper's bid representation: "each dimension in R
         represents the number of unused GPUs in a given machine".
+        Memoised (allocations are immutable); a fresh copy is returned
+        so callers can extend it into hypothetical bundles.
         """
-        return dict(Counter(gpu.machine_id for gpu in self._gpus))
+        if self._machine_counts is None:
+            self._machine_counts = dict(Counter(gpu.machine_id for gpu in self._gpus))
+        return dict(self._machine_counts)
 
     def on_machine(self, machine_id: int) -> tuple[Gpu, ...]:
         """Member GPUs hosted on one machine."""
@@ -155,8 +180,14 @@ class Allocation:
         return placement_level(self._gpus)
 
     def score(self) -> float:
-        """4-level placement score of the allocation (Figure 7 metric)."""
-        return placement_score(self._gpus)
+        """4-level placement score of the allocation (Figure 7 metric).
+
+        Memoised: the score integral accrues every simulated minute a
+        job holds this (immutable) allocation.
+        """
+        if self._score is None:
+            self._score = placement_score(self._gpus)
+        return self._score
 
 
 #: The empty allocation, shared to avoid churn in hot paths.

@@ -21,24 +21,36 @@ from __future__ import annotations
 import math
 
 from repro.core.bids import Bid, _noise_factor
-from repro.core.fairness import FairnessEstimator
+from repro.core.fairness import AppValuationState, FairnessEstimator
 from repro.workload.app import App
 
 
 class Agent:
-    """Intermediary between one app's scheduler and the ARBITER."""
+    """Intermediary between one app's scheduler and the ARBITER.
+
+    The AGENT owns its app's cross-round
+    :class:`~repro.core.fairness.AppValuationState`: as long as the app
+    is dirty-free (epoch unchanged, nothing allocated) the snapshot,
+    rho kernel and delta caches survive verbatim between scheduling
+    rounds, so the many starved apps at high contention answer rho
+    probes and rebuild bid tables without recomputing a single carve.
+    ``incremental=False`` rebuilds everything every round — the honest
+    cold baseline the sim macro-benchmark compares against.
+    """
 
     def __init__(
         self,
         app: App,
         estimator: FairnessEstimator,
         noise_theta: float = 0.0,
+        incremental: bool = True,
     ) -> None:
         if not 0.0 <= noise_theta < 1.0:
             raise ValueError(f"noise_theta must be in [0, 1), got {noise_theta}")
         self.app = app
         self.estimator = estimator
         self.noise_theta = noise_theta
+        self.state = AppValuationState(app, estimator, reuse=incremental)
         self.bids_prepared = 0
         self.auctions_won = 0
 
@@ -53,7 +65,7 @@ class Agent:
         Starved apps report ``inf`` — the unbounded metric that keeps
         them in every subsequent auction until they win (Section 5.1).
         """
-        rho = self.estimator.rho_current(self.app, now)
+        rho = self.state.current_rho(now)
         if math.isinf(rho):
             return rho
         return rho * _noise_factor(salt, self.app_id, ("probe",), self.noise_theta)
@@ -68,6 +80,7 @@ class Agent:
             offered_counts=offered_counts,
             noise_theta=self.noise_theta,
             noise_salt=salt,
+            state=self.state,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

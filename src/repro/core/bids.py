@@ -27,13 +27,46 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.fairness import FairnessEstimator, value_from_rho
+from repro.core.fairness import AppValuationState, FairnessEstimator, value_from_rho
 from repro.workload.app import App
 
 
 def _bundle_key(extra_counts: Mapping[int, int]) -> tuple[tuple[int, int], ...]:
     """Canonical hashable form of a per-machine count bundle."""
     return tuple(sorted((m, c) for m, c in extra_counts.items() if c > 0))
+
+
+def _merge_keys(
+    base: tuple[tuple[int, int], ...], extra: tuple[tuple[int, int], ...]
+) -> tuple[tuple[int, int], ...]:
+    """Merge two canonical count keys, summing counts per machine.
+
+    Both inputs are sorted by machine id, so the canonical total is a
+    linear merge — no dict build, no re-sort on the valuation hot path.
+    """
+    if not base:
+        return extra
+    if not extra:
+        return base
+    out: list[tuple[int, int]] = []
+    i = j = 0
+    len_a, len_b = len(base), len(extra)
+    while i < len_a and j < len_b:
+        machine_a, count_a = base[i]
+        machine_b, count_b = extra[j]
+        if machine_a == machine_b:
+            out.append((machine_a, count_a + count_b))
+            i += 1
+            j += 1
+        elif machine_a < machine_b:
+            out.append(base[i])
+            i += 1
+        else:
+            out.append(extra[j])
+            j += 1
+    out.extend(base[i:])
+    out.extend(extra[j:])
+    return tuple(out)
 
 
 def _noise_factor(salt: int, app_id: str, key: tuple, theta: float) -> float:
@@ -70,6 +103,7 @@ class Bid:
         offered_counts: Mapping[int, int],
         noise_theta: float = 0.0,
         noise_salt: int = 0,
+        state: AppValuationState | None = None,
     ) -> None:
         self.app = app
         self.app_id = app.app_id
@@ -80,18 +114,25 @@ class Bid:
         self._estimator = estimator
         # One rho/value cache per bid, shared across the auction's full
         # solve and every ``without_i`` payment re-solve (the solver
-        # probes the same bundles in all of them).  ``rho_probes``
-        # counts cache misses — actual carve computations — and
-        # ``rho_lookups`` all queries; the perf harness reports both.
+        # probes the same bundles in all of them).  These are noisy and
+        # clock-dependent, so they live and die with the bid;
+        # ``rho_probes`` counts actual carve computations (cross-round
+        # delta-cache misses) and ``rho_lookups`` all queries; the perf
+        # harness reports both.
         self._rho_cache: dict[tuple, float] = {}
         self._value_cache: dict[tuple, float] = {}
         self.rho_probes = 0
         self.rho_lookups = 0
         # The app's holdings and job states are fixed for the duration
-        # of the auction; snapshot them once (hot path — the winner
-        # determination probes many incremental bundles).
-        self._base_counts = dict(app.allocation().per_machine_counts())
-        self._snapshot = estimator.snapshot(app)
+        # of the auction.  The cross-round :class:`AppValuationState`
+        # carries the frozen snapshot plus the elapsed-independent
+        # delta cache; an AGENT passes its persistent instance in (so a
+        # starved app's bid table survives verbatim between rounds),
+        # while ad-hoc callers get a fresh single-auction state.
+        if state is None:
+            state = AppValuationState(app, estimator, reuse=False)
+        state.refresh()
+        self._state = state
         self.demand = app.unmet_demand()
         self.current_rho = self.rho_of({})
 
@@ -117,8 +158,6 @@ class Bid:
         cached = self._rho_cache.get(key)
         if cached is not None:
             return cached
-        self.rho_probes += 1
-        total_counts = dict(self._base_counts)
         for machine_id, count in key:
             if count > self.offered_counts.get(machine_id, 0):
                 raise ValueError(
@@ -126,8 +165,15 @@ class Bid:
                     f"{machine_id} but only {self.offered_counts.get(machine_id, 0)} "
                     "were offered"
                 )
-            total_counts[machine_id] = total_counts.get(machine_id, 0) + count
-        rho = self._estimator.rho_from_snapshot(self._snapshot, self.now, total_counts)
+        # For a starved app (the common case at high contention) the
+        # bundle *is* the total allocation; otherwise the two canonical
+        # keys merge linearly — no dict build on the hot path.
+        total_key = _merge_keys(self._state.base_key, key)
+        state = self._state
+        misses_before = state.estimator.carve_count
+        rho = state.rho_at(self.now, total_key)
+        if state.estimator.carve_count != misses_before:
+            self.rho_probes += 1
         if not math.isinf(rho):
             rho *= _noise_factor(self.noise_salt, self.app_id, key, self.noise_theta)
         self._rho_cache[key] = rho
@@ -226,6 +272,7 @@ def build_bid(
     offered_counts: Mapping[int, int],
     noise_theta: float = 0.0,
     noise_salt: int = 0,
+    state: AppValuationState | None = None,
 ) -> Bid:
     """Convenience constructor mirroring the AGENT's PREPAREBIDS call."""
     return Bid(
@@ -235,4 +282,5 @@ def build_bid(
         offered_counts=offered_counts,
         noise_theta=noise_theta,
         noise_salt=noise_salt,
+        state=state,
     )

@@ -39,10 +39,26 @@ class Lease:
 
 
 class LeaseManager:
-    """Tracks the lease on every GPU in the cluster."""
+    """Tracks the lease on every GPU in the cluster.
+
+    Calling :meth:`track` with the cluster's GPU set additionally
+    maintains the *complement* — the unleased GPUs — incrementally, so
+    :meth:`pool_for_auction` assembles the auction pool from the leases
+    and the free dict instead of rescanning every GPU in the cluster
+    each round.  Untracked managers (the default, and the cold baseline
+    of ``repro bench sim``) keep the original full-scan behaviour; both
+    produce the same sorted pool.
+    """
 
     def __init__(self) -> None:
         self._leases: dict[int, Lease] = {}
+        self._free: Optional[dict[int, Gpu]] = None
+
+    def track(self, all_gpus: Iterable[Gpu]) -> None:
+        """Maintain the unleased-GPU set incrementally for ``all_gpus``."""
+        self._free = {
+            gpu.gpu_id: gpu for gpu in all_gpus if gpu.gpu_id not in self._leases
+        }
 
     # ------------------------------------------------------------------
     # Mutation
@@ -57,11 +73,16 @@ class LeaseManager:
             raise ValueError(f"lease duration must be > 0, got {duration}")
         lease = Lease(gpu=gpu, app_id=app_id, job_id=job_id, start=now, expiry=now + duration)
         self._leases[gpu.gpu_id] = lease
+        if self._free is not None:
+            self._free.pop(gpu.gpu_id, None)
         return lease
 
     def release(self, gpu: Gpu) -> Optional[Lease]:
         """Drop the lease on ``gpu`` (no-op when unleased)."""
-        return self._leases.pop(gpu.gpu_id, None)
+        lease = self._leases.pop(gpu.gpu_id, None)
+        if lease is not None and self._free is not None:
+            self._free[gpu.gpu_id] = gpu
+        return lease
 
     def release_all(self, gpus: Iterable[Gpu]) -> None:
         """Drop leases on several GPUs."""
@@ -110,9 +131,24 @@ class LeaseManager:
         return min(future) if future else None
 
     def pool_for_auction(self, now: float, all_gpus: Iterable[Gpu]) -> list[Gpu]:
-        """The auction pool: unleased GPUs plus GPUs with expired leases."""
-        pool = self.unleased_gpus(all_gpus)
-        pool.extend(self.expired_gpus(now))
+        """The auction pool: unleased GPUs plus GPUs with expired leases.
+
+        With :meth:`track` enabled the unleased side comes from the
+        incrementally-maintained free dict (``all_gpus`` is ignored —
+        it was captured at track time); otherwise every GPU is scanned.
+        Either way the pool is sorted by gpu_id, so downstream rounds
+        are identical.
+        """
+        if self._free is not None:
+            pool = list(self._free.values())
+            pool.extend(
+                lease.gpu
+                for lease in self._leases.values()
+                if lease.is_expired(now)
+            )
+        else:
+            pool = self.unleased_gpus(all_gpus)
+            pool.extend(self.expired_gpus(now))
         return sorted(pool, key=lambda gpu: gpu.gpu_id)
 
     @property

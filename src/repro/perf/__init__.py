@@ -3,25 +3,37 @@
 :mod:`repro.perf.bench` times the partial-allocation auction (lazy
 solver vs. the full-rescan reference) and end-to-end simulation runs at
 small/medium/large contention, producing the ``BENCH_auction.json``
-payload the CI regression guard and ``repro bench`` consume.
+payload the CI regression guard and ``repro bench`` consume, plus the
+``repro bench sim`` macro-benchmark that replays whole traces with the
+incremental valuation pipeline on and off, producing ``BENCH_sim.json``.
 """
 
 from repro.perf.bench import (
     AUCTION_PROFILES,
     E2E_PROFILES,
+    SIM_PROFILES,
     AuctionBenchProfile,
     EndToEndProfile,
+    SimBenchProfile,
     build_auction_instance,
     check_regression,
+    check_sim_regression,
     run_bench,
+    run_sim_bench,
+    run_sim_suite,
 )
 
 __all__ = [
     "AUCTION_PROFILES",
     "E2E_PROFILES",
+    "SIM_PROFILES",
     "AuctionBenchProfile",
     "EndToEndProfile",
+    "SimBenchProfile",
     "build_auction_instance",
     "check_regression",
+    "check_sim_regression",
     "run_bench",
+    "run_sim_bench",
+    "run_sim_suite",
 ]

@@ -1,4 +1,4 @@
-"""Microbenchmark harness for the PA-auction hot path.
+"""Benchmark harnesses: the PA-auction hot path and whole-trace runs.
 
 Each :class:`AuctionBenchProfile` describes one contended auction round
 — a cluster size, a contention factor (aggregate unmet demand over
@@ -21,6 +21,18 @@ End-to-end profiles time a whole ``themis`` simulation through
 :func:`repro.experiments.runner.run_scenario`, covering the simulator's
 round loop (active-job index, batched lease expiries) as well as the
 auction.
+
+The **sim macro-benchmark** (``repro bench sim``) is the honest
+events-per-second number for full trace replays: every
+:class:`SimBenchProfile` runs one whole simulation twice — once with the
+cross-round incremental valuation pipeline
+(``SimulationConfig.incremental=True``, the default) and once with the
+cold rebuild-everything baseline — asserts the two
+``SimulationResult.to_json()`` payloads are byte-identical (modulo the
+``incremental`` flag itself), and reports wall seconds, events/sec,
+rounds/sec and carve ("rho probe") counts into ``BENCH_sim.json``.  The
+machine-independent *speedup* ratio (cold / incremental, same machine,
+same process) is what the CI smoke job gates on.
 """
 
 from __future__ import annotations
@@ -48,6 +60,9 @@ from repro.workload.job import Job, JobSpec
 #: Schema version of the BENCH_auction.json payload.
 BENCH_SCHEMA = 1
 
+#: Schema version of the BENCH_sim.json payload.
+BENCH_SIM_SCHEMA = 1
+
 #: Models sampled for synthetic bench apps (mix of placement-sensitive
 #: and compute-bound profiles so valuations are not all alike).
 _BENCH_MODELS = ("resnet50", "vgg16", "transformer", "inceptionv3", "lstm-lm")
@@ -69,6 +84,12 @@ class AuctionBenchProfile:
     #: Skip the (much slower) rescan reference by default for this
     #: profile; the lazy solver is still timed.
     reference: bool = True
+    #: Documented reason the rescan reference is skipped.  A *gated*
+    #: profile must either time the reference (tracked ``speedup``) or
+    #: carry this marker — ``check_regression`` fails on a silent
+    #: neither, and falls back to gating the profile's deterministic
+    #: probe counts instead of the timing ratio.
+    skip_reference_reason: Optional[str] = None
     #: GPU-generation mixture, (type name, fraction) pairs; empty means
     #: a homogeneous default-type cluster.  Machines are split across
     #: generations by largest remainder, so the valuation path exercises
@@ -105,7 +126,16 @@ AUCTION_PROFILES: dict[str, AuctionBenchProfile] = {
             gpu_mix=(("v100", 0.5), ("p100", 0.25), ("k80", 0.25)),
         ),
         AuctionBenchProfile(
-            name="large", gpus=512, contention=8.0, num_apps=32, reference=False
+            name="large",
+            gpus=512,
+            contention=8.0,
+            num_apps=32,
+            reference=False,
+            skip_reference_reason=(
+                "the O(apps x machines)-per-move rescan reference needs "
+                "minutes per solve at 512 GPUs; the profile is gated on its "
+                "deterministic rho-probe and pair-score counts instead"
+            ),
         ),
     )
 }
@@ -115,6 +145,84 @@ E2E_PROFILES: dict[str, EndToEndProfile] = {
     for p in (
         EndToEndProfile(name="e2e-small", num_apps=6, duration_scale=0.05),
         EndToEndProfile(name="e2e-medium", num_apps=12, duration_scale=0.1),
+    )
+}
+
+
+@dataclass(frozen=True)
+class SimBenchProfile:
+    """One full trace replay, timed incremental vs cold-rebuild.
+
+    ``contention`` is the profile's target contention class (the knob
+    compresses arrivals toward it); the *measured* peak contention is
+    recorded in the payload.  ``failures`` injects machine outages as
+    ``(machine_id, at_minutes, duration_minutes)`` triples.
+    """
+
+    name: str
+    gpus: int
+    contention: float
+    num_apps: int
+    duration_scale: float
+    interarrival_minutes: float
+    seed: int = 11
+    scheduler: str = "themis"
+    hetero: bool = False
+    failures: tuple[tuple[int, float, float], ...] = ()
+    downsample: int = 256
+    jobs_per_app_median: float = 8.0
+    jobs_per_app_max: int = 24
+
+
+#: The tracked sim profiles: 64-128 GPU traces at 2x/4x/8x contention
+#: classes, homogeneous + hetero fleets, with and without failure
+#: injection.  ``sim-medium`` (128 GPUs, 4x) is the acceptance gate
+#: (>= 2x incremental-over-cold); ``sim-small`` is the CI smoke gate.
+SIM_PROFILES: dict[str, SimBenchProfile] = {
+    p.name: p
+    for p in (
+        SimBenchProfile(
+            name="sim-small",
+            gpus=64,
+            contention=2.0,
+            num_apps=12,
+            duration_scale=0.3,
+            interarrival_minutes=8.0,
+        ),
+        SimBenchProfile(
+            name="sim-medium",
+            gpus=128,
+            contention=4.0,
+            num_apps=36,
+            duration_scale=0.35,
+            interarrival_minutes=5.0,
+        ),
+        SimBenchProfile(
+            name="sim-8x",
+            gpus=128,
+            contention=8.0,
+            num_apps=64,
+            duration_scale=0.35,
+            interarrival_minutes=2.5,
+        ),
+        SimBenchProfile(
+            name="sim-hetero",
+            gpus=128,
+            contention=4.0,
+            num_apps=36,
+            duration_scale=0.35,
+            interarrival_minutes=5.0,
+            hetero=True,
+        ),
+        SimBenchProfile(
+            name="sim-failures",
+            gpus=128,
+            contention=4.0,
+            num_apps=36,
+            duration_scale=0.35,
+            interarrival_minutes=5.0,
+            failures=((3, 120.0, 120.0), (17, 200.0, 180.0), (9, 300.0, 90.0)),
+        ),
     )
 }
 
@@ -279,6 +387,8 @@ def run_auction_bench(
         record["speedup"] = (
             reference["seconds"] / fast["seconds"] if fast["seconds"] > 0 else None
         )
+    elif profile.skip_reference_reason is not None:
+        record["skip_reference"] = profile.skip_reference_reason
     return record
 
 
@@ -309,6 +419,174 @@ def run_end_to_end_bench(profile: EndToEndProfile, repeats: int = 1) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Sim macro-benchmark (repro bench sim)
+# ----------------------------------------------------------------------
+def sim_scenario_for(profile: SimBenchProfile):
+    """Materialise the profile's scenario (deferred heavy imports)."""
+    from repro.experiments.config import hetero_scenario, sim_scenario
+
+    builder = hetero_scenario if profile.hetero else sim_scenario
+    scenario = builder(
+        num_apps=profile.num_apps,
+        seed=profile.seed,
+        duration_scale=profile.duration_scale,
+    )
+    scenario = scenario.replace(
+        cluster_scale=profile.gpus / 256.0, downsample=profile.downsample
+    )
+    return scenario.with_generator(
+        mean_interarrival_minutes=profile.interarrival_minutes,
+        jobs_per_app_median=profile.jobs_per_app_median,
+        jobs_per_app_max=profile.jobs_per_app_max,
+    )
+
+
+def canonical_result_json(result) -> str:
+    """Byte-stable JSON of a SimulationResult, ``incremental`` flag excluded.
+
+    The flag is the experiment variable of the incremental-vs-cold
+    comparison; everything else must match byte for byte.
+    """
+    payload = result.to_json()
+    payload["config"] = dict(payload["config"])
+    payload["config"].pop("incremental", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_sim_once(profile: SimBenchProfile, incremental: bool) -> dict:
+    """One full trace replay; returns timing + result + canonical digest."""
+    from dataclasses import replace as dc_replace
+
+    from repro.schedulers.registry import make_scheduler
+    from repro.simulation.failures import FailureInjector, MachineFailure
+    from repro.simulation.simulator import ClusterSimulator
+
+    scenario = sim_scenario_for(profile)
+    scheduler = make_scheduler(profile.scheduler)
+    simulator = ClusterSimulator(
+        cluster=scenario.build_cluster(),
+        workload=scenario.build_trace(),
+        scheduler=scheduler,
+        config=dc_replace(scenario.build_sim_config(), incremental=incremental),
+    )
+    if profile.failures:
+        injector = FailureInjector(
+            [
+                MachineFailure(machine_id=machine_id, at=at, duration=duration)
+                for machine_id, at, duration in profile.failures
+            ]
+        )
+        injector.install(simulator)
+    start = time.perf_counter()
+    result = simulator.run()
+    seconds = time.perf_counter() - start
+    estimator = getattr(scheduler, "estimator", None)
+    return {
+        "seconds": seconds,
+        "result": result,
+        "digest": canonical_result_json(result),
+        "rho_probes": getattr(estimator, "carve_count", 0),
+    }
+
+
+def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
+    """Benchmark one sim profile (incremental vs cold); returns its record."""
+
+    def _timed(incremental: bool) -> dict:
+        runs = [run_sim_once(profile, incremental) for _ in range(max(1, repeats))]
+        best = min(runs, key=lambda r: r["seconds"])
+        seconds = best["seconds"]
+        result = best["result"]
+        return {
+            "seconds": seconds,
+            "repeats": len(runs),
+            "events_per_sec": result.events_processed / seconds if seconds > 0 else None,
+            "rounds_per_sec": result.num_rounds / seconds if seconds > 0 else None,
+            "rho_probes": best["rho_probes"],
+            "_digest": best["digest"],
+            "_result": result,
+        }
+
+    fast = _timed(True)
+    cold = _timed(False)
+    result = fast.pop("_result")
+    cold.pop("_result")
+    fast_digest = fast.pop("_digest")
+    cold_digest = cold.pop("_digest")
+    return {
+        "gpus": profile.gpus,
+        "contention": profile.contention,
+        "apps": profile.num_apps,
+        "scheduler": profile.scheduler,
+        "hetero": profile.hetero,
+        "failures": len(profile.failures),
+        "peak_contention": result.peak_contention,
+        "makespan": result.makespan,
+        "rounds": result.num_rounds,
+        "events": result.events_processed,
+        "incremental": fast,
+        "cold": cold,
+        "speedup": cold["seconds"] / fast["seconds"] if fast["seconds"] > 0 else None,
+        "identical_results": fast_digest == cold_digest,
+    }
+
+
+def run_sim_suite(
+    profiles: Sequence[str] = (
+        "sim-small",
+        "sim-medium",
+        "sim-8x",
+        "sim-hetero",
+        "sim-failures",
+    ),
+    repeats: int = 1,
+) -> dict:
+    """Run the selected sim profiles and assemble the BENCH_sim payload."""
+    payload: dict = {"schema": BENCH_SIM_SCHEMA, "sim": {}}
+    for name in profiles:
+        payload["sim"][name] = run_sim_bench(SIM_PROFILES[name], repeats=repeats)
+    return payload
+
+
+def check_sim_regression(
+    current: Mapping,
+    baseline: Mapping,
+    max_slowdown: float = 1.3,
+    gate_profiles: Sequence[str] = ("sim-small", "sim-medium"),
+) -> list[str]:
+    """Compare a fresh sim bench run against the committed baseline.
+
+    Gates on the machine-independent incremental-over-cold *speedup*
+    ratio (fail when it falls below ``baseline / max_slowdown`` — the
+    default tolerates 30%) and on result divergence, which is always a
+    failure.  Returns failure messages (empty = pass).
+    """
+    failures: list[str] = []
+    for name in gate_profiles:
+        cur = current.get("sim", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: profile missing from current run")
+            continue
+        if not cur.get("identical_results", False):
+            failures.append(f"{name}: incremental and cold results diverged")
+        base = baseline.get("sim", {}).get(name)
+        if base is None:
+            continue  # new profile: nothing to compare against yet
+        cur_speedup = cur.get("speedup")
+        base_speedup = base.get("speedup")
+        if cur_speedup is None or base_speedup is None:
+            continue
+        floor = base_speedup / max_slowdown
+        if cur_speedup < floor:
+            failures.append(
+                f"{name}: sim throughput regressed — incremental speedup "
+                f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+    return failures
+
+
 def run_bench(
     profiles: Sequence[str] = ("small", "medium", "hetero-medium", "large"),
     e2e_profiles: Sequence[str] = ("e2e-small", "e2e-medium"),
@@ -335,7 +613,7 @@ def check_regression(
     current: Mapping,
     baseline: Mapping,
     max_slowdown: float = 2.0,
-    gate_profiles: Sequence[str] = ("medium", "hetero-medium"),
+    gate_profiles: Sequence[str] = ("medium", "hetero-medium", "large"),
 ) -> list[str]:
     """Compare a fresh bench run against a committed baseline.
 
@@ -343,8 +621,12 @@ def check_regression(
     lazy solver, measured on the same machine in the same process),
     which is comparable across machines; a profile regresses when its
     ratio falls below ``baseline / max_slowdown``.  Outcome divergence
-    between the two solvers is always a failure.  Returns a list of
-    failure messages (empty = pass).
+    between the two solvers is always a failure.  A gated profile with
+    no reference timing must carry an explicit ``skip_reference``
+    marker — it is then gated on its deterministic work counts
+    (rho probes / solver pair scores) instead of wall time; a gated
+    profile with neither fails outright, so nothing is silently
+    uncompared.  Returns a list of failure messages (empty = pass).
     """
     failures: list[str] = []
     for name in gate_profiles:
@@ -355,11 +637,34 @@ def check_regression(
             continue
         if cur.get("identical_outcomes") is False:
             failures.append(f"{name}: lazy and rescan solvers diverged")
+        cur_speedup = cur.get("speedup")
+        if cur_speedup is None:
+            if "skip_reference" not in cur:
+                failures.append(
+                    f"{name}: gated profile has neither a reference timing "
+                    "nor a skip_reference marker"
+                )
+                continue
+            if base is None:
+                continue
+            # Reference-free gate: the lazy solver's work counts are
+            # deterministic per instance, so a large increase is a hot-
+            # path regression even without a timing ratio.
+            for counter in ("rho_probes", "solver_pair_scores"):
+                cur_count = cur.get("fast", {}).get(counter)
+                base_count = base.get("fast", {}).get(counter)
+                if not cur_count or not base_count:
+                    continue
+                if cur_count > base_count * max_slowdown:
+                    failures.append(
+                        f"{name}: {counter} grew {cur_count} vs baseline "
+                        f"{base_count} (allowed x{max_slowdown:g})"
+                    )
+            continue
         if base is None:
             continue  # new profile: nothing to compare against yet
-        cur_speedup = cur.get("speedup")
         base_speedup = base.get("speedup")
-        if cur_speedup is None or base_speedup is None:
+        if base_speedup is None:
             continue
         floor = base_speedup / max_slowdown
         if cur_speedup < floor:

@@ -52,12 +52,17 @@ class ThemisScheduler(InterAppScheduler):
         self.estimator: FairnessEstimator | None = None
         self.arbiter: Arbiter | None = None
         self.agents: dict[str, Agent] = {}
+        #: Whether AGENTs reuse valuation state across rounds; bound
+        #: from ``SimulationConfig.incremental`` (the cold-rebuild
+        #: baseline of ``repro bench sim`` sets it to False).
+        self.incremental = True
 
     def on_bind(self) -> None:
         assert self.sim is not None
         self.estimator = FairnessEstimator(
             self.sim.cluster, semantics=self.sim.config.semantics
         )
+        self.incremental = getattr(self.sim.config, "incremental", True)
         self.arbiter = Arbiter(
             self.sim.cluster,
             config=self.config,
@@ -68,7 +73,10 @@ class ThemisScheduler(InterAppScheduler):
     def on_app_arrival(self, now: float, app: App) -> None:
         assert self.estimator is not None
         self.agents[app.app_id] = Agent(
-            app, self.estimator, noise_theta=self.config.noise_theta
+            app,
+            self.estimator,
+            noise_theta=self.config.noise_theta,
+            incremental=self.incremental,
         )
 
     def on_app_finish(self, now: float, app: App) -> None:

@@ -87,6 +87,12 @@ class SimulationConfig:
     #: Cap on retained ``contention_samples`` / ``timeline`` entries
     #: (``None`` keeps every sample — unbounded on long traces).
     downsample: Optional[int] = None
+    #: Cross-round incremental fast paths: AGENT valuation-state reuse,
+    #: the tracked unleased-GPU pool, and the held-jobs-only advance
+    #: loop.  ``False`` rebuilds everything from scratch every round —
+    #: the cold baseline that ``repro bench sim`` times and that the
+    #: equivalence suite proves byte-identical.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.lease_minutes <= 0:
@@ -285,6 +291,12 @@ class ClusterSimulator:
         #: round advances O(active jobs) instead of rescanning every
         #: app x job pair.  Inactive jobs are dropped lazily.
         self._active_jobs: dict[str, Job] = {}
+        #: Jobs currently holding GPUs — the only jobs whose state can
+        #: drift between events, so the incremental advance loop visits
+        #: just these.  (A zero-GPU job integrates to a no-op: progress,
+        #: GPU-time and overhead consumption are all linear in held
+        #: time, so deferring its ``advance_to`` is exact.)
+        self._held_jobs: dict[str, Job] = {}
         self._job_events: dict[str, Event] = {}
         self._job_owner: dict[str, App] = {}
         self._auction_pending = False
@@ -303,6 +315,14 @@ class ClusterSimulator:
         for app in self.apps:
             for job in app.jobs:
                 self._job_owner[job.job_id] = app
+        if self.config.incremental:
+            self.leases.track(self.cluster.gpus)
+        else:
+            # Cold baseline: every aggregate rescans the job list, every
+            # round rebuilds every snapshot — the pre-incremental
+            # behaviour `repro bench sim` compares against.
+            for app in self.apps:
+                app.set_cache_enabled(False)
         bind = getattr(scheduler, "bind", None)
         if callable(bind):
             bind(self)
@@ -405,7 +425,20 @@ class ClusterSimulator:
             self.leases.release(gpu)
 
     def _advance_active_jobs(self, now: float) -> None:
-        stale: list[str] = []
+        if self.config.incremental:
+            # Only jobs holding GPUs accrue anything between events;
+            # zero-GPU jobs are advanced lazily right before their next
+            # state change, which integrates to the identical result.
+            stale: list[str] = []
+            for job_id, job in self._held_jobs.items():
+                if job.is_active:
+                    job.advance_to(now)
+                else:
+                    stale.append(job_id)
+            for job_id in stale:
+                del self._held_jobs[job_id]
+            return
+        stale = []
         for job_id, job in self._active_jobs.items():
             if job.is_active:
                 job.advance_to(now)
@@ -414,17 +447,30 @@ class ClusterSimulator:
         for job_id in stale:
             del self._active_jobs[job_id]
 
+    def _track_held_job(self, job: Job) -> None:
+        """Keep :attr:`_held_jobs` in sync after an allocation change."""
+        if job.allocation.size > 0 and job.is_active:
+            self._held_jobs[job.job_id] = job
+        else:
+            self._held_jobs.pop(job.job_id, None)
+
     def _process_tuners(self, now: float) -> None:
         """Let intra-app schedulers kill hyper-parameter losers."""
         for app in list(self.active_apps.values()):
             tuner = app.tuner
             if tuner is None:
                 continue
-            for job in tuner.step(now):
+            victims = tuner.step(now)
+            # Tuners rewrite job state (parallelism limits, kills)
+            # outside the Job mutators — the dirty-tracking contract
+            # makes the simulator invalidate on their behalf.
+            app.invalidate()
+            for job in victims:
                 if not job.is_active:
                     continue
                 released = list(job.allocation.gpus)
                 job.kill(now)
+                self._held_jobs.pop(job.job_id, None)
                 self.leases.release_all(released)
                 event = self._job_events.pop(job.job_id, None)
                 if event is not None:
@@ -433,8 +479,16 @@ class ClusterSimulator:
                 self._complete_app(now, app)
 
     def _sample_contention(self, now: float) -> None:
-        demand = sum(app.demand() for app in self.active_apps.values())
-        ratio = demand / self.cluster.num_gpus
+        demand = 0
+        for app in self.active_apps.values():
+            demand += app.demand()
+        # Honest contention during failure injection: demand is served
+        # by the GPUs actually in service, not the nameplate cluster.
+        in_service = self.cluster.num_gpus - len(self._down_gpu_ids)
+        if in_service > 0:
+            ratio = demand / in_service
+        else:
+            ratio = math.inf if demand > 0 else 0.0
         self.peak_contention = max(self.peak_contention, ratio)
         self.contention_samples.append((now, ratio))
 
@@ -444,7 +498,21 @@ class ClusterSimulator:
         pool: Sequence[Gpu],
         assignment: dict[str, list[Gpu]],
     ) -> None:
-        pool_ids = {gpu.gpu_id for gpu in pool}
+        # One pass over the pool resolves each GPU's incumbent lease;
+        # everything below works off this list instead of re-querying
+        # the lease table per check.
+        incumbent: list[Optional[str]] = []
+        pool_ids: set[int] = set()
+        affected: set[str] = set()
+        lease_of = self.leases.lease_of
+        for gpu in pool:
+            pool_ids.add(gpu.gpu_id)
+            lease = lease_of(gpu)
+            holder = lease.app_id if lease is not None else None
+            incumbent.append(holder)
+            if holder is not None:
+                affected.add(holder)
+
         new_owner: dict[int, str] = {}
         for app_id, gpus in assignment.items():
             if app_id not in self.active_apps:
@@ -459,25 +527,16 @@ class ClusterSimulator:
                         f"scheduler assigned GPU {gpu.gpu_id} to two apps"
                     )
                 new_owner[gpu.gpu_id] = app_id
+                affected.add(app_id)
 
         # Unassigned pooled GPUs stay with their incumbent (lease renewal)
         # when the incumbent is still active — work conservation.
-        for gpu in pool:
-            if gpu.gpu_id in new_owner:
-                continue
-            lease = self.leases.lease_of(gpu)
-            if lease is not None and lease.app_id in self.active_apps:
-                new_owner[gpu.gpu_id] = lease.app_id
+        active_apps = self.active_apps
+        for gpu, holder in zip(pool, incumbent):
+            if gpu.gpu_id not in new_owner and holder is not None and holder in active_apps:
+                new_owner[gpu.gpu_id] = holder
 
         # Rebuild each affected app's allocation.
-        affected: set[str] = set()
-        for gpu in pool:
-            lease = self.leases.lease_of(gpu)
-            if lease is not None:
-                affected.add(lease.app_id)
-            owner = new_owner.get(gpu.gpu_id)
-            if owner is not None:
-                affected.add(owner)
         for app_id in sorted(affected):
             app = self.active_apps.get(app_id)
             if app is None:
@@ -492,6 +551,21 @@ class ClusterSimulator:
 
     def _install_app_allocation(self, now: float, app: App, granted: Allocation) -> None:
         """Distribute an app-level grant to jobs and refresh leases/events."""
+        if self.config.incremental and granted == app.allocation():
+            # Pure lease renewal: the grant is exactly what the app's
+            # jobs already hold.  When every job is within its cap the
+            # distributor would keep all bindings and have nothing left
+            # to hand out, so skip it and just renew the leases.  (A job
+            # over its cap — a tuner lowered the limit mid-lease — falls
+            # through to the full redistribution.)
+            jobs = app.active_jobs()
+            if all(job.allocation.size <= job.max_parallelism for job in jobs):
+                for job in jobs:
+                    if job.allocation:
+                        self._refresh_leases(now, app, job, job.allocation)
+                if self.config.record_timeline:
+                    self.timeline.append((now, app.app_id, app.allocation().size))
+                return
         job_allocs = app.distribute(granted)
         used_ids: set[int] = set()
         for job in app.active_jobs():
@@ -505,6 +579,7 @@ class ClusterSimulator:
             )
             job.advance_to(now)
             job.set_allocation(now, target, overhead=overhead)
+            self._track_held_job(job)
             self._refresh_leases(now, app, job, target)
             self._reschedule_job_finish(job)
         # GPUs the app cannot use (beyond demand) go back to the free pool.
@@ -584,6 +659,7 @@ class ClusterSimulator:
                     g for g in job.allocation if g.gpu_id not in down_ids
                 )
                 job.set_allocation(now, survivors, overhead=0.0)
+                self._track_held_job(job)
                 self._reschedule_job_finish(job)
             if self.config.record_timeline:
                 self.timeline.append((now, app.app_id, app.allocation().size))
@@ -605,6 +681,7 @@ class ClusterSimulator:
     def _complete_job(self, now: float, job: Job) -> None:
         released = list(job.allocation.gpus)
         job.finish(now)
+        self._held_jobs.pop(job.job_id, None)
         self.leases.release_all(released)
         app = self._job_owner[job.job_id]
         if app.is_complete():
@@ -617,6 +694,7 @@ class ClusterSimulator:
             job.advance_to(now)
             released = list(job.allocation.gpus)
             job.kill(now)
+            self._held_jobs.pop(job.job_id, None)
             self.leases.release_all(released)
             event = self._job_events.pop(job.job_id, None)
             if event is not None:

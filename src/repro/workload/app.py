@@ -72,6 +72,49 @@ class App:
         self._jobs_by_id = {job.job_id: job for job in self.jobs}
         if len(self._jobs_by_id) != len(self.jobs):
             raise ValueError(f"app {app_id!r} has duplicate job ids")
+        #: Dirty-tracking epoch: bumped whenever a constituent job's
+        #: discrete state changes (allocation installs, finish, kill) or
+        #: an external writer calls :meth:`invalidate`.  The aggregate
+        #: queries below and the cross-round valuation pipeline
+        #: (:class:`~repro.core.fairness.AppValuationState`) memoise on
+        #: it instead of rescanning the job list every call.
+        self._epoch = 0
+        self._cache_enabled = True
+        self._alloc_cache: Optional[tuple[int, Allocation]] = None
+        self._demand_cache: Optional[tuple[int, int, int]] = None
+        self._ideal_epoch = -1
+        self._ideal_cache: dict = {}
+        for job in self.jobs:
+            job.on_mutate = self.invalidate
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter of discrete state changes (see :meth:`invalidate`)."""
+        return self._epoch
+
+    def invalidate(self) -> None:
+        """Bump the dirty-tracking epoch, dropping every memoised aggregate.
+
+        Fired automatically by job mutators (``set_allocation`` /
+        ``finish`` / ``kill``); callers that mutate job state through
+        any other channel (e.g. a tuner rewriting ``parallelism_limit``)
+        must invoke it themselves — that is the dirty-tracking contract
+        the simulator honours after every tuner step.
+        """
+        self._epoch += 1
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Toggle epoch-memoised aggregates (cold baseline rescans every call).
+
+        Part of the incremental layer, so the ``repro bench sim`` cold
+        path can reproduce the rebuild-everything behaviour honestly;
+        results are identical either way because the caches only
+        memoise pure functions of job state.
+        """
+        self._cache_enabled = enabled
 
     # ------------------------------------------------------------------
     # Job views
@@ -93,23 +136,47 @@ class App:
     # Aggregates used by schedulers
     # ------------------------------------------------------------------
     def allocation(self) -> Allocation:
-        """Union of all constituent jobs' current GPU allocations."""
-        combined = Allocation()
+        """Union of all constituent jobs' current GPU allocations.
+
+        Memoised on the dirty-tracking :attr:`epoch` — the result is an
+        immutable :class:`Allocation`, so sharing it across callers
+        within one epoch is safe.
+        """
+        cached = self._alloc_cache
+        if cached is not None and cached[0] == self._epoch and self._cache_enabled:
+            return cached[1]
+        gpus: list[Gpu] = []
         for job in self.jobs:
             if job.allocation:
-                combined = combined | job.allocation
+                gpus.extend(job.allocation.gpus)
+        combined = Allocation(gpus)
+        self._alloc_cache = (self._epoch, combined)
         return combined
 
     def demand(self) -> int:
         """Total GPUs the app could use right now (sum of job caps)."""
-        return sum(job.max_parallelism for job in self.active_jobs())
+        return self._demand_pair()[0]
 
     def unmet_demand(self) -> int:
         """GPUs the app wants beyond what it currently holds."""
-        held = sum(
-            min(job.allocation.size, job.max_parallelism) for job in self.active_jobs()
-        )
-        return max(0, self.demand() - held)
+        pair = self._demand_pair()
+        return max(0, pair[0] - pair[1])
+
+    def _demand_pair(self) -> tuple[int, int]:
+        """(total demand, held-toward-demand) memoised on the epoch."""
+        cached = self._demand_cache
+        if cached is not None and cached[0] == self._epoch and self._cache_enabled:
+            return cached[1], cached[2]
+        demand = 0
+        held = 0
+        for job in self.jobs:
+            if job.is_active:
+                cap = job.max_parallelism
+                demand += cap
+                size = job.allocation.size
+                held += size if size < cap else cap
+        self._demand_cache = (self._epoch, demand, held)
+        return demand, held
 
     def total_work(self) -> float:
         """Sum of serial work across all jobs (the paper's W vector, aggregated)."""
@@ -169,6 +236,12 @@ class App:
         alone it is limited both by its largest job and by total work
         over cluster capacity, hence the max of the two lower bounds.
         """
+        if self._ideal_epoch != self._epoch:
+            self._ideal_cache.clear()
+            self._ideal_epoch = self._epoch
+        cached = self._ideal_cache.get(capacity) if self._cache_enabled else None
+        if cached is not None:
+            return cached
         cap = as_capacity(capacity)
         per_job = [
             job.spec.serial_work
@@ -176,10 +249,13 @@ class App:
             for job in self.jobs
         ]
         if self.semantics is CompletionSemantics.FIRST_WINNER:
-            return min(per_job)
-        bound_job = max(per_job)
-        bound_capacity = self.total_work() / cap.total
-        return max(bound_job, bound_capacity)
+            result = min(per_job)
+        else:
+            bound_job = max(per_job)
+            bound_capacity = self.total_work() / cap.total
+            result = max(bound_job, bound_capacity)
+        self._ideal_cache[capacity] = result
+        return result
 
     def finish_time_fairness(self, now: float, capacity: CapacityLike) -> float:
         """Realised rho for a finished app, estimated rho otherwise.

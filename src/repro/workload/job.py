@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.placement import slowdown
@@ -97,6 +97,21 @@ class Job:
     #: Optional tighter parallelism cap set by the app scheduler
     #: (HyperDrive's priority mechanism); ``None`` means the spec cap.
     parallelism_limit: Optional[int] = None
+    #: Dirty-tracking hook, wired by the owning :class:`~repro.workload.app.App`:
+    #: fired whenever the job's *discrete* state changes (allocation set,
+    #: finish, kill) so epoch-cached app aggregates and cross-round
+    #: valuation snapshots invalidate automatically.  Continuous progress
+    #: (:meth:`advance_to`) deliberately does not fire it — a job that can
+    #: progress holds GPUs, and a non-empty allocation already excludes
+    #: its app from snapshot reuse (see ``docs`` in README: the
+    #: dirty-tracking contract).
+    on_mutate: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Memoised (allocation, parallelism_limit, rate) triple — the rate
+    #: is a pure function of the (immutable) allocation and the cap, and
+    #: it is re-read every simulated round the job holds GPUs.
+    _rate_memo: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.remaining_work == 0.0:
@@ -142,13 +157,24 @@ class Job:
         speed-weighted count of the fastest ``max_parallelism`` GPUs
         held (``= G`` on a homogeneous cluster).
         """
-        if self.allocation.size == 0:
+        allocation = self.allocation
+        if allocation.size == 0:
             return 0.0
-        effective = effective_gpus(self.allocation.gpus, cap=self.spec.max_parallelism)
+        memo = self._rate_memo
+        if (
+            memo is not None
+            and memo[0] is allocation
+            and memo[1] == self.parallelism_limit
+        ):
+            return memo[2]
+        effective = effective_gpus(allocation.gpus, cap=self.spec.max_parallelism)
         if effective <= 0.0:
-            return 0.0
-        factor = slowdown(self.model_profile.sensitivity, self.allocation.gpus)
-        return effective * factor
+            rate = 0.0
+        else:
+            factor = slowdown(self.model_profile.sensitivity, allocation.gpus)
+            rate = effective * factor
+        self._rate_memo = (allocation, self.parallelism_limit, rate)
+        return rate
 
     def current_slowdown(self) -> float:
         """Slowdown factor S of the current allocation (1.0 when idle)."""
@@ -179,7 +205,7 @@ class Job:
             self.attained_service += self.allocation.effective_size * dt
             self.score_integral += self.allocation.score() * dt
             self.allocated_time += dt
-            for type_name, count in self.allocation.per_type_counts().items():
+            for type_name, count in self.allocation.type_count_items():
                 self.gpu_time_by_type[type_name] = (
                     self.gpu_time_by_type.get(type_name, 0.0) + count * dt
                 )
@@ -212,6 +238,8 @@ class Job:
             self.state = JobState.RUNNING
             if self.started_at is None:
                 self.started_at = now
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def eta(self, now: float) -> float:
         """Absolute completion time under the current allocation.
@@ -236,6 +264,8 @@ class Job:
         self.state = JobState.FINISHED
         self.finished_at = now
         self.allocation = Allocation()
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def kill(self, now: float) -> None:
         """Terminate the job early (hyper-parameter exploration pruning)."""
@@ -244,6 +274,8 @@ class Job:
         self.state = JobState.KILLED
         self.finished_at = now
         self.allocation = Allocation()
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     # ------------------------------------------------------------------
     # Derived quantities

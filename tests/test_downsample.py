@@ -64,3 +64,38 @@ def test_bounded_run_stays_within_cap_and_metrics_match():
     # Retained samples are a subsequence of the unbounded record.
     it = iter(unbounded.contention_samples)
     assert all(sample in it for sample in bounded.contention_samples)
+
+
+def test_series_stride_doubles_on_each_decimation():
+    series = DownsampledSeries(4)
+    assert series._stride == 1
+    for i in range(5):  # fifth append overflows the cap of 4
+        series.append(i)
+    assert series._stride == 2
+    for i in range(5, 16):  # grows past 4 retained stride-2 items
+        series.append(i)
+    assert series._stride == 4
+    # Retained items are exactly every stride-th append, from zero.
+    assert all(item % series._stride == 0 for item in series)
+
+
+def test_series_len_and_iter_protocols():
+    series = DownsampledSeries(8)
+    assert len(series) == 0
+    assert list(series) == []
+    for i in range(6):
+        series.append(i)
+    assert len(series) == 6
+    assert list(series) == [0, 1, 2, 3, 4, 5]
+    assert [item for item in series] == list(series)  # iteration is repeatable
+
+
+def test_series_cap_invariant_under_many_appends():
+    for cap in (2, 5, 16):
+        series = DownsampledSeries(cap)
+        for i in range(10_000):
+            series.append((i, float(i)))  # tuple payloads survive intact
+            assert len(series) <= cap
+        items = list(series)
+        assert items[0] == (0, 0.0)
+        assert all(isinstance(item, tuple) for item in items)

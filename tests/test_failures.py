@@ -158,3 +158,31 @@ def test_failure_displaces_and_fairness_recovers():
     assert result.completed
     for stats in result.app_stats:
         assert stats.rho < 8.0, stats.app_id
+
+
+def test_contention_divides_by_in_service_gpus():
+    """Satellite fix: outage shrinks the denominator, not just the pool."""
+    trace = solo_trace(minutes=60.0)
+    sim, _ = build_sim(
+        trace, [MachineFailure(machine_id=0, at=10.0)], lease_minutes=10.0
+    )
+    result = sim.run()
+    samples = list(result.contention_samples)
+    before = [ratio for now, ratio in samples if now < 10.0]
+    after = [ratio for now, ratio in samples if now >= 10.0 and ratio > 0.0]
+    # 8 in-service GPUs before the outage, 4 after; app demand is 4.
+    assert before and max(before) == pytest.approx(4 / 8)
+    assert after and max(after) == pytest.approx(4 / 4)
+    assert result.peak_contention == pytest.approx(1.0)
+
+
+def test_contention_with_every_gpu_down_is_unbounded():
+    trace = solo_trace(minutes=60.0)
+    sim, _ = build_sim(
+        trace,
+        [MachineFailure(machine_id=0, at=10.0), MachineFailure(machine_id=1, at=10.0)],
+        lease_minutes=10.0,
+        max_minutes=50.0,  # nothing can finish with the cluster gone
+    )
+    result = sim.run()
+    assert math.isinf(result.peak_contention)

@@ -1,0 +1,221 @@
+"""The incremental valuation pipeline: carve oracle + cross-round caches.
+
+Two layers of guarantees:
+
+* the flat-array :func:`~repro.core.fairness._carve_fast` replays the
+  pre-refactor heap-backed :func:`~repro.core.fairness._carve_reference`
+  byte-for-byte on randomised instances (homogeneous and speed-weighted);
+* :class:`~repro.core.fairness.AppValuationState` honours the
+  dirty-tracking contract — verbatim reuse only while the app is clean
+  and unallocated, rate-cache retention across drains that preserve the
+  carve order, invalidation on every discrete state change — and always
+  returns exactly what a cold rebuild returns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.topology import ClusterSpec, MachineSpec, build_cluster
+from repro.core.fairness import (
+    AppValuationState,
+    FairnessEstimator,
+    _carve_fast,
+    _carve_reference,
+)
+from repro.workload.job import Job, JobSpec
+
+from helpers import make_app, make_job
+
+MODELS = ("resnet50", "vgg16", "transformer", "inceptionv3", "lstm-lm")
+
+
+def small_cluster(machines=3, gpus=4, racks=1):
+    return build_cluster(
+        ClusterSpec(
+            machine_specs=(MachineSpec(count=machines, gpus_per_machine=gpus),),
+            num_racks=racks,
+            name="inc",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Carve oracle
+# ----------------------------------------------------------------------
+def random_carve_instance(rng: random.Random):
+    num_machines = rng.randint(1, 8)
+    rack_of = {m: rng.randint(0, 2) for m in range(num_machines)}
+    counts = {m: rng.randint(0, 6) for m in range(num_machines)}
+    speed_of = None
+    if rng.random() < 0.5:
+        speed_of = {m: rng.choice((0.33, 0.66, 1.0)) for m in range(num_machines)}
+    jobs = [
+        Job(
+            spec=JobSpec(
+                job_id=f"j{i}",
+                model=rng.choice(MODELS),
+                serial_work=rng.uniform(1.0, 300.0),
+                max_parallelism=rng.randint(1, 6),
+            )
+        )
+        for i in range(rng.randint(1, 6))
+    ]
+    tuples = [
+        (job.remaining_work, job.max_parallelism, job.model_profile.sensitivity, job.job_id)
+        for job in jobs
+    ]
+    tuples.sort(key=lambda item: (item[0], item[3]))
+    nvlink = rng.choice((1, 2, 4))
+    return tuples, counts, rack_of, nvlink, speed_of
+
+
+def test_carve_fast_matches_reference_on_random_instances():
+    rng = random.Random(1234)
+    for _ in range(400):
+        tuples, counts, rack_of, nvlink, speed_of = random_carve_instance(rng)
+        fast = _carve_fast(tuples, counts, rack_of, nvlink, speed_of)
+        reference = _carve_reference(tuples, counts, rack_of, nvlink, speed_of)
+        assert fast == reference
+
+
+def test_carve_fast_matches_reference_multi_rack_spill():
+    # Deterministic case exercising the racks-already-used preference.
+    rack_of = {0: 0, 1: 0, 2: 1, 3: 1}
+    counts = {0: 2, 1: 1, 2: 3, 3: 1}
+    jobs = [make_job("a", max_parallelism=5), make_job("b", max_parallelism=4)]
+    tuples = [
+        (j.remaining_work, j.max_parallelism, j.model_profile.sensitivity, j.job_id)
+        for j in jobs
+    ]
+    fast = _carve_fast(tuples, counts, rack_of, 2)
+    reference = _carve_reference(tuples, counts, rack_of, 2)
+    assert fast == reference
+
+
+# ----------------------------------------------------------------------
+# AppValuationState
+# ----------------------------------------------------------------------
+def test_state_reuses_snapshot_while_clean_and_unallocated():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)
+    state = AppValuationState(app, estimator, reuse=True)
+    first = state.refresh()
+    assert state.rebuilds == 1
+    assert state.refresh() is first  # verbatim reuse
+    assert state.rebuilds == 1
+
+
+def test_state_rebuilds_on_epoch_bump():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    app.invalidate()
+    snap = state.refresh()
+    assert state.rebuilds == 2
+    assert state.refresh() is snap  # clean again afterwards
+
+
+def test_state_rebuilds_every_round_while_holding_gpus():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=1)
+    job = app.jobs[0]
+    job.set_allocation(0.0, Allocation(cluster.machines[0].gpus[:2]))
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    state.refresh()
+    assert state.rebuilds == 2  # base counts non-empty: no verbatim reuse
+
+
+def test_state_matches_cold_rebuild_values_everywhere():
+    cluster = small_cluster(machines=4, racks=2)
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=3, max_parallelism=3)
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:2]))
+    warm = AppValuationState(app, estimator, reuse=True)
+    cold = AppValuationState(app, estimator, reuse=False)
+    rng = random.Random(7)
+    for round_index in range(30):
+        now = 5.0 * round_index
+        warm.refresh()
+        cold.refresh()
+        assert warm.current_rho(now) == cold.current_rho(now)
+        bundle = tuple(
+            sorted(
+                (m, rng.randint(1, 4))
+                for m in rng.sample(range(4), rng.randint(1, 3))
+            )
+        )
+        assert warm.rho_at(now, bundle) == cold.rho_at(now, bundle)
+        if round_index % 7 == 3:
+            # Drain some work (simulates progress between rounds).
+            app.jobs[0].remaining_work = max(0.5, app.jobs[0].remaining_work - 11.0)
+        if round_index % 11 == 5:
+            app.invalidate()
+
+
+def test_state_rate_cache_survives_order_preserving_drain():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:1]))
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    bundle = ((1, 2),)
+    state.rho_at(10.0, bundle)
+    carves = estimator.carve_count
+    # Same order, less work: the cached aggregate rate must be reused.
+    app.jobs[0].remaining_work -= 1.0
+    state.refresh()
+    state.rho_at(20.0, bundle)
+    assert estimator.carve_count == carves
+
+
+def test_state_rate_cache_invalidated_when_job_order_flips():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)
+    jobs = sorted(app.jobs, key=lambda j: j.job_id)
+    jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:1]))
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    bundle = ((1, 2),)
+    state.rho_at(10.0, bundle)
+    carves = estimator.carve_count
+    # Flip the shortest-remaining-first order: j1 drops below j0.
+    jobs[1].remaining_work = jobs[0].remaining_work - 50.0
+    state.refresh()
+    state.rho_at(20.0, bundle)
+    assert estimator.carve_count == carves + 1  # cache was dropped
+
+
+def test_starved_app_pays_one_carve_across_rounds():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)  # holds nothing
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    bundle = ((0, 2), (1, 1))
+    state.rho_at(10.0, bundle)
+    carves = estimator.carve_count
+    for now in (20.0, 30.0, 40.0):
+        state.refresh()
+        rho = state.rho_at(now, bundle)
+        assert not math.isinf(rho)
+    assert estimator.carve_count == carves
+
+
+def test_cold_state_never_reuses():
+    cluster = small_cluster()
+    estimator = FairnessEstimator(cluster)
+    app = make_app("a0", num_jobs=2)
+    state = AppValuationState(app, estimator, reuse=False)
+    state.refresh()
+    state.refresh()
+    assert state.rebuilds == 2

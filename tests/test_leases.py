@@ -96,3 +96,32 @@ def test_release_all(small_cluster):
         manager.grant(gpu, "a", "j", 0.0, 10.0)
     manager.release_all(gpus)
     assert manager.active_lease_count == 0
+
+
+def test_tracked_pool_matches_untracked(small_cluster):
+    """track() maintains the free set incrementally; pools stay identical."""
+    tracked = LeaseManager()
+    tracked.track(small_cluster.gpus)
+    plain = LeaseManager()
+    for manager in (tracked, plain):
+        manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)   # will expire
+        manager.grant(small_cluster.gpu(1), "a", "j", 0.0, 30.0)   # stays live
+        manager.grant(small_cluster.gpu(2), "b", "k", 0.0, 30.0)
+        manager.release(small_cluster.gpu(2))                       # back to free
+        manager.release(small_cluster.gpu(3))                       # no-op: unleased
+    for now in (0.0, 15.0, 40.0):
+        tracked_pool = [g.gpu_id for g in tracked.pool_for_auction(now, small_cluster.gpus)]
+        plain_pool = [g.gpu_id for g in plain.pool_for_auction(now, small_cluster.gpus)]
+        assert tracked_pool == plain_pool
+
+
+def test_tracked_pool_after_regrant_transfer(small_cluster):
+    manager = LeaseManager()
+    manager.track(small_cluster.gpus)
+    manager.grant(small_cluster.gpu(0), "a", "j", 0.0, 10.0)
+    manager.grant(small_cluster.gpu(0), "b", "k", 5.0, 10.0)  # ownership transfer
+    pool = manager.pool_for_auction(now=5.0, all_gpus=small_cluster.gpus)
+    assert 0 not in {gpu.gpu_id for gpu in pool}
+    manager.release(small_cluster.gpu(0))
+    pool = manager.pool_for_auction(now=5.0, all_gpus=small_cluster.gpus)
+    assert 0 in {gpu.gpu_id for gpu in pool}
