@@ -23,8 +23,11 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 @pytest.fixture(scope="module")
 def sim_records():
-    """Run the small sim profile once per mode."""
-    records = {"sim-small": run_sim_bench(SIM_PROFILES["sim-small"], repeats=1)}
+    """Run the small sim profiles (scalar + throughput-matrix) once per mode."""
+    records = {
+        name: run_sim_bench(SIM_PROFILES[name], repeats=1)
+        for name in ("sim-small", "sim-matrix")
+    }
     RESULTS_DIR.mkdir(exist_ok=True)
     lines = ["profile gpus peak_contention rounds inc_s cold_s speedup events_per_s probes"]
     for name, record in records.items():
@@ -55,6 +58,13 @@ def test_incremental_is_faster(sim_records):
 
 def test_incremental_does_less_valuation_work(sim_records):
     record = sim_records["sim-small"]
+    assert record["incremental"]["rho_probes"] > 0
+    assert record["incremental"]["rho_probes"] < record["cold"]["rho_probes"]
+
+
+def test_matrix_profile_reuses_valuation_state_too(sim_records):
+    # The per-family carve kernel must not defeat the cross-round caches.
+    record = sim_records["sim-matrix"]
     assert record["incremental"]["rho_probes"] > 0
     assert record["incremental"]["rho_probes"] < record["cold"]["rho_probes"]
 

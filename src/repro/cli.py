@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Optional, Sequence
 
@@ -108,22 +109,145 @@ def _positive_int(text: str) -> int:
 
 
 def _gpu_mix(text: str) -> tuple[tuple[str, float], ...]:
-    """Parse ``v100:0.5,p100:0.25,k80:0.25`` into a gpu_mix tuple."""
-    try:
-        pairs = []
-        for part in text.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            name, fraction = part.split(":")
-            pairs.append((name.strip(), float(fraction)))
-        if not pairs:
-            raise ValueError
-        return tuple(pairs)
-    except ValueError:
+    """Parse and validate ``v100:0.5,p100:0.25,k80:0.25`` into a gpu_mix tuple.
+
+    Unknown generation names and malformed / non-positive mixes fail at
+    argument-parse time with the valid alternatives spelled out, not at
+    cluster-build time with a bare KeyError.
+    """
+    from repro.cluster.topology import resolve_gpu_type
+
+    pairs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, fraction_text = part.partition(":")
+        name = name.strip()
+        if not sep or not name:
+            raise argparse.ArgumentTypeError(
+                f"malformed gpu-mix entry {part!r}: expected name:fraction "
+                "pairs like 'v100:0.5,k80:0.5'"
+            )
+        try:
+            resolve_gpu_type(name)
+        except KeyError as error:
+            raise argparse.ArgumentTypeError(f"--gpu-mix: {error.args[0]}")
+        try:
+            fraction = float(fraction_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"gpu-mix fraction for {name!r} must be a number, "
+                f"got {fraction_text!r}"
+            )
+        # isfinite: NaN slips past `< 0` (all NaN comparisons are False)
+        # and would crash largest-remainder apportionment downstream.
+        if not math.isfinite(fraction) or fraction < 0:
+            raise argparse.ArgumentTypeError(
+                f"gpu-mix fraction for {name!r} must be finite and >= 0, "
+                f"got {fraction}"
+            )
+        pairs.append((name, fraction))
+    if not pairs or sum(fraction for _, fraction in pairs) <= 0:
         raise argparse.ArgumentTypeError(
-            f"expected name:fraction pairs like 'v100:0.5,k80:0.5', got {text!r}"
+            f"gpu mix needs at least one positive fraction, got {text!r}"
         )
+    return tuple(pairs)
+
+
+def _perf_matrix(text: str):
+    """Parse ``--perf-matrix``: a preset name, a JSON file, or an inline spec.
+
+    Inline form: ``family:gen=speedup,gen=speedup;family2:...`` e.g.
+    ``vgg:v100=1.0,p100=0.25;resnet:v100=0.7,p100=0.9``.  Unknown
+    family / generation names and malformed cells are rejected here
+    with the valid alternatives listed.
+    """
+    from repro.workload.perf import (
+        PERF_MATRIX_PRESETS,
+        PerfModelError,
+        canonical_matrix,
+        validate_matrix_names,
+    )
+
+    import os
+
+    text = text.strip()
+    if not text:
+        raise argparse.ArgumentTypeError("--perf-matrix must not be empty")
+    if text in PERF_MATRIX_PRESETS:
+        return text
+    # Anything path-shaped is a file: inline specs never contain path
+    # separators, and an existing file beats guessing from the suffix
+    # (a valid JSON matrix in matrix.txt must not fall into the inline
+    # parser with a misleading "malformed row" error).
+    looks_like_file = (
+        text.lower().endswith(".json") or os.sep in text or os.path.isfile(text)
+    )
+    if looks_like_file:
+        try:
+            with open(text, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise argparse.ArgumentTypeError(
+                f"cannot read perf-matrix file {text!r}: {error}"
+            )
+        except json.JSONDecodeError as error:
+            raise argparse.ArgumentTypeError(
+                f"perf-matrix file {text!r} is not valid JSON: {error}"
+            )
+    else:
+        data = {}
+        for row in text.split(";"):
+            row = row.strip()
+            if not row:
+                continue
+            family, sep, cells = row.partition(":")
+            family = family.strip()
+            if not sep or not family or not cells.strip():
+                raise argparse.ArgumentTypeError(
+                    f"malformed perf-matrix row {row!r}: expected "
+                    "'family:gen=speedup,gen=speedup' (or a preset name: "
+                    f"{sorted(PERF_MATRIX_PRESETS)})"
+                )
+            if family in data:
+                raise argparse.ArgumentTypeError(
+                    f"duplicate perf-matrix row for family {family!r}"
+                )
+            row_cells = {}
+            for cell in cells.split(","):
+                cell = cell.strip()
+                if not cell:
+                    continue
+                generation, eq, value = cell.partition("=")
+                generation = generation.strip()
+                if not eq or not generation:
+                    raise argparse.ArgumentTypeError(
+                        f"malformed perf-matrix cell {cell!r} in row "
+                        f"{family!r}: expected gen=speedup"
+                    )
+                if generation in row_cells:
+                    raise argparse.ArgumentTypeError(
+                        f"duplicate perf-matrix cell for {generation!r} "
+                        f"in row {family!r}"
+                    )
+                row_cells[generation] = value.strip()
+            if not row_cells:
+                raise argparse.ArgumentTypeError(
+                    f"perf-matrix row {family!r} has no gen=speedup cells"
+                )
+            data[family] = row_cells
+        if not data:
+            raise argparse.ArgumentTypeError(
+                f"perf-matrix spec {text!r} contains no rows; expected "
+                "'family:gen=speedup[,gen=speedup][;family:...]'"
+            )
+    try:
+        matrix = canonical_matrix(data)
+        validate_matrix_names(matrix)
+    except PerfModelError as error:
+        raise argparse.ArgumentTypeError(f"--perf-matrix: {error}")
+    return matrix
 
 
 def _parse_schedulers(text: str) -> Optional[list[str]]:
@@ -156,7 +280,33 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
             seed=args.seed,
             duration_scale=args.duration_scale,
         )
-    return scenario.replace(lease_minutes=args.lease)
+    perf_matrix = getattr(args, "perf_matrix", None) or ()
+    if perf_matrix and args.cluster != "hetero":
+        # The sim/testbed presets are single-generation ("default")
+        # fleets: unless the matrix prices that generation explicitly,
+        # every lookup falls back to the scalar speed and the run would
+        # silently measure nothing.
+        from repro.workload.perf import resolve_matrix_spec
+
+        resolved = resolve_matrix_spec(perf_matrix)
+        prices_default = any(
+            generation == "default"
+            for _family, cells in resolved
+            for generation, _speedup in cells
+        )
+        if not prices_default:
+            print(
+                f"warning: --perf-matrix has no effect on the "
+                f"single-generation '{args.cluster}' cluster (no 'default' "
+                "cells, so every lookup falls back to the scalar speed); "
+                "use --cluster hetero to exercise the matrix",
+                file=sys.stderr,
+            )
+    return scenario.replace(
+        lease_minutes=args.lease,
+        perf_matrix=perf_matrix,
+        migration=bool(getattr(args, "migration", False)),
+    )
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser, default_apps: int) -> None:
@@ -165,8 +315,23 @@ def _add_scenario_args(parser: argparse.ArgumentParser, default_apps: int) -> No
                         help="256-GPU simulated cluster, 50-GPU testbed, or the "
                              "mixed-generation 256-GPU fleet")
     parser.add_argument("--gpu-mix", type=_gpu_mix, default=DEFAULT_GPU_MIX,
-                        help="GPU-generation mixture for --cluster hetero, "
-                             "e.g. v100:0.5,p100:0.25,k80:0.25")
+                        help="GPU-generation mixture for --cluster hetero as "
+                             "name:fraction pairs, e.g. "
+                             "v100:0.5,p100:0.25,k80:0.25; generation names "
+                             "must be known presets (v100/p100/k80) and "
+                             "fractions must be >= 0 with a positive sum")
+    parser.add_argument("--perf-matrix", type=_perf_matrix, default=None,
+                        help="per-model-family x per-GPU-generation throughput "
+                             "matrix: a preset name (rate-inversion, "
+                             "gavel-like), a .json file of "
+                             "{family: {generation: speedup}}, or an inline "
+                             "spec like 'vgg:v100=1.0,p100=0.25;"
+                             "resnet:v100=0.7,p100=0.9'; unset = scalar "
+                             "per-generation speeds")
+    parser.add_argument("--migration", action="store_true",
+                        help="enable speed-aware job migration: after each "
+                             "round, trade a job's gang for free GPUs that "
+                             "run its model family strictly faster")
     parser.add_argument("--apps", type=int, default=default_apps,
                         help="number of apps to generate")
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
@@ -456,10 +621,20 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     profiles = list(args.profiles or SIM_PROFILES)
     repeats = args.repeats
     if args.quick:
-        # CI smoke mode: the small profile only.  Two repeats per mode
+        # CI smoke mode: the two small profiles only — the scalar
+        # baseline and the throughput-matrix variant, so the per-family
+        # carve kernel is gated from day one.  Two repeats per mode
         # (min-of-N) so the gated speedup ratio is not a single
         # unaveraged timing pair on a noisy shared runner.
-        profiles = [p for p in profiles if p == "sim-small"] or ["sim-small"]
+        quick_set = ("sim-small", "sim-matrix")
+        dropped = [p for p in profiles if p not in quick_set]
+        if args.profiles and dropped:
+            print(
+                f"warning: --quick runs only {list(quick_set)}; dropping "
+                f"explicitly requested profiles {dropped}",
+                file=sys.stderr,
+            )
+        profiles = [p for p in profiles if p in quick_set] or list(quick_set)
         repeats = min(repeats, 2) if repeats else 2
     unknown = [p for p in profiles if p not in SIM_PROFILES]
     if unknown:
@@ -494,10 +669,12 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
         write_bench(payload, args.out)
         print(f"wrote {args.out}")
     if baseline is not None:
-        gate = tuple(p for p in ("sim-small", "sim-medium") if p in profiles)
+        gate = tuple(
+            p for p in ("sim-small", "sim-medium", "sim-matrix") if p in profiles
+        )
         if not gate:
             print("regression check skipped: no gated profile "
-                  "(sim-small/sim-medium) in this run")
+                  "(sim-small/sim-medium/sim-matrix) in this run")
             return 0
         failures = check_sim_regression(
             payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
@@ -568,11 +745,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     _fill_duration_default(args)
     trace = generate_trace(
         GeneratorConfig(
-            num_apps=args.apps, seed=args.seed, duration_scale=args.duration_scale
+            num_apps=args.apps,
+            seed=args.seed,
+            duration_scale=args.duration_scale,
+            perf_matrix=args.perf_matrix or (),
         )
     )
     trace.to_jsonl(args.out)
-    print(f"wrote {trace.num_apps} apps / {trace.num_jobs} jobs to {args.out}")
+    extra = " (perf matrix embedded)" if trace.perf_matrix else ""
+    print(f"wrote {trace.num_apps} apps / {trace.num_jobs} jobs to {args.out}{extra}")
     return 0
 
 
@@ -643,7 +824,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated profiles; defaults to every profile of the "
              "selected suite (auction: small,medium,hetero-medium,large; "
-             "sim: sim-small,sim-medium,sim-8x,sim-hetero,sim-failures)",
+             "sim: sim-small,sim-medium,sim-8x,sim-hetero,sim-failures,"
+             "sim-matrix,sim-migration)",
     )
     bench_parser.add_argument(
         "--e2e", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
@@ -654,7 +836,8 @@ def build_parser() -> argparse.ArgumentParser:
                               help="timing repeats per profile (min is reported)")
     bench_parser.add_argument("--quick", action="store_true",
                               help="CI smoke mode: 1 repeat; auction suite skips "
-                                   "large/e2e-medium, sim suite runs sim-small only")
+                                   "large/e2e-medium, sim suite runs "
+                                   "sim-small + sim-matrix only")
     bench_parser.add_argument("--out", default=None,
                               help="write the bench payload to this JSON path")
     bench_parser.add_argument("--check", default=None,
@@ -686,6 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--seed", type=int, default=42)
     trace_parser.add_argument("--duration-scale", type=float, default=None)
     trace_parser.add_argument("--cluster", choices=("sim", "testbed"), default="sim")
+    trace_parser.add_argument("--perf-matrix", type=_perf_matrix, default=None,
+                              help="embed a throughput matrix (preset name, "
+                                   ".json file, or inline spec) into the "
+                                   "trace header")
     trace_parser.add_argument("--out", default="trace.jsonl")
     trace_parser.set_defaults(func=_cmd_trace)
 

@@ -77,6 +77,17 @@ class Allocation:
             self._effective = sum(gpu.speed for gpu in self._gpus)
         return self._effective
 
+    def effective_size_weighted(self, weight_of) -> float:
+        """Sum of arbitrary per-GPU weights, in ascending gpu_id order.
+
+        The family-aware generalisation of :attr:`effective_size`: a
+        performance model weights each GPU by its holder's model family
+        instead of the generation's scalar speed.  Summation order
+        matches :attr:`effective_size` exactly, so a weighting that
+        degenerates to ``gpu.speed`` produces bit-identical floats.
+        """
+        return sum(weight_of(gpu) for gpu in self._gpus)
+
     def per_type_counts(self) -> dict[str, int]:
         """Map GPU-type name -> number of member GPUs of that generation."""
         if self._type_counts is None:

@@ -131,8 +131,13 @@ class Bid:
         # while ad-hoc callers get a fresh single-auction state.
         if state is None:
             state = AppValuationState(app, estimator, reuse=False)
-        state.refresh()
+        snap = state.refresh()
         self._state = state
+        # The app's (single) model family selects its throughput-matrix
+        # row for speed-class tie-breaks; mixed-family apps fall back to
+        # the scalar generation speeds.
+        families = {job_tuple[4] for job_tuple in snap.job_tuples}
+        self._family = next(iter(families)) if len(families) == 1 else None
         self.demand = app.unmet_demand()
         self.current_rho = self.rho_of({})
 
@@ -204,13 +209,16 @@ class Bid:
         return sum(c for c in extra_counts.values() if c > 0)
 
     def machine_speed(self, machine_id: int) -> float:
-        """Speed class of one offered machine's GPUs.
+        """Speed class of one offered machine's GPUs, for *this* app.
 
         The offer vector stays per-machine counts (the paper's R), but
         each dimension carries the machine's GPU generation; the solver
-        uses it to break ties toward faster free compute.
+        uses it to break ties toward faster free compute.  Under a
+        throughput matrix "faster" is relative to the app's model
+        family — two bidders can disagree about which machine is the
+        prize, which is exactly the rate-inversion the matrix encodes.
         """
-        return self._estimator.machine_speed(machine_id)
+        return self._estimator.machine_speed_for(self._family, machine_id)
 
     # ------------------------------------------------------------------
     # The explicit table (Figure 3b)

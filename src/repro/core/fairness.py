@@ -31,15 +31,25 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.cluster.placement import LocalityLevel, SensitivityProfile
 from repro.cluster.topology import Cluster
 from repro.workload.app import App, CompletionSemantics
 from repro.workload.job import Job
+from repro.workload.perf import DEFAULT_PERF_MODEL, PerfModel
 
-#: Internal job descriptor: (remaining_work, parallelism_cap, profile, job_id).
-_JobTuple = tuple[float, int, SensitivityProfile, str]
+#: Internal job descriptor:
+#: (remaining_work, parallelism_cap, profile, job_id, family).
+#: ``family`` selects the job's row of a per-family throughput matrix;
+#: scalar runs carry it too (it is inert there) so one tuple shape
+#: serves both paths.
+_JobTuple = tuple[float, int, SensitivityProfile, str, str]
+
+#: Per-family machine speed lookup: family -> {machine_id: speedup}.
+#: ``None`` means the scalar model — the carve keeps its single shared
+#: speed map and the original fast path.
+FamilySpeedFn = Optional[Callable[[str], Mapping[int, float]]]
 
 #: Ceiling on valuations when rho is (degenerately) zero or negative.
 #: ``V = 1/rho`` would otherwise be ``inf``, and the auction's greedy
@@ -195,6 +205,7 @@ def _carve_fast(
     rack_of: Mapping[int, int],
     nvlink_group_size: int,
     speed_of: Optional[Mapping[int, float]] = None,
+    family_speed_of: FamilySpeedFn = None,
 ) -> tuple[list[_Carved], int]:
     """Core carve loop over pre-sorted job tuples — flat-array edition.
 
@@ -218,7 +229,17 @@ def _carve_fast(
     racks already used by the job preferred — so the carve order, and
     therefore every downstream rho, is byte-identical to
     :func:`_carve_reference` (property-tested in tests/test_fairness.py).
+
+    ``family_speed_of`` switches to the per-family kernel
+    (:func:`_carve_fast_family`): machine speeds then depend on the
+    *current job's* model family, so a bundle can be "fast" for one job
+    and "slow" for the next.  The scalar path below is untouched — a
+    scalar perf model never pays for family dispatch.
     """
+    if family_speed_of is not None:
+        return _carve_fast_family(
+            job_tuples, machine_counts, rack_of, nvlink_group_size, family_speed_of
+        )
     mids: list[int] = []
     cnts: list[int] = []
     effs: list[float] = []
@@ -311,30 +332,185 @@ def _carve_fast(
     return out, index + 1
 
 
+def _carve_fast_family(
+    job_tuples: Sequence[_JobTuple],
+    machine_counts: Mapping[int, int],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int,
+    family_speed_of: Callable[[str], Mapping[int, float]],
+) -> tuple[list[_Carved], int]:
+    """Flat-array carve with per-job family-specific machine speeds.
+
+    Identical argmax rule to :func:`_carve_fast` — most effective free
+    compute first, lower machine id on ties, used racks preferred — but
+    "effective" is measured with the current job's family row, so a
+    throughput matrix can invert which machines drain first between two
+    jobs of different families.  A matrix whose rows all equal the
+    scalar speeds produces the same comparison floats as the scalar
+    kernel, hence byte-identical carves (pinned by
+    tests/test_hetero_equivalence.py).
+
+    Per-family flat speed arrays are cached for the duration of one
+    carve; effective compute is recomputed as ``count * speed`` inside
+    the scan instead of being maintained incrementally, because the
+    speeds change with every job's family.
+    """
+    mids: list[int] = []
+    cnts: list[int] = []
+    rids: list[int] = []
+    for machine_id, count in machine_counts.items():
+        if count > 0:
+            mids.append(machine_id)
+            cnts.append(count)
+            rids.append(rack_of[machine_id])
+    live = len(mids)
+    num_machines = live
+    fam_speeds: dict[str, list[float]] = {}
+    out: list[_Carved] = []
+    index = 0
+    for index, job in enumerate(job_tuples):
+        if not live:
+            return out, index
+        family = job[4]
+        spds = fam_speeds.get(family)
+        if spds is None:
+            speed_map = family_speed_of(family)
+            spds = [speed_map.get(machine_id, 1.0) for machine_id in mids]
+            fam_speeds[family] = spds
+        need = job[1]
+        taken_machines = 0
+        first_count = 0
+        effective = 0.0
+        used_racks: list[int] = []
+        while need > 0 and live:
+            best = -1
+            best_eff = -1.0
+            best_mid = -1
+            if used_racks:
+                for i in range(num_machines):
+                    if cnts[i] and rids[i] in used_racks:
+                        eff = cnts[i] * spds[i]
+                        mid = mids[i]
+                        if eff > best_eff or (eff == best_eff and mid < best_mid):
+                            best = i
+                            best_eff = eff
+                            best_mid = mid
+            if best < 0:
+                for i in range(num_machines):
+                    if cnts[i]:
+                        eff = cnts[i] * spds[i]
+                        mid = mids[i]
+                        if eff > best_eff or (eff == best_eff and mid < best_mid):
+                            best = i
+                            best_eff = eff
+                            best_mid = mid
+            if best < 0:
+                break
+            count = cnts[best]
+            grab = need if need < count else count
+            remaining = count - grab
+            cnts[best] = remaining
+            if not remaining:
+                live -= 1
+            taken_machines += 1
+            if taken_machines == 1:
+                first_count = grab
+            effective += grab * spds[best]
+            rack_id = rids[best]
+            if rack_id not in used_racks:
+                used_racks.append(rack_id)
+            need -= grab
+        total = job[1] - need
+        if total <= 0:
+            return out, index
+        if taken_machines == 1:
+            level = (
+                LocalityLevel.SLOT
+                if first_count <= nvlink_group_size
+                else LocalityLevel.MACHINE
+            )
+        elif len(used_racks) == 1:
+            level = LocalityLevel.RACK
+        else:
+            level = LocalityLevel.CLUSTER
+        factor = 1.0 if total <= 1 else job[2].at(level)
+        out.append((job, total, level, effective * factor, effective))
+    return out, index + 1
+
+
 def _carve_reference(
     job_tuples: Sequence[_JobTuple],
     machine_counts: Mapping[int, int],
     rack_of: Mapping[int, int],
     nvlink_group_size: int,
     speed_of: Optional[Mapping[int, float]] = None,
+    family_speed_of: FamilySpeedFn = None,
 ) -> tuple[list[_Carved], int]:
     """Pre-refactor heap-backed carve, kept as the equivalence oracle.
 
     Identical contract to :func:`_carve_fast`; the property suite
     asserts both return byte-identical allotments on randomized
     instances (the same role :func:`~repro.core.auction.rescan_fair_allocation`
-    plays for the auction solver).
+    plays for the auction solver).  With ``family_speed_of`` the
+    heap-backed pool (whose ordering is fixed at build time) cannot be
+    used — the per-family oracle is an independent dict-scan instead,
+    re-finding the best machine from scratch for every grab.
     """
+    if family_speed_of is not None:
+        counts = {m: c for m, c in machine_counts.items() if c > 0}
+        out = []
+        index = 0
+        for index, job in enumerate(job_tuples):
+            if not counts:
+                return out, index
+            speed_map = family_speed_of(job[4])
+            need = job[1]
+            taken: dict[int, int] = {}
+            effective = 0.0
+            used_racks: list[int] = []
+            while need > 0 and counts:
+                best_key = None
+                machine_id = None
+                pool_ids = (
+                    [m for m in counts if rack_of[m] in used_racks]
+                    if used_racks
+                    else []
+                ) or list(counts)
+                for candidate in pool_ids:
+                    key = (-counts[candidate] * speed_map.get(candidate, 1.0), candidate)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        machine_id = candidate
+                if machine_id is None:
+                    break
+                grab = min(need, counts[machine_id])
+                if counts[machine_id] - grab > 0:
+                    counts[machine_id] -= grab
+                else:
+                    del counts[machine_id]
+                taken[machine_id] = taken.get(machine_id, 0) + grab
+                effective += grab * speed_map.get(machine_id, 1.0)
+                rack_id = rack_of[machine_id]
+                if rack_id not in used_racks:
+                    used_racks.append(rack_id)
+                need -= grab
+            total = job[1] - need
+            if total <= 0:
+                return out, index
+            level = _classify_taken(taken, rack_of, nvlink_group_size)
+            factor = 1.0 if total <= 1 else job[2].at(level)
+            out.append((job, total, level, effective * factor, effective))
+        return out, index + 1
     pool = _CountPool(machine_counts, rack_of, speed_of)
-    out: list[_Carved] = []
+    out = []
     index = 0
     for index, job in enumerate(job_tuples):
         if not pool:
             return out, index
         need = job[1]
-        taken: dict[int, int] = {}
+        taken = {}
         effective = 0.0
-        used_racks: list[int] = []
+        used_racks = []
         while need > 0 and pool:
             machine_id = pool.best(used_racks)
             if machine_id is None:
@@ -359,11 +535,19 @@ def _carve_reference(
 
 def _job_tuples(jobs: Sequence[Job]) -> list[_JobTuple]:
     """Sorted job descriptors for active jobs (shortest remaining first)."""
-    tuples = [
-        (job.remaining_work, job.max_parallelism, job.model_profile.sensitivity, job.job_id)
-        for job in jobs
-        if job.is_active
-    ]
+    tuples = []
+    for job in jobs:
+        if job.is_active:
+            profile = job.model_profile
+            tuples.append(
+                (
+                    job.remaining_work,
+                    job.max_parallelism,
+                    profile.sensitivity,
+                    job.job_id,
+                    profile.family,
+                )
+            )
     tuples.sort(key=lambda item: (item[0], item[3]))
     return tuples
 
@@ -374,18 +558,20 @@ def carve_allotments(
     rack_of: Mapping[int, int],
     nvlink_group_size: int = 2,
     speed_of: Optional[Mapping[int, float]] = None,
+    family_speed_of: FamilySpeedFn = None,
 ) -> list[JobAllotment]:
     """Greedily split per-machine GPU counts across jobs (Section 5.2, step 4).
 
     Jobs are served shortest-remaining-work first; each takes up to its
     ``max_parallelism`` GPUs, draining the machines with the most
-    effective free compute before spilling across racks.  Returns one
-    allotment per *active* job, including zero-GPU allotments once the
-    pool is drained.
+    effective free compute — family-relative when ``family_speed_of``
+    carries a throughput matrix — before spilling across racks.  Returns
+    one allotment per *active* job, including zero-GPU allotments once
+    the pool is drained.
     """
     tuples = _job_tuples(jobs)
     carved, next_index = _carve_fast(
-        tuples, machine_counts, rack_of, nvlink_group_size, speed_of
+        tuples, machine_counts, rack_of, nvlink_group_size, speed_of, family_speed_of
     )
     allotments = [
         JobAllotment(
@@ -429,19 +615,20 @@ def packing_utility(
     rack_of: Mapping[int, int],
     nvlink_group_size: int = 2,
     speed_of: Optional[Mapping[int, float]] = None,
+    family_speed_of: FamilySpeedFn = None,
 ) -> float:
     """Gandiva's social objective: effective compute times placement score.
 
     Carves the counts across the jobs exactly like the valuation path
     and scores each allocated job by the 4-level placement score of its
-    spread, weighted by the speed of the GPUs packed — the quantity
-    Gandiva's introspective migration maximises (``gpus * score`` on a
-    homogeneous cluster).
+    spread, weighted by the speed of the GPUs packed — family-relative
+    under a throughput matrix — the quantity Gandiva's introspective
+    migration maximises (``gpus * score`` on a homogeneous cluster).
     """
     from repro.cluster.placement import PLACEMENT_SCORES
 
     carved, _ = _carve_fast(
-        job_tuples, machine_counts, rack_of, nvlink_group_size, speed_of
+        job_tuples, machine_counts, rack_of, nvlink_group_size, speed_of, family_speed_of
     )
     return sum(
         effective * PLACEMENT_SCORES[level]
@@ -476,15 +663,23 @@ class FairnessEstimator:
         cluster: Cluster,
         semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS,
         nvlink_group_size: int = 2,
+        perf_model: Optional[PerfModel] = None,
     ) -> None:
         self.cluster = cluster
         self.semantics = semantics
         self.nvlink_group_size = nvlink_group_size
+        self.perf_model = perf_model if perf_model is not None else DEFAULT_PERF_MODEL
         self._rack_of = {
             machine.machine_id: machine.rack_id for machine in cluster.machines
         }
         self._speed_of = cluster.machine_speeds()
-        self.capacity = cluster.capacity
+        #: Per-family machine speed lookup, or ``None`` under the scalar
+        #: model (the carve then keeps its single shared speed map).
+        self._family_speed_fn: FamilySpeedFn = self.perf_model.machine_speed_index(
+            cluster
+        )
+        #: Shared ClusterCapacity (scalar) or per-family PerfCapacity.
+        self.capacity = self.perf_model.capacity_for(cluster)
         #: Carve computations performed through this estimator — the
         #: honest "rho probe" count the sim macro-benchmark reports
         #: (cache hits in :class:`AppValuationState` don't increment it).
@@ -500,9 +695,24 @@ class FairnessEstimator:
         """Cached machine id -> GPU speed factor mapping for carve calls."""
         return self._speed_of
 
+    @property
+    def family_speed_fn(self) -> FamilySpeedFn:
+        """Per-family machine-speed lookup (``None`` = scalar model)."""
+        return self._family_speed_fn
+
     def machine_speed(self, machine_id: int) -> float:
-        """Speed factor of one machine's GPUs (1.0 for unknown machines)."""
+        """Scalar speed factor of one machine's GPUs (1.0 when unknown)."""
         return self._speed_of.get(machine_id, 1.0)
+
+    def machine_speed_for(self, family: Optional[str], machine_id: int) -> float:
+        """Speed of one machine as seen by one model family.
+
+        Falls back to the scalar speed under a scalar model or when the
+        caller has no single family (mixed-family apps).
+        """
+        if family is None or self._family_speed_fn is None:
+            return self._speed_of.get(machine_id, 1.0)
+        return self._family_speed_fn(family).get(machine_id, 1.0)
 
     # ------------------------------------------------------------------
     # Snapshots (hot path)
@@ -539,8 +749,36 @@ class FairnessEstimator:
             self._rack_of,
             self.nvlink_group_size,
             self._speed_of,
+            self._family_speed_fn,
         )
         return sum(rate for *_, rate, _effective in carved)
+
+    def carve_pairs_from_snapshot(
+        self, snap: AppSnapshot, machine_counts: Mapping[int, int]
+    ) -> tuple[tuple[str, float], ...]:
+        """Per-job ``(job_id, rate)`` pairs of one carve (rate > 0 only).
+
+        The ``FIRST_WINNER`` valuation kernel: like the aggregate rate,
+        which job receives which GPUs — and hence each job's rate —
+        depends only on the snapshot's job *order signature*, never on
+        the remaining-work magnitudes, so
+        :class:`AppValuationState` caches these pairs across rounds and
+        re-divides by the current remaining work in O(pairs).
+        """
+        self.carve_count += 1
+        carved, _ = _carve_fast(
+            snap.job_tuples,
+            machine_counts,
+            self._rack_of,
+            self.nvlink_group_size,
+            self._speed_of,
+            self._family_speed_fn,
+        )
+        return tuple(
+            (job[3], rate)
+            for job, _gpus, _level, rate, _effective in carved
+            if rate > 0
+        )
 
     def shared_delta_from_snapshot(
         self, snap: AppSnapshot, machine_counts: Mapping[int, int]
@@ -564,20 +802,12 @@ class FairnessEstimator:
         if self.semantics is CompletionSemantics.FIRST_WINNER:
             if not machine_counts:
                 return math.inf
-            self.carve_count += 1
-            carved, _ = _carve_fast(
-                snap.job_tuples,
-                machine_counts,
-                self._rack_of,
-                self.nvlink_group_size,
-                self._speed_of,
-            )
+            remaining = {job[3]: job[0] for job in snap.job_tuples}
             finish = math.inf
-            for job, _gpus, _level, rate, _effective in carved:
-                if rate > 0:
-                    per_job = job[0] / rate
-                    if per_job < finish:
-                        finish = per_job
+            for job_id, rate in self.carve_pairs_from_snapshot(snap, machine_counts):
+                per_job = remaining[job_id] / rate
+                if per_job < finish:
+                    finish = per_job
             return finish
         if snap.total_remaining <= 0:
             return 0.0
@@ -678,12 +908,15 @@ class AppValuationState:
       between rounds, so snapshot, base counts and every cache survive
       verbatim;
     * **rate-cache reuse** — an app that *does* hold GPUs drains work
-      continuously, so its snapshot rebuilds each round; but under
-      ``ALL_JOBS`` semantics the carve's aggregate rate depends only on
-      the job *order signature* (parallelism caps, sensitivity
-      profiles, ids — not the remaining-work magnitudes), so as long as
-      the drain has not reordered the jobs, every bundle's cached
-      aggregate rate stays valid and the delta is one division.
+      continuously, so its snapshot rebuilds each round; but the
+      carve's per-job GPU split depends only on the job *order
+      signature* (parallelism caps, sensitivity profiles, families,
+      ids — not the remaining-work magnitudes), so as long as the drain
+      has not reordered the jobs the cached kernels stay valid: under
+      ``ALL_JOBS`` each bundle's aggregate carve rate (delta is one
+      division), under ``FIRST_WINNER`` each bundle's per-job
+      ``(job_id, rate)`` pairs (delta is a min over one division per
+      served job against the *current* remaining work).
 
     Any discrete change (allocation install, job finish/kill, tuner
     step, failure revocation) bumps the app epoch and invalidates both
@@ -705,6 +938,8 @@ class AppValuationState:
         "rate_signature",
         "_rate_cache",
         "_delta_cache",
+        "_fw_pair_cache",
+        "_remaining_by_id",
         "_statics_epoch",
         "_job_statics",
         "_base_alloc",
@@ -724,6 +959,14 @@ class AppValuationState:
         self.rate_signature: Optional[tuple] = None
         self._rate_cache: dict[tuple[tuple[int, int], ...], float] = {}
         self._delta_cache: dict[tuple[tuple[int, int], ...], float] = {}
+        #: FIRST_WINNER kernel cache: bundle -> ((job_id, rate), ...)
+        #: pairs, valid while the rate signature is (like _rate_cache).
+        self._fw_pair_cache: dict[
+            tuple[tuple[int, int], ...], tuple[tuple[str, float], ...]
+        ] = {}
+        #: job_id -> remaining work of the current snapshot (FIRST_WINNER
+        #: deltas divide cached rates by *current* work).
+        self._remaining_by_id: dict[str, float] = {}
         self._statics_epoch = -1
         self._job_statics: Optional[list] = None
         self._base_alloc = None
@@ -743,6 +986,8 @@ class AppValuationState:
             )
             self._rate_cache = {}
             self._delta_cache = {}
+            self._fw_pair_cache = {}
+            self._refresh_remaining(snap)
             return snap
         if (
             self.snapshot is not None
@@ -766,7 +1011,13 @@ class AppValuationState:
             )
         if self._delta_cache:
             self._delta_cache = {}
+        self._refresh_remaining(snap)
         return snap
+
+    def _refresh_remaining(self, snap: AppSnapshot) -> None:
+        """Rebuild the job_id -> remaining-work view (FIRST_WINNER only)."""
+        if self.estimator.semantics is CompletionSemantics.FIRST_WINNER:
+            self._remaining_by_id = {job[3]: job[0] for job in snap.job_tuples}
 
     def _rebuild_snapshot(self, app: App) -> AppSnapshot:
         """Snapshot rebuild reusing per-job statics across rounds.
@@ -782,25 +1033,35 @@ class AppValuationState:
         """
         statics = self._job_statics
         if statics is None or self._statics_epoch != app.epoch:
-            statics = [
-                (job, job.max_parallelism, job.model_profile.sensitivity, job.job_id)
-                for job in app.jobs
-                if job.is_active
-            ]
+            statics = []
+            for job in app.jobs:
+                if job.is_active:
+                    profile = job.model_profile
+                    statics.append(
+                        (
+                            job,
+                            job.max_parallelism,
+                            profile.sensitivity,
+                            job.job_id,
+                            profile.family,
+                        )
+                    )
             self._job_statics = statics
             self._statics_epoch = app.epoch
         tuples = [
-            (job.remaining_work, cap, profile, job_id)
-            for job, cap, profile, job_id in statics
+            (job.remaining_work, cap, profile, job_id, family)
+            for job, cap, profile, job_id, family in statics
         ]
         tuples.sort(key=lambda item: (item[0], item[3]))
         # The carve hands machines out in *sorted* job order, so the
-        # rate cache is keyed to that sequence: a drain-induced reorder
-        # (not just an epoch bump) must invalidate it.
-        signature = tuple((item[1], item[2], item[3]) for item in tuples)
+        # rate/pair caches are keyed to that sequence — including each
+        # job's family (its matrix row): a drain-induced reorder (not
+        # just an epoch bump) must invalidate them.
+        signature = tuple(item[1:] for item in tuples)
         if signature != self.rate_signature:
             self.rate_signature = signature
             self._rate_cache = {}
+            self._fw_pair_cache = {}
         return AppSnapshot(
             app_id=app.app_id,
             arrival_time=app.arrival_time,
@@ -812,7 +1073,9 @@ class AppValuationState:
     @property
     def cached_deltas(self) -> int:
         """Number of bundle kernels currently memoised (introspection)."""
-        return len(self._rate_cache) + len(self._delta_cache)
+        return len(self._rate_cache) + len(self._delta_cache) + len(
+            self._fw_pair_cache
+        )
 
     def delta_of(self, total_key: tuple[tuple[int, int], ...]) -> float:
         """Shared-time delta for a canonical total-counts bundle, memoised.
@@ -822,8 +1085,10 @@ class AppValuationState:
         in that form, so no re-canonicalising happens on the hot path,
         and the counts mapping is only materialised on a cache miss.
         Mirrors :meth:`FairnessEstimator.shared_delta_from_snapshot`
-        exactly, with the aggregate-rate kernel served from the
-        cross-round cache under ``ALL_JOBS`` semantics.
+        exactly, with the carve kernel served from the cross-round
+        caches: the aggregate rate under ``ALL_JOBS``, the per-job
+        ``(job_id, rate)`` pairs under ``FIRST_WINNER`` (both survive
+        work drains; only a reorder or epoch bump rebuilds them).
         """
         snap = self.snapshot
         assert snap is not None, "refresh() before delta_of()"
@@ -832,7 +1097,22 @@ class AppValuationState:
             cached = self._delta_cache.get(total_key)
             if cached is not None:
                 return cached
-            delta = estimator.shared_delta_from_snapshot(snap, dict(total_key))
+            if not snap.job_tuples:
+                return 0.0
+            if not total_key:
+                return math.inf
+            pairs = self._fw_pair_cache.get(total_key)
+            if pairs is None:
+                pairs = estimator.carve_pairs_from_snapshot(snap, dict(total_key))
+                if len(self._fw_pair_cache) >= _DELTA_CACHE_LIMIT:
+                    self._fw_pair_cache.clear()
+                self._fw_pair_cache[total_key] = pairs
+            remaining = self._remaining_by_id
+            delta = math.inf
+            for job_id, rate in pairs:
+                per_job = remaining[job_id] / rate
+                if per_job < delta:
+                    delta = per_job
             if len(self._delta_cache) >= _DELTA_CACHE_LIMIT:
                 self._delta_cache.clear()
             self._delta_cache[total_key] = delta

@@ -53,6 +53,12 @@ class ScenarioConfig:
     semantics: CompletionSemantics = CompletionSemantics.ALL_JOBS
     #: Cap on retained contention/timeline samples (None = keep all).
     downsample: Optional[int] = None
+    #: Performance-model spec: empty (scalar speeds), a preset name from
+    #: :data:`repro.workload.perf.PERF_MATRIX_PRESETS`, or a matrix in
+    #: any form :func:`repro.workload.perf.canonical_matrix` accepts.
+    perf_matrix: object = ()
+    #: Speed-aware job migration (see ``SimulationConfig.migration``).
+    migration: bool = False
 
     def build_cluster(self) -> Cluster:
         """Materialise the scenario's cluster."""
@@ -78,7 +84,22 @@ class ScenarioConfig:
             max_minutes=self.max_minutes,
             record_timeline=self.record_timeline,
             downsample=self.downsample,
+            migration=self.migration,
         )
+
+    def build_perf_model(self):
+        """The scenario's performance model, or ``None`` when unset.
+
+        ``None`` (no matrix on the scenario) lets the simulator fall
+        back to whatever the trace carries — a generator-embedded
+        matrix must not be silently overridden by the scalar default.
+        """
+        from repro.workload.perf import resolve_matrix_spec, resolve_perf_model
+
+        matrix = resolve_matrix_spec(self.perf_matrix)
+        if not matrix:
+            return None
+        return resolve_perf_model(matrix)
 
     def replace(self, **changes) -> "ScenarioConfig":
         """Functional update returning a new scenario."""

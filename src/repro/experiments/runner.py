@@ -33,6 +33,7 @@ def run_scenario(
         workload=scenario.build_trace(),
         scheduler=make_scheduler(scheduler, **dict(scheduler_kwargs or {})),
         config=scenario.build_sim_config(),
+        perf_model=scenario.build_perf_model(),
     )
     return simulator.run()
 

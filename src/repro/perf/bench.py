@@ -172,6 +172,11 @@ class SimBenchProfile:
     downsample: int = 256
     jobs_per_app_median: float = 8.0
     jobs_per_app_max: int = 24
+    #: Perf-matrix preset name ("" = scalar speeds); with a matrix the
+    #: valuation path exercises the per-family carve kernel.
+    perf_matrix: str = ""
+    #: Speed-aware migration knob (exercises the post-round gang swaps).
+    migration: bool = False
 
 
 #: The tracked sim profiles: 64-128 GPU traces at 2x/4x/8x contention
@@ -222,6 +227,27 @@ SIM_PROFILES: dict[str, SimBenchProfile] = {
             duration_scale=0.35,
             interarrival_minutes=5.0,
             failures=((3, 120.0, 120.0), (17, 200.0, 180.0), (9, 300.0, 90.0)),
+        ),
+        SimBenchProfile(
+            name="sim-matrix",
+            gpus=64,
+            contention=2.0,
+            num_apps=12,
+            duration_scale=0.3,
+            interarrival_minutes=8.0,
+            hetero=True,
+            perf_matrix="rate-inversion",
+        ),
+        SimBenchProfile(
+            name="sim-migration",
+            gpus=128,
+            contention=4.0,
+            num_apps=36,
+            duration_scale=0.35,
+            interarrival_minutes=5.0,
+            hetero=True,
+            perf_matrix="rate-inversion",
+            migration=True,
         ),
     )
 }
@@ -433,7 +459,10 @@ def sim_scenario_for(profile: SimBenchProfile):
         duration_scale=profile.duration_scale,
     )
     scenario = scenario.replace(
-        cluster_scale=profile.gpus / 256.0, downsample=profile.downsample
+        cluster_scale=profile.gpus / 256.0,
+        downsample=profile.downsample,
+        perf_matrix=profile.perf_matrix or (),
+        migration=profile.migration,
     )
     return scenario.with_generator(
         mean_interarrival_minutes=profile.interarrival_minutes,
@@ -469,6 +498,7 @@ def run_sim_once(profile: SimBenchProfile, incremental: bool) -> dict:
         workload=scenario.build_trace(),
         scheduler=scheduler,
         config=dc_replace(scenario.build_sim_config(), incremental=incremental),
+        perf_model=scenario.build_perf_model(),
     )
     if profile.failures:
         injector = FailureInjector(
@@ -521,6 +551,9 @@ def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
         "scheduler": profile.scheduler,
         "hetero": profile.hetero,
         "failures": len(profile.failures),
+        "perf_matrix": profile.perf_matrix,
+        "migration": profile.migration,
+        "migrations": result.num_migrations,
         "peak_contention": result.peak_contention,
         "makespan": result.makespan,
         "rounds": result.num_rounds,
@@ -539,6 +572,8 @@ def run_sim_suite(
         "sim-8x",
         "sim-hetero",
         "sim-failures",
+        "sim-matrix",
+        "sim-migration",
     ),
     repeats: int = 1,
 ) -> dict:
@@ -553,7 +588,7 @@ def check_sim_regression(
     current: Mapping,
     baseline: Mapping,
     max_slowdown: float = 1.3,
-    gate_profiles: Sequence[str] = ("sim-small", "sim-medium"),
+    gate_profiles: Sequence[str] = ("sim-small", "sim-medium", "sim-matrix"),
 ) -> list[str]:
     """Compare a fresh sim bench run against the committed baseline.
 

@@ -10,7 +10,7 @@ into the same market harness, as the paper's evaluation does.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.cluster.topology import Gpu
 from repro.workload.app import App
@@ -27,6 +27,7 @@ class InterAppScheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.sim: Optional["ClusterSimulator"] = None
+        self._scalar_speed_map: Optional[dict[int, float]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -34,6 +35,7 @@ class InterAppScheduler(abc.ABC):
     def bind(self, simulator: "ClusterSimulator") -> None:
         """Attach to a simulator before the run starts."""
         self.sim = simulator
+        self._scalar_speed_map = None
         self.on_bind()
 
     def on_bind(self) -> None:
@@ -76,10 +78,40 @@ class InterAppScheduler(abc.ABC):
         ]
 
     def machine_speeds(self) -> dict[int, float]:
-        """machine_id -> GPU speed class of the bound cluster."""
+        """machine_id -> GPU speed class of the bound cluster (scalar)."""
         if self.sim is None:
             raise RuntimeError(f"{type(self).__name__} is not bound to a simulator")
         return self.sim.cluster.machine_speeds()
+
+    def perf_model(self):
+        """The bound run's performance model (scalar when unbound)."""
+        if self.sim is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a simulator")
+        return self.sim.perf_model
+
+    def machine_speeds_for(self, app: App) -> Mapping[int, float]:
+        """Machine speeds as seen by one app's model family (read-only).
+
+        Under the scalar model (or for mixed-family apps) this is the
+        scalar speed map; under a throughput matrix each app sees its
+        own family's row, so baseline fills drain the machines that are
+        fast *for that app* first.  The returned mapping is shared and
+        cached (one per family per run, one scalar map per bind) — it
+        is called once per app per round on baseline hot paths, so
+        callers must treat it as read-only.
+        """
+        if self.sim is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a simulator")
+        family_fn = self.sim.family_speed_index
+        if family_fn is not None:
+            from repro.workload.perf import app_family
+
+            family = app_family(app)
+            if family is not None:
+                return family_fn(family)
+        if self._scalar_speed_map is None:
+            self._scalar_speed_map = self.sim.cluster.machine_speeds()
+        return self._scalar_speed_map
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

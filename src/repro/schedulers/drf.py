@@ -18,10 +18,18 @@ from typing import Sequence
 from repro.cluster.topology import Gpu
 from repro.core.assignment import group_pool, take_packed
 from repro.schedulers.base import InterAppScheduler
+from repro.workload.perf import app_effective_compute, app_family
 
 
 class DrfScheduler(InterAppScheduler):
-    """Max-min water-filling on speed-weighted GPU shares (single-resource DRF)."""
+    """Max-min water-filling on speed-weighted GPU shares (single-resource DRF).
+
+    Under a throughput matrix the dominant share is *family*-weighted:
+    an app holding GPUs its model runs slowly on has a smaller share of
+    useful compute than one holding the same silicon it runs fast on —
+    which reduces to the scalar speed weighting (and then to plain
+    counts) when every row equals the generation speeds.
+    """
 
     name = "drf"
 
@@ -30,8 +38,21 @@ class DrfScheduler(InterAppScheduler):
         apps = self.apps_with_demand()
         if not apps:
             return {}
-        speed_of = self.machine_speeds()
-        holdings = {app.app_id: app.allocation().effective_size for app in apps}
+        model = self.perf_model()
+        speed_maps = {app.app_id: self.machine_speeds_for(app) for app in apps}
+        families = {app.app_id: app_family(app) for app in apps}
+        # One unit per app for the whole round: the family row for
+        # single-family apps, the scalar speeds otherwise — holdings and
+        # per-grant increments must never mix the two, or the max-min
+        # ordering compares incommensurable shares mid-round.
+        holdings = {
+            app.app_id: (
+                app_effective_compute(app, model)
+                if families[app.app_id] is not None
+                else app.allocation().effective_size
+            )
+            for app in apps
+        }
         demand_left = {app.app_id: app.unmet_demand() for app in apps}
         machines_of = {app.app_id: set(app.allocation().machine_ids) for app in apps}
         result: dict[str, list[Gpu]] = {app.app_id: [] for app in apps}
@@ -42,13 +63,20 @@ class DrfScheduler(InterAppScheduler):
             # Max-min: smallest dominant share (= effective compute held) first.
             chosen = min(candidates, key=lambda a: (holdings[a], a))
             taken = take_packed(
-                pool_by_machine, 1, sorted(machines_of[chosen]), speed_of=speed_of
+                pool_by_machine,
+                1,
+                sorted(machines_of[chosen]),
+                speed_of=speed_maps[chosen],
             )
             if not taken:
                 break
             gpu = taken[0]
             result[chosen].append(gpu)
-            holdings[chosen] += gpu.speed
+            family = families[chosen]
+            if model.is_scalar or family is None:
+                holdings[chosen] += gpu.speed
+            else:
+                holdings[chosen] += model.speedup(family, gpu.gpu_type)
             demand_left[chosen] -= 1
             machines_of[chosen].add(gpu.machine_id)
         return {a: gpus for a, gpus in result.items() if gpus}

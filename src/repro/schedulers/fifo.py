@@ -25,14 +25,18 @@ class FifoScheduler(InterAppScheduler):
         ranked = sorted(
             self.apps_with_demand(), key=lambda app: (app.arrival_time, app.app_id)
         )
-        speed_of = self.machine_speeds()
         for app in ranked:
             if not pool_by_machine:
                 break
             want = app.unmet_demand()
             preferred = app.allocation().machine_ids
+            # Each app drains the machines fastest *for its own model
+            # family* first (= the scalar speed order on scalar runs).
             taken = take_packed(
-                pool_by_machine, want, preferred_machines=preferred, speed_of=speed_of
+                pool_by_machine,
+                want,
+                preferred_machines=preferred,
+                speed_of=self.machine_speeds_for(app),
             )
             if taken:
                 result[app.app_id] = taken

@@ -31,6 +31,7 @@ class GandivaScheduler(InterAppScheduler):
         self.chunk_size = chunk_size
         self._rack_of: dict[int, int] = {}
         self._speed_of: dict[int, float] = {}
+        self._family_speed_fn = None
 
     def on_bind(self) -> None:
         assert self.sim is not None
@@ -39,6 +40,10 @@ class GandivaScheduler(InterAppScheduler):
             for machine in self.sim.cluster.machines
         }
         self._speed_of = self.sim.cluster.machine_speeds()
+        # Per-family machine speeds under a throughput matrix (None =
+        # scalar): packing quality then weighs each job's GPUs by how
+        # fast *that job's* family runs on them.
+        self._family_speed_fn = self.sim.family_speed_index
 
     def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
         apps = self.apps_with_demand()
@@ -64,7 +69,11 @@ class GandivaScheduler(InterAppScheduler):
                 for machine_id, count in bundle.items():
                     merged[machine_id] = merged.get(machine_id, 0) + count
                 return packing_utility(
-                    tuples, merged, self._rack_of, speed_of=self._speed_of
+                    tuples,
+                    merged,
+                    self._rack_of,
+                    speed_of=self._speed_of,
+                    family_speed_of=self._family_speed_fn,
                 )
 
             return utility

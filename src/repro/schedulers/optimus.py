@@ -22,6 +22,7 @@ from repro.core.assignment import greedy_utility_assign, group_pool
 from repro.schedulers.base import InterAppScheduler
 from repro.schedulers.tiresias import take_scattered
 from repro.workload.app import App
+from repro.workload.perf import app_effective_compute, app_family
 
 
 class OptimusScheduler(InterAppScheduler):
@@ -83,17 +84,32 @@ class OptimusScheduler(InterAppScheduler):
             return {}
         pool_by_machine = group_pool(pool)
         counts = {m: len(g) for m, g in pool_by_machine.items()}
-        speed_of = self.machine_speeds()
+        model = self.perf_model()
+        # Effective units are family-relative under a throughput matrix:
+        # each app prices an offered machine by its own row.  One unit
+        # per app — mixed-family apps fall back to scalar speeds for
+        # *both* held compute and bundle increments, so the marginal
+        # comparison never mixes incommensurable units.
+        speed_maps = {app.app_id: self.machine_speeds_for(app) for app in apps}
+        families = {app.app_id: app_family(app) for app in apps}
 
-        def bundle_effective(bundle: dict[int, int]) -> float:
+        def bundle_effective(app_id: str, bundle: dict[int, int]) -> float:
+            speed_of = speed_maps[app_id]
             return sum(c * speed_of.get(m, 1.0) for m, c in bundle.items())
 
         snapshots = {app.app_id: self._job_snapshot(app) for app in apps}
-        held = {app.app_id: app.allocation().effective_size for app in apps}
+        held = {
+            app.app_id: (
+                app_effective_compute(app, model)
+                if families[app.app_id] is not None
+                else app.allocation().effective_size
+            )
+            for app in apps
+        }
         utilities = {
             app.app_id: (
                 lambda bundle, app_id=app.app_id: self._time_reduction(
-                    snapshots[app_id], held[app_id], bundle_effective(bundle)
+                    snapshots[app_id], held[app_id], bundle_effective(app_id, bundle)
                 )
             )
             for app in apps

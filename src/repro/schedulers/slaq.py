@@ -21,6 +21,7 @@ from repro.core.assignment import greedy_utility_assign, group_pool
 from repro.schedulers.base import InterAppScheduler
 from repro.schedulers.tiresias import take_scattered
 from repro.workload.app import App
+from repro.workload.perf import app_effective_compute, app_family
 
 
 class SlaqScheduler(InterAppScheduler):
@@ -87,17 +88,35 @@ class SlaqScheduler(InterAppScheduler):
         pool_by_machine = group_pool(pool)
         counts = {m: len(g) for m, g in pool_by_machine.items()}
         window = self.sim.config.lease_minutes if self.sim else 20.0
-        speed_of = self.machine_speeds()
+        model = self.perf_model()
+        # Family-relative effective units, like Optimus: SLAQ predicts
+        # loss reduction from work done, and work rate per GPU depends
+        # on the app's model family under a throughput matrix.  Held
+        # compute and bundle increments must share one unit per app, so
+        # mixed-family apps use scalar speeds for both.
+        speed_maps = {app.app_id: self.machine_speeds_for(app) for app in apps}
+        families = {app.app_id: app_family(app) for app in apps}
 
-        def bundle_effective(bundle: dict[int, int]) -> float:
+        def bundle_effective(app_id: str, bundle: dict[int, int]) -> float:
+            speed_of = speed_maps[app_id]
             return sum(c * speed_of.get(m, 1.0) for m, c in bundle.items())
 
         snapshots = {app.app_id: self._job_snapshot(app) for app in apps}
-        held = {app.app_id: app.allocation().effective_size for app in apps}
+        held = {
+            app.app_id: (
+                app_effective_compute(app, model)
+                if families[app.app_id] is not None
+                else app.allocation().effective_size
+            )
+            for app in apps
+        }
         utilities = {
             app.app_id: (
                 lambda bundle, app_id=app.app_id: self._loss_reduction(
-                    snapshots[app_id], held[app_id], window, bundle_effective(bundle)
+                    snapshots[app_id],
+                    held[app_id],
+                    window,
+                    bundle_effective(app_id, bundle),
                 )
             )
             for app in apps

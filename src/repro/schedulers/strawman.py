@@ -32,7 +32,9 @@ class StrawmanScheduler(InterAppScheduler):
     def on_bind(self) -> None:
         assert self.sim is not None
         self.estimator = FairnessEstimator(
-            self.sim.cluster, semantics=self.sim.config.semantics
+            self.sim.cluster,
+            semantics=self.sim.config.semantics,
+            perf_model=self.sim.perf_model,
         )
 
     def assign(self, now: float, pool: Sequence[Gpu]) -> dict[str, list[Gpu]]:
@@ -52,7 +54,7 @@ class StrawmanScheduler(InterAppScheduler):
             pool_by_machine,
             worst.unmet_demand(),
             worst.allocation().machine_ids,
-            speed_of=self.machine_speeds(),
+            speed_of=self.machine_speeds_for(worst),
         )
         if not taken:
             return {}

@@ -60,7 +60,9 @@ class ThemisScheduler(InterAppScheduler):
     def on_bind(self) -> None:
         assert self.sim is not None
         self.estimator = FairnessEstimator(
-            self.sim.cluster, semantics=self.sim.config.semantics
+            self.sim.cluster,
+            semantics=self.sim.config.semantics,
+            perf_model=self.sim.perf_model,
         )
         self.incremental = getattr(self.sim.config, "incremental", True)
         self.arbiter = Arbiter(

@@ -13,7 +13,10 @@ mixed fleets the LAS metric itself is generation-aware — attained
 service accrues in speed-weighted effective GPU-minutes (see
 :meth:`repro.workload.job.Job.advance_to`), so a K80-hour counts for
 less than a V100-hour — while the *fill* stays deliberately blind to
-both placement and speed, true to the emulation.
+both placement and speed, true to the emulation.  It stays blind under
+a per-family throughput matrix too: attained service measures *device*
+compute consumed, not model progress, so Tiresias is the control
+baseline that ignores rate inversions entirely.
 """
 
 from __future__ import annotations

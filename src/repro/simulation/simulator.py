@@ -33,6 +33,7 @@ from repro.core.leases import LeaseManager
 from repro.simulation.engine import Event, EventKind, SimulationEngine, SimulationError
 from repro.workload.app import App, AppState, CompletionSemantics
 from repro.workload.job import Job
+from repro.workload.perf import DEFAULT_PERF_MODEL, PerfModel
 from repro.workload.trace import Trace
 
 #: Work below this threshold counts as finished (floating-point dust).
@@ -93,6 +94,15 @@ class SimulationConfig:
     #: the cold baseline that ``repro bench sim`` times and that the
     #: equivalence suite proves byte-identical.
     incremental: bool = True
+    #: Speed-aware job migration (off by default): after each round,
+    #: jobs whose whole gang could run strictly faster on currently-free
+    #: GPUs — as judged by the run's performance model, so a throughput
+    #: matrix makes the decision family-relative — are traded to the
+    #: faster (possibly smaller) gang, repaying the restart overhead.
+    migration: bool = False
+    #: Minimum candidate-rate over current-rate ratio a migration must
+    #: clear; > 1 so the overhead repayment cannot be gamed by noise.
+    migration_min_gain: float = 1.25
 
     def __post_init__(self) -> None:
         if self.lease_minutes <= 0:
@@ -101,6 +111,10 @@ class SimulationConfig:
             raise ValueError("restart_overhead_minutes must be >= 0")
         if self.downsample is not None and self.downsample < 2:
             raise ValueError(f"downsample must be >= 2, got {self.downsample}")
+        if self.migration_min_gain < 1.0:
+            raise ValueError(
+                f"migration_min_gain must be >= 1.0, got {self.migration_min_gain}"
+            )
 
     def to_json(self) -> dict:
         """Plain-JSON dict (enums by value) for the result cache."""
@@ -179,6 +193,9 @@ class SimulationResult:
     #: single-entry ("default") on homogeneous clusters.
     cluster_gpus_by_type: dict = field(default_factory=dict)
     gpu_time_by_type: dict = field(default_factory=dict)
+    #: Gang swaps performed by the speed-aware migration policy
+    #: (always 0 with ``SimulationConfig.migration`` off).
+    num_migrations: int = 0
 
     def stats_by_app(self) -> dict[str, AppStats]:
         """Index the per-app stats by app id."""
@@ -235,6 +252,7 @@ class SimulationResult:
             "total_gpu_time": self.total_gpu_time,
             "cluster_gpus_by_type": dict(self.cluster_gpus_by_type),
             "gpu_time_by_type": dict(self.gpu_time_by_type),
+            "num_migrations": self.num_migrations,
         }
 
     @classmethod
@@ -261,6 +279,7 @@ class SimulationResult:
             total_gpu_time=data["total_gpu_time"],
             cluster_gpus_by_type=dict(data.get("cluster_gpus_by_type", {})),
             gpu_time_by_type=dict(data.get("gpu_time_by_type", {})),
+            num_migrations=data.get("num_migrations", 0),
         )
 
 
@@ -273,16 +292,38 @@ class ClusterSimulator:
         workload: Union[Trace, Sequence[App]],
         scheduler,
         config: Optional[SimulationConfig] = None,
+        perf_model: Optional[PerfModel] = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
         self.scheduler = scheduler
+        if perf_model is None:
+            # A trace that carries a measured throughput matrix brings
+            # its own model; explicit arguments override it.
+            perf_model = getattr(workload, "perf_model", None)
+            if callable(perf_model):
+                perf_model = perf_model()
+        self.perf_model: PerfModel = (
+            perf_model if perf_model is not None else DEFAULT_PERF_MODEL
+        )
+        #: Per-family (or shared scalar) fastest-N capacity views —
+        #: what T_id and the final rho report divide by.
+        self.capacity = self.perf_model.capacity_for(cluster)
+        #: Per-family machine-speed lookup (``None`` under the scalar
+        #: model); shared with the schedulers via
+        #: :attr:`family_speed_index`.
+        self._family_speed_fn = self.perf_model.machine_speed_index(cluster)
+        self._machine_type = {m.machine_id: m.gpu_type for m in cluster.machines}
         if isinstance(workload, Trace):
             self.apps = workload.instantiate(self.config.semantics)
         else:
             self.apps = list(workload)
         if not self.apps:
             raise ValueError("workload contains no apps")
+        for app in self.apps:
+            for job in app.jobs:
+                job.perf_model = self.perf_model
+        self.num_migrations = 0
         self._apps_by_id = {app.app_id: app for app in self.apps}
         self.engine = SimulationEngine()
         self.leases = LeaseManager()
@@ -330,6 +371,11 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def family_speed_index(self):
+        """Per-family machine-speed lookup, or ``None`` (scalar model)."""
+        return self._family_speed_fn
+
     def run(self) -> SimulationResult:
         """Execute the whole trace and collect results."""
         for app in self.apps:
@@ -412,6 +458,8 @@ class ClusterSimulator:
         self.num_rounds += 1
         assignment = self.scheduler.assign(now, pool)
         self._apply_assignment(now, pool, assignment)
+        if self.config.migration:
+            self._migration_pass(now)
 
     def _release_orphaned_lease(self, gpu: Gpu) -> None:
         """Free a pooled GPU whose lease holder vanished mid-round.
@@ -676,6 +724,133 @@ class ClusterSimulator:
         return len(self._down_gpu_ids)
 
     # ------------------------------------------------------------------
+    # Speed-aware migration (ROADMAP heterogeneity follow-on)
+    # ------------------------------------------------------------------
+    def _free_gpus(self) -> dict[int, Gpu]:
+        """In-service GPUs carrying no lease at all, keyed by gpu_id.
+
+        Expired-but-leased GPUs are *not* free: their incumbents keep
+        running until a round reassigns them, and migration must not
+        yank a GPU another job is still using.
+        """
+        down = self._down_gpu_ids
+        return {
+            gpu.gpu_id: gpu
+            for gpu in self.leases.unleased_gpus(self.cluster.gpus)
+            if gpu.gpu_id not in down
+        }
+
+    def _family_machine_speed(self, family: str, machine_id: int) -> float:
+        """One machine's speedup for one model family (scalar fallback)."""
+        if self._family_speed_fn is not None:
+            return self._family_speed_fn(family).get(machine_id, 1.0)
+        gpu_type = self._machine_type.get(machine_id)
+        return gpu_type.speed if gpu_type is not None else 1.0
+
+    def _best_free_gang(self, job: Job, free: Mapping[int, Gpu]):
+        """Best whole-gang replacement drawable from the free pool.
+
+        Machines are drained fastest-for-this-family first (count x
+        family speedup, lower machine id on ties); after each machine's
+        GPUs join the candidate, the prefix is scored with the job's own
+        rate kernel — so a slow or cross-rack machine that would *drag*
+        the gang is naturally excluded by taking the best prefix.
+        Returns ``(gpus, rate)``; ``(None, 0.0)`` when the pool is empty.
+        """
+        if not free:
+            return None, 0.0
+        by_machine: dict[int, list[Gpu]] = {}
+        for gpu in free.values():
+            by_machine.setdefault(gpu.machine_id, []).append(gpu)
+        family = job.family
+        order = sorted(
+            by_machine,
+            key=lambda m: (
+                -len(by_machine[m]) * self._family_machine_speed(family, m),
+                m,
+            ),
+        )
+        cap = job.max_parallelism
+        taken: list[Gpu] = []
+        best_gpus: Optional[list[Gpu]] = None
+        best_rate = 0.0
+        for machine_id in order:
+            for gpu in sorted(by_machine[machine_id], key=lambda g: g.gpu_id):
+                if len(taken) >= cap:
+                    break
+                taken.append(gpu)
+            rate = job.rate_of(taken, cap=cap)
+            if rate > best_rate:
+                best_rate = rate
+                best_gpus = list(taken)
+            if len(taken) >= cap:
+                break
+        return best_gpus, best_rate
+
+    def _migration_pass(self, now: float) -> None:
+        """Trade slow gangs for faster free ones (post-assignment sweep).
+
+        For each GPU-holding job, in job-id order: if the free pool
+        offers a whole replacement gang whose rate exceeds the current
+        one by at least ``migration_min_gain`` *and* whose projected
+        finish (restart overhead included) beats staying put — a nearly
+        finished job never trades minutes of checkpoint stall for a
+        faster gang it barely uses — swap the job onto it,
+        releasing the old gang back to the free pool (where a later job
+        in the same sweep may claim it), granting fresh leases on the
+        new one, and repaying the checkpoint/restore overhead.  The
+        perf model prices both sides, so under a throughput matrix a
+        job trades *toward its own family's* fast generation — possibly
+        onto a smaller gang, when fewer fast GPUs out-run more slow
+        ones.
+        """
+        free = self._free_gpus()
+        if not free:
+            return
+        overhead = self.config.restart_overhead_minutes
+        min_gain = self.config.migration_min_gain
+        migrated = False
+        for job_id in sorted(self._held_jobs):
+            job = self._held_jobs.get(job_id)
+            if job is None or not job.is_active or job.allocation.size == 0:
+                continue
+            current_rate = job.rate()
+            if current_rate <= 0.0:
+                continue
+            candidate, candidate_rate = self._best_free_gang(job, free)
+            if candidate is None or candidate_rate < current_rate * min_gain:
+                continue
+            # The rate gain must also *repay the overhead*: a nearly
+            # finished job gains nothing from a faster gang if the
+            # checkpoint/restore stall exceeds the minutes saved.
+            remaining = job.remaining_work
+            time_now = job.overhead_remaining + remaining / current_rate
+            time_after = overhead + remaining / candidate_rate
+            if time_after >= time_now:
+                continue
+            app = self._job_owner[job.job_id]
+            released = list(job.allocation.gpus)
+            job.advance_to(now)
+            target = Allocation(candidate)
+            job.set_allocation(now, target, overhead=overhead)
+            self._track_held_job(job)
+            self.leases.release_all(released)
+            self._refresh_leases(now, app, job, target)
+            self._reschedule_job_finish(job)
+            for gpu in candidate:
+                del free[gpu.gpu_id]
+            for gpu in released:
+                free[gpu.gpu_id] = gpu
+            self.num_migrations += 1
+            migrated = True
+            if self.config.record_timeline:
+                self.timeline.append((now, app.app_id, app.allocation().size))
+        if migrated:
+            # Freed slow gangs are back in the pool; let a follow-up
+            # round at this instant offer them to whoever wants them.
+            self._request_round()
+
+    # ------------------------------------------------------------------
     # Completions
     # ------------------------------------------------------------------
     def _complete_job(self, now: float, job: Job) -> None:
@@ -713,7 +888,7 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def _collect(self) -> SimulationResult:
         now = self.engine.now
-        capacity = self.cluster.capacity
+        capacity = self.capacity
         stats: list[AppStats] = []
         gpu_time_by_type: dict[str, float] = {}
         for app in self.apps:
@@ -760,4 +935,5 @@ class ClusterSimulator:
             total_gpu_time=sum(s.gpu_time for s in stats),
             cluster_gpus_by_type=self.cluster.gpus_by_type(),
             gpu_time_by_type=dict(sorted(gpu_time_by_type.items())),
+            num_migrations=self.num_migrations,
         )

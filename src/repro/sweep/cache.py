@@ -36,7 +36,11 @@ from repro.sweep.matrix import SweepTask, canonical_json
 #: 2: heterogeneity-aware cluster model (GPU generations; per-type
 #:    stats added to SimulationResult/AppStats; ScenarioConfig gained
 #:    ``gpu_mix``, GeneratorConfig the gpu-type-affinity knobs).
-SCHEMA_VERSION = 2
+#: 3: pluggable performance model (per-family x per-generation
+#:    throughput matrices; ``num_migrations`` added to
+#:    SimulationResult, ``migration`` knobs to SimulationConfig,
+#:    ``perf_matrix`` to ScenarioConfig/GeneratorConfig/Trace).
+SCHEMA_VERSION = 3
 
 #: Orphaned ``.tmp-*`` files from a killed writer older than this are
 #: swept by :meth:`ResultCache.prune`.

@@ -18,6 +18,12 @@ from repro.workload.models import (
     models_by_family,
     throughput,
 )
+from repro.workload.perf import (
+    PERF_MATRIX_PRESETS,
+    PerfModel,
+    ScalarSpeedModel,
+    ThroughputMatrixModel,
+)
 from repro.workload.trace import Trace, TraceApp, TraceJob
 from repro.workload.generator import GeneratorConfig, generate_trace
 
@@ -29,6 +35,10 @@ __all__ = [
     "JobState",
     "MODEL_ZOO",
     "ModelProfile",
+    "PERF_MATRIX_PRESETS",
+    "PerfModel",
+    "ScalarSpeedModel",
+    "ThroughputMatrixModel",
     "Trace",
     "TraceApp",
     "TraceJob",

@@ -29,7 +29,7 @@ from typing import Iterable, Optional, Sequence
 from repro.cluster.allocation import Allocation
 from repro.cluster.topology import CapacityLike, Gpu, as_capacity
 from repro.workload.job import Job, JobState
-from repro.workload.models import effective_gpus
+from repro.workload.perf import PerfCapacity
 
 
 class AppState(enum.Enum):
@@ -226,15 +226,20 @@ class App:
     def ideal_running_time(self, capacity: CapacityLike) -> float:
         """T_id: running time alone on the whole cluster, ideal placement.
 
-        ``capacity`` is a plain GPU count (the homogeneous model) or a
-        :class:`~repro.cluster.topology.ClusterCapacity`; running alone
-        on a mixed fleet means running on the *fastest* GPUs, so each
-        job's ideal rate is the summed speed of the top
-        ``max_parallelism`` GPUs.  For ``FIRST_WINNER`` this is the
-        paper's ``min_j W_j / G_ideal_j`` (Section 5.2, step 5).  For
-        ``ALL_JOBS`` the app finishes with its last job, and running
-        alone it is limited both by its largest job and by total work
-        over cluster capacity, hence the max of the two lower bounds.
+        ``capacity`` is a plain GPU count (the homogeneous model), a
+        :class:`~repro.cluster.topology.ClusterCapacity`, or a
+        per-family :class:`~repro.workload.perf.PerfCapacity`; running
+        alone on a mixed fleet means running on the GPUs fastest *for
+        each job's model family*, so each job's ideal rate is the summed
+        family speedup of its top ``max_parallelism`` GPUs.  For
+        ``FIRST_WINNER`` this is the paper's ``min_j W_j / G_ideal_j``
+        (Section 5.2, step 5).  For ``ALL_JOBS`` the app finishes with
+        its last job, and running alone it is limited both by its
+        largest job and by total work over cluster capacity — under a
+        matrix, the capacity with each GPU priced at its *best* speedup
+        across the app's families (a mixed-family app alone would give
+        each family the GPUs it runs fastest on), hence the max of the
+        two lower bounds.
         """
         if self._ideal_epoch != self._epoch:
             self._ideal_cache.clear()
@@ -242,17 +247,25 @@ class App:
         cached = self._ideal_cache.get(capacity) if self._cache_enabled else None
         if cached is not None:
             return cached
-        cap = as_capacity(capacity)
+        if isinstance(capacity, PerfCapacity):
+            views = [capacity.view(job.family) for job in self.jobs]
+        else:
+            cap = as_capacity(capacity)
+            views = [cap] * len(self.jobs)
         per_job = [
             job.spec.serial_work
-            / cap.fastest(min(job.max_parallelism, cap.num_gpus))
-            for job in self.jobs
+            / view.fastest(min(job.max_parallelism, view.num_gpus))
+            for job, view in zip(self.jobs, views)
         ]
         if self.semantics is CompletionSemantics.FIRST_WINNER:
             result = min(per_job)
         else:
             bound_job = max(per_job)
-            bound_capacity = self.total_work() / cap.total
+            if isinstance(capacity, PerfCapacity):
+                total = capacity.best_total(job.family for job in self.jobs)
+            else:
+                total = views[0].total
+            bound_capacity = self.total_work() / total
             result = max(bound_job, bound_capacity)
         self._ideal_cache[capacity] = result
         return result
@@ -317,15 +330,13 @@ class App:
 
     @staticmethod
     def _rate_of(job: Job, gpus: list[Gpu]) -> float:
-        """Placement-adjusted progress rate of a hypothetical GPU set."""
-        if not gpus:
-            return 0.0
-        effective = effective_gpus(gpus, cap=job.max_parallelism)
-        if effective <= 0.0:
-            return 0.0
-        from repro.cluster.placement import slowdown  # local: avoid cycle at import
+        """Placement-adjusted progress rate of a hypothetical GPU set.
 
-        return effective * slowdown(job.model_profile.sensitivity, gpus)
+        Delegates to the job's perf-model-aware rate kernel with the
+        runtime parallelism cap, so distribution decisions and actual
+        progress always agree about generation speedups.
+        """
+        return job.rate_of(gpus, cap=job.max_parallelism)
 
     @classmethod
     def _pick_job_for_gpu(

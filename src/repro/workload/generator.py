@@ -69,6 +69,14 @@ class GeneratorConfig:
     loss_initial_range: tuple[float, float] = (3.0, 8.0)
     loss_alpha_range: tuple[float, float] = (0.3, 1.2)
     iterations_per_minute: float = 10.0
+    # Optional measured throughput matrix embedded into the generated
+    # trace: either a preset name from
+    # :data:`repro.workload.perf.PERF_MATRIX_PRESETS` or a matrix in any
+    # form :func:`repro.workload.perf.canonical_matrix` accepts.  The
+    # empty default keeps the scalar speed model (and byte-identical
+    # traces).  Sampling is unaffected — the matrix only changes how
+    # fast each sampled model runs per GPU generation at replay time.
+    perf_matrix: object = ()
 
     def __post_init__(self) -> None:
         if self.num_apps <= 0:
@@ -96,6 +104,11 @@ class GeneratorConfig:
 
         for name in self.gpu_type_affinities:
             resolve_gpu_type(name)
+        # Same discipline for the throughput matrix: fail at config time
+        # with the valid names listed, not at replay time.
+        from repro.workload.perf import resolve_matrix_spec
+
+        resolve_matrix_spec(self.perf_matrix)
 
     def with_contention(self, factor: float) -> "GeneratorConfig":
         """Config with arrivals compressed by ``factor`` (Figure 10's 1X/2X/4X)."""
@@ -212,9 +225,15 @@ def generate_trace(config: GeneratorConfig) -> Trace:
     if affinity_enabled:
         metadata["gpu_type_affinities"] = list(config.gpu_type_affinities)
         metadata["gpu_type_affinity_fraction"] = config.gpu_type_affinity_fraction
+    from repro.workload.perf import resolve_matrix_spec
+
+    perf_matrix = resolve_matrix_spec(config.perf_matrix)
+    if perf_matrix and isinstance(config.perf_matrix, str):
+        metadata["perf_matrix_preset"] = config.perf_matrix
     return Trace(
         apps=tuple(apps),
         name=f"synthetic-seed{config.seed}",
         seed=config.seed,
         metadata=metadata,
+        perf_matrix=perf_matrix,
     )

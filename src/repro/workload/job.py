@@ -108,9 +108,17 @@ class Job:
     on_mutate: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
     )
+    #: The performance model governing this job's progress rate.  Wired
+    #: by the simulator at setup (all jobs of a run share one model);
+    #: ``None`` means the scalar default.  With a scalar model the rate
+    #: path is byte-identical to the pre-matrix build; a
+    #: :class:`~repro.workload.perf.ThroughputMatrixModel` makes the
+    #: rate depend on the job's model *family* x GPU generation.
+    perf_model: Optional[object] = field(default=None, repr=False, compare=False)
     #: Memoised (allocation, parallelism_limit, rate) triple — the rate
-    #: is a pure function of the (immutable) allocation and the cap, and
-    #: it is re-read every simulated round the job holds GPUs.
+    #: is a pure function of the (immutable) allocation, the cap and the
+    #: (run-constant) perf model, and it is re-read every simulated
+    #: round the job holds GPUs.
     _rate_memo: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -129,6 +137,11 @@ class Job:
     def model_profile(self) -> ModelProfile:
         """The model profile describing this job's placement sensitivity."""
         return get_model(self.spec.model)
+
+    @property
+    def family(self) -> str:
+        """The job's architecture family (the throughput-matrix row key)."""
+        return get_model(self.spec.model).family
 
     @property
     def max_parallelism(self) -> int:
@@ -155,7 +168,9 @@ class Job:
         The paper's placement-sensitive scaling generalised to mixed
         GPU generations: ``E * S(placement)`` where ``E`` is the
         speed-weighted count of the fastest ``max_parallelism`` GPUs
-        held (``= G`` on a homogeneous cluster).
+        held (``= G`` on a homogeneous cluster).  Under a throughput
+        matrix the per-GPU weights come from the job's *family* row, so
+        two jobs holding the same GPUs can progress at different rates.
         """
         allocation = self.allocation
         if allocation.size == 0:
@@ -167,14 +182,32 @@ class Job:
             and memo[1] == self.parallelism_limit
         ):
             return memo[2]
-        effective = effective_gpus(allocation.gpus, cap=self.spec.max_parallelism)
-        if effective <= 0.0:
-            rate = 0.0
-        else:
-            factor = slowdown(self.model_profile.sensitivity, allocation.gpus)
-            rate = effective * factor
+        rate = self.rate_of(allocation.gpus)
         self._rate_memo = (allocation, self.parallelism_limit, rate)
         return rate
+
+    def rate_of(self, gpus, cap: Optional[int] = None) -> float:
+        """Progress rate of a hypothetical GPU set (pure, unmemoised).
+
+        The single rate kernel shared by :meth:`rate` (``cap=None`` —
+        the spec's parallelism), the intra-app distributor's
+        marginal-gain probes and the migration policy's candidate
+        scoring (both pass the runtime :attr:`max_parallelism`), so all
+        three always agree on what the perf model says.
+        """
+        gpus = list(gpus)
+        if not gpus:
+            return 0.0
+        if cap is None:
+            cap = self.spec.max_parallelism
+        model = self.perf_model
+        if model is None or model.is_scalar:
+            effective = effective_gpus(gpus, cap=cap)
+        else:
+            effective = model.effective_gpus(self.family, gpus, cap=cap)
+        if effective <= 0.0:
+            return 0.0
+        return effective * slowdown(self.model_profile.sensitivity, gpus)
 
     def current_slowdown(self) -> float:
         """Slowdown factor S of the current allocation (1.0 when idle)."""

@@ -124,6 +124,18 @@ def models_by_family(network_intensive: bool) -> tuple[ModelProfile, ...]:
     )
 
 
+#: Distinct model families of the zoo, sorted — the row keys a
+#: per-family throughput matrix (:mod:`repro.workload.perf`) may use.
+MODEL_FAMILIES: tuple[str, ...] = tuple(
+    sorted({profile.family for profile in MODEL_ZOO.values()})
+)
+
+
+def family_of(model_name: str) -> str:
+    """The architecture family of a model (the throughput-matrix row key)."""
+    return get_model(model_name).family
+
+
 def effective_gpus(gpus: Iterable[Gpu], cap: Optional[int] = None) -> float:
     """Speed-weighted GPU count of an allocation, optionally capped.
 

@@ -110,18 +110,36 @@ class TraceApp:
 
 @dataclass
 class Trace:
-    """A complete replayable workload plus provenance metadata."""
+    """A complete replayable workload plus provenance metadata.
+
+    ``perf_matrix`` optionally carries measured per-model-family x
+    per-GPU-generation throughput factors (canonical tuple form, see
+    :mod:`repro.workload.perf`): the matrix is workload+hardware data,
+    so it travels with the trace and the simulator picks it up
+    automatically.  Empty means the scalar speed model.
+    """
 
     apps: tuple[TraceApp, ...]
     name: str = "synthetic"
     seed: Optional[int] = None
     metadata: dict = field(default_factory=dict)
+    perf_matrix: tuple = ()
 
     def __post_init__(self) -> None:
         self.apps = tuple(sorted(self.apps, key=lambda app: (app.arrival_minutes, app.app_id)))
         ids = [app.app_id for app in self.apps]
         if len(set(ids)) != len(ids):
             raise ValueError("trace contains duplicate app ids")
+        if self.perf_matrix:
+            from repro.workload.perf import canonical_matrix
+
+            self.perf_matrix = canonical_matrix(self.perf_matrix)
+
+    def perf_model(self):
+        """The trace's performance model (scalar default when no matrix)."""
+        from repro.workload.perf import resolve_perf_model
+
+        return resolve_perf_model(self.perf_matrix)
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -195,6 +213,7 @@ class Trace:
             name=name or f"{self.name}-x{duration_factor:g}",
             seed=self.seed,
             metadata=dict(self.metadata, duration_factor=duration_factor),
+            perf_matrix=self.perf_matrix,
         )
 
     # ------------------------------------------------------------------
@@ -205,6 +224,10 @@ class Trace:
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
             header = {"name": self.name, "seed": self.seed, "metadata": self.metadata}
+            if self.perf_matrix:
+                header["perf_matrix"] = {
+                    family: dict(cells) for family, cells in self.perf_matrix
+                }
             handle.write(json.dumps({"trace_header": header}) + "\n")
             for app in self.apps:
                 handle.write(json.dumps(asdict(app)) + "\n")
@@ -216,6 +239,7 @@ class Trace:
         name = "unnamed"
         seed: Optional[int] = None
         metadata: dict = {}
+        perf_matrix: tuple = ()
         apps: list[TraceApp] = []
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -228,6 +252,11 @@ class Trace:
                     name = header.get("name", name)
                     seed = header.get("seed")
                     metadata = header.get("metadata", {})
+                    raw_matrix = header.get("perf_matrix")
+                    if raw_matrix:
+                        from repro.workload.perf import canonical_matrix
+
+                        perf_matrix = canonical_matrix(raw_matrix)
                     continue
                 # Tolerate unknown keys written by newer builds (the
                 # same forward-compatibility rule the result cache uses).
@@ -243,7 +272,13 @@ class Trace:
                         jobs=jobs,
                     )
                 )
-        return cls(apps=tuple(apps), name=name, seed=seed, metadata=metadata)
+        return cls(
+            apps=tuple(apps),
+            name=name,
+            seed=seed,
+            metadata=metadata,
+            perf_matrix=perf_matrix,
+        )
 
 
 def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
@@ -253,6 +288,17 @@ def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
     would otherwise occur.
     """
     traces = list(traces)
+    # A perf matrix is measured workload+hardware data travelling with
+    # its trace: merging may never silently rebind apps to a different
+    # rate model, so *all* inputs must agree — including agreeing that
+    # there is no matrix at all (scalar speeds).
+    matrices = {trace.perf_matrix for trace in traces}
+    if len(matrices) > 1:
+        raise ValueError(
+            "cannot merge traces with differing perf matrices (including "
+            "matrix-less scalar traces mixed with matrix-carrying ones); "
+            "rebase them onto one measured matrix first"
+        )
     seen: set[str] = set()
     apps: list[TraceApp] = []
     for trace in traces:
@@ -266,4 +312,8 @@ def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
             apps.append(
                 TraceApp(app_id=app_id, arrival_minutes=app.arrival_minutes, jobs=app.jobs)
             )
-    return Trace(apps=tuple(apps), name=name)
+    return Trace(
+        apps=tuple(apps),
+        name=name,
+        perf_matrix=next(iter(matrices)) if traces else (),
+    )

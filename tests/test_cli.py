@@ -179,3 +179,183 @@ def test_bench_regression_check(capsys, tmp_path):
     )
     assert code == 1
     assert "REGRESSION" in err
+
+
+# ----------------------------------------------------------------------
+# --gpu-mix / --perf-matrix validation (parse-time, actionable errors)
+# ----------------------------------------------------------------------
+def parse_error(*argv):
+    """Run the parser expecting an argparse validation exit (code 2)."""
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(list(argv))
+    return excinfo.value.code
+
+
+def test_gpu_mix_rejects_unknown_generation(capsys):
+    code = parse_error("run", "--cluster", "hetero", "--gpu-mix", "h100:0.5,k80:0.5")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "h100" in err and "k80" in err  # names the typo + alternatives
+
+
+def test_gpu_mix_rejects_malformed_entry(capsys):
+    code = parse_error("run", "--cluster", "hetero", "--gpu-mix", "v100=0.5")
+    assert code == 2
+    assert "name:fraction" in capsys.readouterr().err
+
+
+def test_gpu_mix_rejects_non_numeric_fraction(capsys):
+    code = parse_error("run", "--cluster", "hetero", "--gpu-mix", "v100:lots")
+    assert code == 2
+    assert "must be a number" in capsys.readouterr().err
+
+
+def test_gpu_mix_rejects_all_zero(capsys):
+    code = parse_error("run", "--cluster", "hetero", "--gpu-mix", "v100:0,k80:0")
+    assert code == 2
+    assert "positive fraction" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("value", ("nan", "inf", "-inf"))
+def test_gpu_mix_rejects_non_finite_fractions(capsys, value):
+    code = parse_error("run", "--cluster", "hetero", "--gpu-mix", f"v100:{value}")
+    assert code == 2
+    assert "finite" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("value", ("nan", "inf"))
+def test_perf_matrix_rejects_non_finite_speedups(capsys, value):
+    code = parse_error("run", "--perf-matrix", f"vgg:v100={value}")
+    assert code == 2
+    assert "finite" in capsys.readouterr().err
+
+
+def test_perf_matrix_rejects_duplicate_rows_and_cells(capsys):
+    code = parse_error(
+        "run", "--perf-matrix", "vgg:v100=1.0;vgg:p100=0.9"
+    )
+    assert code == 2
+    assert "duplicate perf-matrix row" in capsys.readouterr().err
+    code = parse_error("run", "--perf-matrix", "vgg:v100=1.0,v100=0.9")
+    assert code == 2
+    assert "duplicate perf-matrix cell" in capsys.readouterr().err
+
+
+def test_perf_matrix_on_single_generation_cluster_warns(capsys):
+    code, _, err = run_cli(
+        capsys, "run", "--scheduler", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--seed", "1",
+        "--perf-matrix", "rate-inversion",
+    )
+    assert code == 0
+    assert "no effect on the single-generation" in err
+    # No warning on the hetero cluster, where the matrix actually bites.
+    code, _, err = run_cli(
+        capsys, "run", "--scheduler", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--seed", "1",
+        "--cluster", "hetero", "--perf-matrix", "rate-inversion",
+    )
+    assert code == 0
+    assert "no effect" not in err
+    # ...and none when the matrix prices the 'default' generation,
+    # which does change results on single-generation fleets.
+    code, _, err = run_cli(
+        capsys, "run", "--scheduler", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--seed", "1",
+        "--perf-matrix", "vgg:default=0.5",
+    )
+    assert code == 0
+    assert "no effect" not in err
+
+
+def test_gpu_mix_accepts_valid_spec():
+    args = build_parser().parse_args(
+        ["run", "--cluster", "hetero", "--gpu-mix", "v100:0.75,k80:0.25"]
+    )
+    assert args.gpu_mix == (("v100", 0.75), ("k80", 0.25))
+
+
+def test_perf_matrix_accepts_preset_and_inline():
+    args = build_parser().parse_args(["run", "--perf-matrix", "rate-inversion"])
+    assert args.perf_matrix == "rate-inversion"
+    args = build_parser().parse_args(
+        ["run", "--perf-matrix", "vgg:v100=1.0,p100=0.25;gan:p100=1.0"]
+    )
+    assert args.perf_matrix == (
+        ("gan", (("p100", 1.0),)),
+        ("vgg", (("p100", 0.25), ("v100", 1.0))),
+    )
+
+
+def test_perf_matrix_rejects_unknown_generation(capsys):
+    code = parse_error("run", "--perf-matrix", "vgg:h100=2.0")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "h100" in err and "known generations" in err
+
+
+def test_perf_matrix_rejects_unknown_family(capsys):
+    code = parse_error("run", "--perf-matrix", "diffusion:v100=1.0")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "diffusion" in err and "known families" in err
+
+
+def test_perf_matrix_rejects_malformed_cells(capsys):
+    code = parse_error("run", "--perf-matrix", "vgg=v100:1.0")
+    assert code == 2
+    assert "gen=speedup" in capsys.readouterr().err
+    code = parse_error("run", "--perf-matrix", "vgg")
+    assert code == 2
+    assert "family:gen=speedup" in capsys.readouterr().err
+
+
+def test_perf_matrix_rejects_missing_file(capsys):
+    code = parse_error("run", "--perf-matrix", "no-such-file.json")
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_perf_matrix_from_json_file(tmp_path):
+    import json
+
+    path = tmp_path / "matrix.json"
+    path.write_text(json.dumps({"vgg": {"v100": 1.0, "p100": 0.25}}))
+    args = build_parser().parse_args(["run", "--perf-matrix", str(path)])
+    assert args.perf_matrix == (("vgg", (("p100", 0.25), ("v100", 1.0))),)
+
+
+def test_help_documents_matrix_and_mix(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--help"])
+    out = capsys.readouterr().out
+    assert "--gpu-mix" in out
+    assert "--perf-matrix" in out
+    assert "--migration" in out
+    assert "rate-inversion" in out
+
+
+def test_run_with_perf_matrix_and_migration(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--scheduler", "fifo", "--apps", "2",
+        "--duration-scale", "0.05", "--seed", "1",
+        "--cluster", "hetero", "--perf-matrix", "rate-inversion", "--migration",
+    )
+    assert code == 0
+    assert "max_rho" in out
+
+
+def test_trace_embeds_perf_matrix(tmp_path, capsys):
+    out_path = tmp_path / "t.jsonl"
+    code, out, _ = run_cli(
+        capsys, "trace", "--apps", "2", "--out", str(out_path),
+        "--perf-matrix", "rate-inversion",
+    )
+    assert code == 0
+    assert "perf matrix embedded" in out
+    from repro.workload.perf import PERF_MATRIX_PRESETS
+    from repro.workload.trace import Trace
+
+    assert Trace.from_jsonl(out_path).perf_matrix == (
+        PERF_MATRIX_PRESETS["rate-inversion"]
+    )

@@ -30,6 +30,7 @@ from repro.cluster.topology import (
 from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.workload.generator import GeneratorConfig, generate_trace
+from repro.workload.perf import ThroughputMatrixModel, known_families
 
 #: Machine shapes of the 50-GPU testbed, reused for both builds.
 _SHAPES = ((4, 4), (3, 2), (3, 1))  # (count, gpus_per_machine)
@@ -115,6 +116,76 @@ def test_slow_generations_actually_change_results(scheduler):
     # Slower silicon means strictly less effective compute: the same
     # workload cannot finish faster than on the all-fast cluster.
     assert mixed.makespan >= baseline.makespan
+
+
+def _degenerate_matrix(speeds: dict[str, float]) -> ThroughputMatrixModel:
+    """A matrix whose every family row repeats the scalar speeds."""
+    return ThroughputMatrixModel(
+        {family: dict(speeds) for family in known_families()}
+    )
+
+
+def _run_with_model(cluster, seed: int, scheduler: str, perf_model, incremental: bool):
+    sim = ClusterSimulator(
+        cluster=cluster,
+        workload=_trace(seed),
+        scheduler=make_scheduler(scheduler),
+        config=SimulationConfig(lease_minutes=10.0, incremental=incremental),
+        perf_model=perf_model,
+    )
+    return sim.run()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_all_scalar_matrix_is_byte_identical_to_scalar_model(scheduler, seed):
+    """The tentpole safety property of the perf-model refactor.
+
+    A :class:`ThroughputMatrixModel` whose rows all equal the scalar
+    generation speeds must reproduce the scalar model **byte for byte**
+    (full ``to_json`` payload, by-type fields included — the clusters
+    are identical here, unlike the speed-1.0 labelling test above) for
+    every scheduler, on homogeneous and mixed-speed fleets, with the
+    incremental pipeline on and off.
+    """
+    homo_speeds = {"v100": 1.0, "p100": 1.0, "k80": 1.0}
+    hetero_speeds = {"v100": 1.0, "p100": 0.6, "k80": 0.35}
+    for speeds in (homo_speeds, hetero_speeds):
+        cluster = _cluster(
+            speed_labels=True,
+            speeds=(speeds["v100"], speeds["p100"], speeds["k80"]),
+        )
+        matrix = _degenerate_matrix(speeds)
+        for incremental in (True, False):
+            scalar = _run_with_model(cluster, seed, scheduler, None, incremental)
+            degenerate = _run_with_model(
+                cluster, seed, scheduler, matrix, incremental
+            )
+            assert json.dumps(scalar.to_json(), sort_keys=True) == json.dumps(
+                degenerate.to_json(), sort_keys=True
+            ), f"{scheduler}/seed={seed}/incremental={incremental}/{speeds}"
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_rate_inversion_matrix_changes_results(scheduler):
+    """Sanity inverse: a genuinely family-dependent matrix must matter."""
+    cluster = _cluster(speed_labels=True, speeds=(1.0, 0.6, 0.35))
+    inversion = ThroughputMatrixModel(
+        {
+            "vgg": {"v100": 1.0, "p100": 0.25, "k80": 0.1},
+            "rnn": {"v100": 1.0, "p100": 0.3, "k80": 0.12},
+            "attention": {"v100": 1.0, "p100": 0.3, "k80": 0.12},
+            "inception": {"v100": 0.65, "p100": 1.0, "k80": 0.5},
+            "gan": {"v100": 0.6, "p100": 1.0, "k80": 0.55},
+        }
+    )
+    seed = SEEDS[2]
+    scalar = _run_with_model(cluster, seed, scheduler, None, True)
+    matrix = _run_with_model(cluster, seed, scheduler, inversion, True)
+    assert matrix.completed
+    assert json.dumps(scalar.to_json(), sort_keys=True) != json.dumps(
+        matrix.to_json(), sort_keys=True
+    )
 
 
 @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)

@@ -64,7 +64,13 @@ def random_carve_instance(rng: random.Random):
         for i in range(rng.randint(1, 6))
     ]
     tuples = [
-        (job.remaining_work, job.max_parallelism, job.model_profile.sensitivity, job.job_id)
+        (
+            job.remaining_work,
+            job.max_parallelism,
+            job.model_profile.sensitivity,
+            job.job_id,
+            job.model_profile.family,
+        )
         for job in jobs
     ]
     tuples.sort(key=lambda item: (item[0], item[3]))
@@ -81,13 +87,54 @@ def test_carve_fast_matches_reference_on_random_instances():
         assert fast == reference
 
 
+def random_family_speeds(rng: random.Random, machines):
+    """A per-family machine-speed index over random families."""
+    from repro.workload.models import MODEL_FAMILIES
+
+    table = {
+        family: {m: rng.choice((0.2, 0.5, 0.8, 1.0)) for m in machines}
+        for family in MODEL_FAMILIES
+    }
+    return lambda family: table[family]
+
+
+def test_family_carve_matches_reference_on_random_instances():
+    """The per-family kernel against the independent dict-scan oracle."""
+    rng = random.Random(4321)
+    for _ in range(400):
+        tuples, counts, rack_of, nvlink, _speed_of = random_carve_instance(rng)
+        family_fn = random_family_speeds(rng, list(rack_of))
+        fast = _carve_fast(tuples, counts, rack_of, nvlink, None, family_fn)
+        reference = _carve_reference(tuples, counts, rack_of, nvlink, None, family_fn)
+        assert fast == reference
+
+
+def test_degenerate_family_carve_equals_scalar_carve():
+    """Family speeds that ignore the family reproduce the scalar kernel."""
+    rng = random.Random(99)
+    for _ in range(200):
+        tuples, counts, rack_of, nvlink, speed_of = random_carve_instance(rng)
+        if speed_of is None:
+            speed_of = {m: 1.0 for m in rack_of}
+        family_fn = lambda family, table=speed_of: table  # noqa: E731
+        scalar = _carve_fast(tuples, counts, rack_of, nvlink, speed_of)
+        family = _carve_fast(tuples, counts, rack_of, nvlink, None, family_fn)
+        assert scalar == family
+
+
 def test_carve_fast_matches_reference_multi_rack_spill():
     # Deterministic case exercising the racks-already-used preference.
     rack_of = {0: 0, 1: 0, 2: 1, 3: 1}
     counts = {0: 2, 1: 1, 2: 3, 3: 1}
     jobs = [make_job("a", max_parallelism=5), make_job("b", max_parallelism=4)]
     tuples = [
-        (j.remaining_work, j.max_parallelism, j.model_profile.sensitivity, j.job_id)
+        (
+            j.remaining_work,
+            j.max_parallelism,
+            j.model_profile.sensitivity,
+            j.job_id,
+            j.model_profile.family,
+        )
         for j in jobs
     ]
     fast = _carve_fast(tuples, counts, rack_of, 2)
@@ -219,3 +266,98 @@ def test_cold_state_never_reuses():
     state.refresh()
     state.refresh()
     assert state.rebuilds == 2
+
+
+# ----------------------------------------------------------------------
+# FIRST_WINNER rate-signature cache (per-job pair kernels)
+# ----------------------------------------------------------------------
+def first_winner_app(serial_works=(40.0, 120.0)):
+    from repro.workload.app import App, CompletionSemantics
+
+    jobs = [
+        make_job(f"fw-j{i}", serial_work=work, max_parallelism=3)
+        for i, work in enumerate(serial_works)
+    ]
+    return App(
+        app_id="fw0",
+        arrival_time=0.0,
+        jobs=jobs,
+        semantics=CompletionSemantics.FIRST_WINNER,
+    )
+
+
+def test_first_winner_pair_cache_survives_order_preserving_drain():
+    from repro.workload.app import CompletionSemantics
+
+    cluster = small_cluster()
+    estimator = FairnessEstimator(
+        cluster, semantics=CompletionSemantics.FIRST_WINNER
+    )
+    app = first_winner_app()
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:1]))
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    bundle = ((1, 2),)
+    first = state.rho_at(10.0, bundle)
+    carves = estimator.carve_count
+    # Same order, less work: the cached (job_id, rate) pairs are reused
+    # and the delta is re-derived from the *current* remaining work.
+    app.jobs[0].remaining_work -= 5.0
+    state.refresh()
+    second = state.rho_at(20.0, bundle)
+    assert estimator.carve_count == carves
+    assert second != first  # the delta moved with the drain
+
+
+def test_first_winner_pair_cache_invalidated_on_reorder():
+    from repro.workload.app import CompletionSemantics
+
+    cluster = small_cluster()
+    estimator = FairnessEstimator(
+        cluster, semantics=CompletionSemantics.FIRST_WINNER
+    )
+    app = first_winner_app()
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:1]))
+    state = AppValuationState(app, estimator, reuse=True)
+    state.refresh()
+    bundle = ((1, 2),)
+    state.rho_at(10.0, bundle)
+    carves = estimator.carve_count
+    # Flip shortest-remaining-first: the longer job drops below the
+    # shorter one, so the cached pairs no longer describe the carve.
+    app.jobs[1].remaining_work = app.jobs[0].remaining_work - 30.0
+    state.refresh()
+    state.rho_at(20.0, bundle)
+    assert estimator.carve_count == carves + 1
+
+
+def test_first_winner_state_matches_cold_everywhere():
+    from repro.workload.app import CompletionSemantics
+
+    cluster = small_cluster(machines=4, racks=2)
+    estimator = FairnessEstimator(
+        cluster, semantics=CompletionSemantics.FIRST_WINNER
+    )
+    app = first_winner_app(serial_works=(60.0, 90.0, 150.0))
+    app.jobs[0].set_allocation(0.0, Allocation(cluster.machines[0].gpus[:2]))
+    warm = AppValuationState(app, estimator, reuse=True)
+    cold = AppValuationState(app, estimator, reuse=False)
+    rng = random.Random(13)
+    for round_index in range(30):
+        now = 5.0 * round_index
+        warm.refresh()
+        cold.refresh()
+        assert warm.current_rho(now) == cold.current_rho(now)
+        bundle = tuple(
+            sorted(
+                (m, rng.randint(1, 4))
+                for m in rng.sample(range(4), rng.randint(1, 3))
+            )
+        )
+        assert warm.rho_at(now, bundle) == cold.rho_at(now, bundle)
+        if round_index % 5 == 2:
+            app.jobs[0].remaining_work = max(
+                0.5, app.jobs[0].remaining_work - 9.0
+            )
+        if round_index % 11 == 6:
+            app.invalidate()

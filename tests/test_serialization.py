@@ -88,4 +88,6 @@ def test_golden_schema_keys(result):
         # Added with the heterogeneity model (SCHEMA_VERSION 2).
         "cluster_gpus_by_type",
         "gpu_time_by_type",
+        # Added with the performance-model refactor (SCHEMA_VERSION 3).
+        "num_migrations",
     }

@@ -83,11 +83,30 @@ def test_byte_identical_under_failures(seed):
     assert incremental == cold
 
 
-def test_byte_identical_first_winner_semantics():
-    scenario = _tiny(5).replace(semantics=CompletionSemantics.FIRST_WINNER)
+@pytest.mark.parametrize("seed", (5,) + SEEDS)
+def test_byte_identical_first_winner_semantics(seed):
+    scenario = _tiny(seed).replace(semantics=CompletionSemantics.FIRST_WINNER)
     incremental, _ = _run(scenario, "themis", True)
     cold, _ = _run(scenario, "themis", False)
     assert incremental == cold
+
+
+def test_first_winner_reuses_pair_kernels():
+    """The FIRST_WINNER rate-signature cache must engage end to end.
+
+    FIRST_WINNER apps are short-lived (the first finishing job ends the
+    app, killing the rest), so cross-round reuse windows are narrower
+    than under ALL_JOBS — the carve saving is small but must be real;
+    the per-bundle reuse properties themselves are pinned in
+    tests/test_incremental_valuation.py.
+    """
+    scenario = tiny_scenario(num_apps=10, seed=7).replace(
+        semantics=CompletionSemantics.FIRST_WINNER
+    )
+    _, warm_sched = _run(scenario, "themis", True)
+    _, cold_sched = _run(scenario, "themis", False)
+    assert warm_sched.estimator.carve_count > 0
+    assert warm_sched.estimator.carve_count < cold_sched.estimator.carve_count
 
 
 def test_incremental_actually_reuses_valuation_state():
