@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import math
+import re
 import sys
 from typing import Optional, Sequence
 
@@ -52,9 +54,21 @@ from repro.metrics.fairness import jain_index, max_fairness
 from repro.metrics.hetero import is_heterogeneous, per_type_rows
 from repro.metrics.jct import average_jct
 from repro.metrics.placement import score_summary
+from repro.obs import (
+    EVENT_KINDS,
+    ObsConfig,
+    TraceError,
+    filter_events,
+    read_trace,
+    summarize_events,
+    validate_events,
+)
+from repro.obs.logs import LOG_LEVELS, setup_logging
 from repro.schedulers.registry import SCHEDULER_NAMES
 from repro.sweep import SweepMatrix, run_sweep
 from repro.workload.generator import GeneratorConfig, generate_trace
+
+logger = logging.getLogger("repro.cli")
 
 #: Figure name -> callable of (scenario, workers, cache_dir); figures
 #: without a sweep shape ignore the execution arguments.
@@ -250,6 +264,58 @@ def _perf_matrix(text: str):
     return matrix
 
 
+def _event_kinds(text: str) -> tuple[str, ...]:
+    """Parse/validate a comma-separated event-kind filter."""
+    kinds = tuple(dict.fromkeys(k.strip() for k in text.split(",") if k.strip()))
+    unknown = [k for k in kinds if k not in EVENT_KINDS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown trace event kinds {unknown}; known: {sorted(EVENT_KINDS)}"
+        )
+    return kinds
+
+
+def _add_obs_args(parser: argparse.ArgumentParser, trace_help: str) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help=trace_help)
+    parser.add_argument("--trace-events", type=_event_kinds, default=(),
+                        help="comma-separated event kinds to keep (default: "
+                             f"all of {sorted(EVENT_KINDS)})")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the engine's phases (valuation, carve, "
+                             "auction solve, payments, placement, migration, "
+                             "...) and print the breakdown")
+
+
+def _obs_from_args(args: argparse.Namespace, trace_path=None) -> Optional[ObsConfig]:
+    """Build the run's ObsConfig from --trace/--trace-events/--profile."""
+    path = trace_path if trace_path is not None else args.trace
+    if path is None and not args.profile:
+        if args.trace_events:
+            logger.warning("--trace-events has no effect without --trace")
+        return None
+    return ObsConfig(
+        trace_path=str(path) if path is not None else None,
+        trace_events=tuple(args.trace_events),
+        profile=args.profile,
+    )
+
+
+def _print_profile(profile: dict, title: str = "\nphase profile:") -> None:
+    """Render a ``SimulationResult.profile`` snapshot as a table."""
+    if not profile:
+        return
+    total = sum(rec["seconds"] for rec in profile.values())
+    rows = [
+        [name, round(rec["seconds"], 4), rec["calls"],
+         f"{100.0 * rec['seconds'] / total:.1f}%" if total > 0 else "-"]
+        for name, rec in profile.items()
+    ]
+    if title:
+        print(title)
+    print(format_table(["phase", "seconds", "calls", "share"], rows))
+
+
 def _parse_schedulers(text: str) -> Optional[list[str]]:
     """Split/validate a scheduler list; None (plus stderr) on unknown names.
 
@@ -295,12 +361,12 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
             for generation, _speedup in cells
         )
         if not prices_default:
-            print(
-                f"warning: --perf-matrix has no effect on the "
-                f"single-generation '{args.cluster}' cluster (no 'default' "
-                "cells, so every lookup falls back to the scalar speed); "
-                "use --cluster hetero to exercise the matrix",
-                file=sys.stderr,
+            logger.warning(
+                "--perf-matrix has no effect on the single-generation "
+                "'%s' cluster (no 'default' cells, so every lookup falls "
+                "back to the scalar speed); use --cluster hetero to "
+                "exercise the matrix",
+                args.cluster,
             )
     return scenario.replace(
         lease_minutes=args.lease,
@@ -378,10 +444,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.fairness_knob is not None:
         kwargs["fairness_knob"] = args.fairness_knob
-    result = run_scenario(scenario, args.scheduler, kwargs or None)
+    obs = _obs_from_args(args)
+    result = run_scenario(scenario, args.scheduler, kwargs or None, obs=obs)
     print(format_table(_SUMMARY_HEADERS, [_summary_row(args.scheduler, result)]))
     if not result.completed:
-        print("warning: run hit max_minutes before all apps finished")
+        logger.warning("run hit max_minutes before all apps finished")
+    if args.profile:
+        _print_profile(result.profile)
+    if args.trace:
+        print(f"wrote trace to {args.trace}")
     return 0
 
 
@@ -451,6 +522,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ).expand()
     if matrix.schedulers:
         tasks += matrix.expand()
+    if args.trace or args.profile:
+        tasks = _attach_sweep_obs(tasks, args)
     print(f"expanded {len(tasks)} sweep cells ({len(names)} schedulers)")
     report = run_sweep(
         tasks,
@@ -494,9 +567,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {len(report.results)} results to {args.out}")
     if report.num_failed:
         for record in report.failures():
-            print(f"FAILED {record.task_id}:\n{record.error}", file=sys.stderr)
+            logger.error("FAILED %s:\n%s", record.task_id, record.error)
         return 1
     return 0
+
+
+def _attach_sweep_obs(tasks, args: argparse.Namespace):
+    """Attach per-cell observability: one trace file per task under
+    ``--trace DIR``, plus the phase profiler with ``--profile``.
+
+    Cells served from the result cache never execute, so they produce
+    no trace file — the cache stores results, not event streams.
+    """
+    from dataclasses import replace as dc_replace
+    from pathlib import Path
+
+    trace_dir = Path(args.trace) if args.trace else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    attached = []
+    for task in tasks:
+        path = None
+        if trace_dir is not None:
+            safe = re.sub(r"[^A-Za-z0-9._=-]+", "_", task.task_id)
+            path = str(trace_dir / f"{safe}.jsonl")
+        attached.append(
+            dc_replace(
+                task,
+                obs=ObsConfig(
+                    trace_path=path,
+                    trace_events=tuple(args.trace_events),
+                    profile=args.profile,
+                ),
+            )
+        )
+    return attached
 
 
 def _print_per_type_breakdown(tasks, report) -> None:
@@ -629,10 +734,9 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
         quick_set = ("sim-small", "sim-matrix")
         dropped = [p for p in profiles if p not in quick_set]
         if args.profiles and dropped:
-            print(
-                f"warning: --quick runs only {list(quick_set)}; dropping "
-                f"explicitly requested profiles {dropped}",
-                file=sys.stderr,
+            logger.warning(
+                "--quick runs only %s; dropping explicitly requested "
+                "profiles %s", list(quick_set), dropped,
             )
         profiles = [p for p in profiles if p in quick_set] or list(quick_set)
         repeats = min(repeats, 2) if repeats else 2
@@ -648,6 +752,7 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     rows = []
     for name in profiles:
         record = payload["sim"][name]
+        obs = record.get("obs") or {}
         rows.append([
             name,
             record["gpus"],
@@ -659,12 +764,18 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
             round(record["incremental"]["events_per_sec"], 1),
             record["incremental"]["rho_probes"],
             record["identical_results"],
+            round(obs["trace_overhead"], 3) if obs.get("trace_overhead") else "-",
+            obs.get("events", "-"),
         ])
     print(format_table(
         ["profile", "gpus", "contention", "rounds", "inc_s", "cold_s",
-         "speedup", "events/s", "probes", "identical"],
+         "speedup", "events/s", "probes", "identical", "trace_ovh", "trace_ev"],
         rows,
     ))
+    for name in profiles:
+        obs = payload["sim"][name].get("obs") or {}
+        if obs.get("profile"):
+            _print_profile(obs["profile"], title=f"\n{name} traced-run phase profile:")
     if args.out:
         write_bench(payload, args.out)
         print(f"wrote {args.out}")
@@ -742,6 +853,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.file is not None:
+        return _cmd_trace_inspect(args)
     _fill_duration_default(args)
     trace = generate_trace(
         GeneratorConfig(
@@ -757,18 +870,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    """``repro trace FILE``: summarize / validate / filter a decision trace."""
+    try:
+        header, events = read_trace(args.file)
+    except (OSError, TraceError) as error:
+        print(f"cannot read trace {args.file!r}: {error}", file=sys.stderr)
+        return 2
+    if args.validate:
+        problems = validate_events(events, header=header)
+        if problems:
+            for problem in problems:
+                print(f"INVALID {problem}", file=sys.stderr)
+            return 1
+        print(f"trace OK: {len(events)} events, schema {header.get('schema')}")
+        return 0
+    if args.filter or args.app:
+        selected = filter_events(events, kinds=args.filter or None, app=args.app)
+        if args.limit:
+            selected = selected[: args.limit]
+        for event in selected:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    summary = summarize_events(events)
+    print(f"trace {args.file}")
+    meta = {k: v for k, v in header.items() if k not in ("kind",)}
+    print(f"header: {json.dumps(meta, sort_keys=True)}")
+    print(f"{summary['events']} events, rounds={summary['rounds']}, "
+          f"apps={summary['apps']}, "
+          f"t=[{summary['t_min']}, {summary['t_max']}]")
+    rows = [[kind, count] for kind, count in sorted(summary["by_kind"].items())]
+    if rows:
+        print(format_table(["kind", "events"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Themis (NSDI 2020) reproduction: schedulers, traces, figures",
     )
+    parser.add_argument("--log-level", choices=LOG_LEVELS, default="warning",
+                        help="verbosity of the repro.* logger hierarchy on "
+                             "stderr (debug shows per-cell sweep progress)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one scheduler over a scenario")
     _add_scenario_args(run_parser, default_apps=10)
     run_parser.add_argument("--scheduler", default="themis", choices=SCHEDULER_NAMES)
     run_parser.add_argument("--fairness-knob", type=float, default=None)
+    _add_obs_args(run_parser,
+                  trace_help="write the structured decision-event stream "
+                             "(JSONL) to this path")
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare several schedulers")
@@ -807,6 +961,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write all results as JSON to this path")
     sweep_parser.add_argument("--verbose", action="store_true",
                               help="print one line per completed cell")
+    _add_obs_args(sweep_parser,
+                  trace_help="directory for per-cell decision-event streams "
+                             "(one <task_id>.jsonl per executed cell; cached "
+                             "cells produce no trace)")
     _add_exec_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -864,7 +1022,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="prune: keep at most this many entries")
     cache_parser.set_defaults(func=_cmd_cache)
 
-    trace_parser = sub.add_parser("trace", help="generate a trace JSONL file")
+    trace_parser = sub.add_parser(
+        "trace",
+        help="generate a workload trace, or inspect a decision trace",
+        description="Without a FILE argument: generate a workload trace "
+                    "JSONL (--apps/--seed/--out).  With FILE: inspect a "
+                    "decision-event stream produced by 'repro run --trace' — "
+                    "summarize it, --validate it against the event schema, "
+                    "or --filter/--app it down to matching events.",
+    )
+    trace_parser.add_argument("file", nargs="?", default=None,
+                              help="decision-trace JSONL to inspect "
+                                   "(omit to generate a workload trace)")
     trace_parser.add_argument("--apps", type=int, default=30)
     trace_parser.add_argument("--seed", type=int, default=42)
     trace_parser.add_argument("--duration-scale", type=float, default=None)
@@ -874,6 +1043,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    ".json file, or inline spec) into the "
                                    "trace header")
     trace_parser.add_argument("--out", default="trace.jsonl")
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="inspect mode: check the stream against "
+                                   "the typed event schema; exit 1 on "
+                                   "violations")
+    trace_parser.add_argument("--filter", type=_event_kinds, default=(),
+                              help="inspect mode: print only these event "
+                                   "kinds, one JSON object per line")
+    trace_parser.add_argument("--app", default=None,
+                              help="inspect mode: print only events touching "
+                                   "this app id")
+    trace_parser.add_argument("--limit", type=_positive_int, default=None,
+                              help="inspect mode: print at most N events")
     trace_parser.set_defaults(func=_cmd_trace)
 
     return parser
@@ -883,6 +1064,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     return args.func(args)
 
 

@@ -27,6 +27,7 @@ from repro.cluster.topology import Cluster, Gpu
 from repro.core.agent import Agent
 from repro.core.assignment import concretise, group_pool
 from repro.core.auction import AuctionOutcome, PartialAllocationAuction
+from repro.obs import NULL_PROFILER, NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,9 @@ class Arbiter:
         self.rounds = 0
         self.last_outcome: Optional[AuctionOutcome] = None
         self.history: list[RoundStats] = []
+        # Observability hooks; the simulator rewires these at bind time.
+        self.tracer = NULL_TRACER
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------
     # Participant selection (fairness knob)
@@ -136,7 +140,10 @@ class Arbiter:
 
         # Step 1: probe all apps for rho; only apps that still want GPUs
         # are eligible bidders.
-        rhos = {app_id: agent.report_rho(now, salt) for app_id, agent in agents.items()}
+        with self.profiler.phase("valuation"):
+            rhos = {
+                app_id: agent.report_rho(now, salt) for app_id, agent in agents.items()
+            }
         eligible = [
             app_id for app_id, agent in agents.items() if agent.app.unmet_demand() > 0
         ]
@@ -145,12 +152,32 @@ class Arbiter:
 
         # Step 2: fairness knob — visibility limited to worst 1-f apps.
         participants = self.select_participants(rhos, eligible)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "apps_filtered",
+                now,
+                round=self.tracer.round,
+                eligible=len(eligible),
+                participants=sorted(participants),
+            )
 
         # Step 3: offers out, bids back.
-        bids = {
-            app_id: agents[app_id].prepare_bid(now, dict(pool_counts), salt)
-            for app_id in participants
-        }
+        with self.profiler.phase("valuation"):
+            bids = {
+                app_id: agents[app_id].prepare_bid(now, dict(pool_counts), salt)
+                for app_id in participants
+            }
+        if self.tracer.enabled:
+            for app_id in sorted(bids):
+                rho = rhos[app_id]
+                self.tracer.emit(
+                    "bid_submitted",
+                    now,
+                    round=self.tracer.round,
+                    app=app_id,
+                    rho=None if math.isinf(rho) else rho,
+                    demand=agents[app_id].app.unmet_demand(),
+                )
 
         # Step 4: partial-allocation auction.
         outcome = self.auction.run(
@@ -166,9 +193,10 @@ class Arbiter:
         }
         leftover_unassigned = 0
         if self.config.leftover_allocation:
-            leftover_unassigned = self._assign_leftovers(
-                outcome.leftover, participants, agents, assignments
-            )
+            with self.profiler.phase("leftovers"):
+                leftover_unassigned = self._assign_leftovers(
+                    outcome.leftover, participants, agents, assignments
+                )
         else:
             leftover_unassigned = sum(outcome.leftover.values())
 

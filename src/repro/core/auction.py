@@ -73,6 +73,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from repro.core.bids import Bid
+from repro.obs.profiler import NULL_PROFILER
 
 #: Floor used when taking logs of zero valuations in payment ratios.
 _VALUE_EPSILON = 1e-12
@@ -185,6 +186,8 @@ class PartialAllocationAuction:
         self.chunk_size = chunk_size
         self.solver = solver
         self.last_stats = AuctionSolveStats()
+        # Observability hook; the simulator rewires this at bind time.
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------
     # Stage 1: proportional-fair (max Nash welfare) assignment
@@ -470,25 +473,27 @@ class PartialAllocationAuction:
                 leftover=dict(pool),
                 participants=participants,
             )
-        pf_allocation, full_moves = self._solve(pool, bids, stats=stats)
+        with self.profiler.phase("auction_solve"):
+            pf_allocation, full_moves = self._solve(pool, bids, stats=stats)
         payments: dict[str, float] = {}
         winners: dict[str, dict[int, int]] = {}
-        for app_id in participants:
-            bundle = pf_allocation.get(app_id, {})
-            if not bundle:
-                payments[app_id] = 1.0
-                continue
-            if apply_hidden_payments:
-                fraction = self._payment_fraction(
-                    app_id, pool, bids, pf_allocation, full_moves, stats
-                )
-            else:
-                fraction = 1.0
-            payments[app_id] = fraction
-            keep = math.floor(fraction * _bundle_total(bundle) + 1e-9)
-            shrunk = self._shrink_bundle(bundle, keep)
-            if shrunk:
-                winners[app_id] = shrunk
+        with self.profiler.phase("payment_resolves"):
+            for app_id in participants:
+                bundle = pf_allocation.get(app_id, {})
+                if not bundle:
+                    payments[app_id] = 1.0
+                    continue
+                if apply_hidden_payments:
+                    fraction = self._payment_fraction(
+                        app_id, pool, bids, pf_allocation, full_moves, stats
+                    )
+                else:
+                    fraction = 1.0
+                payments[app_id] = fraction
+                keep = math.floor(fraction * _bundle_total(bundle) + 1e-9)
+                shrunk = self._shrink_bundle(bundle, keep)
+                if shrunk:
+                    winners[app_id] = shrunk
         leftover = dict(pool)
         for bundle in winners.values():
             for machine_id, count in bundle.items():

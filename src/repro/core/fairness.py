@@ -35,6 +35,7 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro.cluster.placement import LocalityLevel, SensitivityProfile
 from repro.cluster.topology import Cluster
+from repro.obs.profiler import NULL_PROFILER
 from repro.workload.app import App, CompletionSemantics
 from repro.workload.job import Job
 from repro.workload.perf import DEFAULT_PERF_MODEL, PerfModel
@@ -684,6 +685,10 @@ class FairnessEstimator:
         #: honest "rho probe" count the sim macro-benchmark reports
         #: (cache hits in :class:`AppValuationState` don't increment it).
         self.carve_count = 0
+        #: Observability hook; the simulator rewires this at bind time.
+        #: Guarded on ``enabled`` so the carve hot path pays nothing by
+        #: default.
+        self.profiler = NULL_PROFILER
 
     @property
     def rack_map(self) -> dict[int, int]:
@@ -743,14 +748,25 @@ class FairnessEstimator:
         if not machine_counts:
             return 0.0
         self.carve_count += 1
-        carved, _ = _carve_fast(
-            snap.job_tuples,
-            machine_counts,
-            self._rack_of,
-            self.nvlink_group_size,
-            self._speed_of,
-            self._family_speed_fn,
-        )
+        if self.profiler.enabled:
+            with self.profiler.phase("carve"):
+                carved, _ = _carve_fast(
+                    snap.job_tuples,
+                    machine_counts,
+                    self._rack_of,
+                    self.nvlink_group_size,
+                    self._speed_of,
+                    self._family_speed_fn,
+                )
+        else:
+            carved, _ = _carve_fast(
+                snap.job_tuples,
+                machine_counts,
+                self._rack_of,
+                self.nvlink_group_size,
+                self._speed_of,
+                self._family_speed_fn,
+            )
         return sum(rate for *_, rate, _effective in carved)
 
     def carve_pairs_from_snapshot(
@@ -766,14 +782,25 @@ class FairnessEstimator:
         re-divides by the current remaining work in O(pairs).
         """
         self.carve_count += 1
-        carved, _ = _carve_fast(
-            snap.job_tuples,
-            machine_counts,
-            self._rack_of,
-            self.nvlink_group_size,
-            self._speed_of,
-            self._family_speed_fn,
-        )
+        if self.profiler.enabled:
+            with self.profiler.phase("carve"):
+                carved, _ = _carve_fast(
+                    snap.job_tuples,
+                    machine_counts,
+                    self._rack_of,
+                    self.nvlink_group_size,
+                    self._speed_of,
+                    self._family_speed_fn,
+                )
+        else:
+            carved, _ = _carve_fast(
+                snap.job_tuples,
+                machine_counts,
+                self._rack_of,
+                self.nvlink_group_size,
+                self._speed_of,
+                self._family_speed_fn,
+            )
         return tuple(
             (job[3], rate)
             for job, _gpus, _level, rate, _effective in carved

@@ -125,6 +125,18 @@ class LeaseManager:
         """GPUs from ``all_gpus`` that carry no lease at all."""
         return [gpu for gpu in all_gpus if gpu.gpu_id not in self._leases]
 
+    def free_gpus(self, all_gpus: Iterable[Gpu]) -> Iterable[Gpu]:
+        """Unleased GPUs, served from the tracked free dict when available.
+
+        Same set as :meth:`unleased_gpus`, but O(free) instead of
+        O(cluster) under :meth:`track` — the per-round metrics sampler's
+        hot path.  Iteration order is unspecified; callers needing
+        determinism must aggregate order-independently (or sort).
+        """
+        if self._free is not None:
+            return self._free.values()
+        return self.unleased_gpus(all_gpus)
+
     def next_expiry(self, now: float) -> Optional[float]:
         """Earliest future lease expiry strictly after ``now`` (None when idle)."""
         future = [lease.expiry for lease in self._leases.values() if lease.expiry > now + 1e-9]

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.experiments.config import ScenarioConfig
+from repro.obs import Observability, ObsConfig
 from repro.schedulers.registry import make_scheduler
 from repro.simulation.simulator import ClusterSimulator, SimulationResult
 
@@ -26,16 +27,26 @@ def run_scenario(
     scenario: ScenarioConfig,
     scheduler: str = "themis",
     scheduler_kwargs: Optional[Mapping] = None,
+    obs: Union[Observability, ObsConfig, None] = None,
 ) -> SimulationResult:
-    """Run one scheduler over the scenario and return its results."""
+    """Run one scheduler over the scenario and return its results.
+
+    ``obs`` attaches observability (tracing / profiling) to the run;
+    file-backed tracers are closed before returning so the trace is
+    complete on disk even if the simulation raises.
+    """
     simulator = ClusterSimulator(
         cluster=scenario.build_cluster(),
         workload=scenario.build_trace(),
         scheduler=make_scheduler(scheduler, **dict(scheduler_kwargs or {})),
         config=scenario.build_sim_config(),
         perf_model=scenario.build_perf_model(),
+        obs=obs,
     )
-    return simulator.run()
+    try:
+        return simulator.run()
+    finally:
+        simulator.obs.close()
 
 
 def compare_schedulers(

@@ -1,0 +1,67 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+The CLI's ``--log-level`` flag routes here; library code just calls
+``logging.getLogger("repro.<module>")`` and stays silent unless the
+application (CLI, tests, notebooks) configures the hierarchy.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Names accepted by ``--log-level``.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_HANDLER_ATTR = "_repro_cli_handler"
+
+
+class _LazyStderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream at handler-creation time would pin whatever
+    object ``sys.stderr`` was then — breaking pytest's per-test capture
+    (capsys swaps ``sys.stderr`` in and out), and any caller that
+    redirects stderr after the first CLI invocation.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.setStream is a no-op
+        pass
+
+
+def setup_logging(level: str = "warning", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger with one stderr handler.
+
+    Idempotent: repeated calls (tests invoke the CLI many times per
+    process) reuse the existing handler and only adjust the level.
+    Only the ``repro`` hierarchy is touched — never the root logger.
+    ``stream`` pins an explicit destination; the default follows the
+    *current* ``sys.stderr`` on every record.
+    """
+    name = level.lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, name.upper()))
+    handler: Optional[logging.Handler] = getattr(logger, _HANDLER_ATTR, None)
+    if handler is None:
+        handler = (
+            logging.StreamHandler(stream) if stream is not None
+            else _LazyStderrHandler()
+        )
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+        setattr(logger, _HANDLER_ATTR, handler)
+    return logger

@@ -1,0 +1,105 @@
+"""Bounded append-only series: the streaming-metrics reservoir layer.
+
+:class:`ReservoirSeries` is the generalisation of the simulator's old
+``DownsampledSeries`` (which is now an alias of this class): an
+append-only series bounded to at most ``cap`` retained entries whose
+retained set is always "every ``stride``-th append".  Whenever the
+retained list would exceed ``cap``, every second retained entry is
+dropped and the stride doubles, so long traces keep an evenly thinned
+record instead of growing without bound (or truncating one end).
+
+This is the storage substrate of :mod:`repro.obs.metrics` (per-round
+series, histogram reservoirs) and of the thinned ``per_round`` solver
+stats in :class:`~repro.simulation.simulator.SimulationResult` —
+every consumer gets the same bounded-memory, deterministic thinning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+
+class ReservoirSeries:
+    """Append-only series bounded to at most ``cap`` retained entries.
+
+    Accepts every ``stride``-th appended item; whenever the retained
+    list would exceed ``cap``, every second retained entry is dropped
+    and the stride doubles.  Deterministic: the retained set depends
+    only on the append sequence, never on time or randomness.
+    """
+
+    __slots__ = ("cap", "_stride", "_appends", "_items")
+
+    def __init__(self, cap: int) -> None:
+        if cap < 2:
+            raise ValueError(f"downsample cap must be >= 2, got {cap}")
+        self.cap = cap
+        self._stride = 1
+        self._appends = 0
+        self._items: list = []
+
+    def append(self, item) -> None:
+        """Record ``item`` if it falls on the current stride."""
+        if self._appends % self._stride == 0:
+            self._items.append(item)
+            if len(self._items) > self.cap:
+                self._items = self._items[::2]
+                self._stride *= 2
+        self._appends += 1
+
+    def extend(self, items: Iterable) -> None:
+        """Append every item of ``items`` in order."""
+        for item in items:
+            self.append(item)
+
+    @property
+    def total_appends(self) -> int:
+        """How many items were ever appended (retained or thinned)."""
+        return self._appends
+
+    @property
+    def stride(self) -> int:
+        """Current thinning stride (doubles as the series fills)."""
+        return self._stride
+
+    def to_list(self) -> list:
+        """The retained entries as a fresh list."""
+        return list(self._items)
+
+    @classmethod
+    def merge(
+        cls,
+        series: Iterable["ReservoirSeries"],
+        cap: Optional[int] = None,
+        key: Optional[Callable] = None,
+    ) -> "ReservoirSeries":
+        """Combine several series into one bounded series.
+
+        Retained entries of all inputs are interleaved in ``key`` order
+        (identity by default — ``(timestamp, value)`` tuples sort by
+        time) and re-appended through a fresh reservoir, so the merged
+        series obeys the same cap/stride contract.  ``cap`` defaults to
+        the smallest input cap.
+        """
+        inputs = list(series)
+        if not inputs:
+            raise ValueError("merge needs at least one series")
+        merged = cls(cap if cap is not None else min(s.cap for s in inputs))
+        items: list = []
+        for s in inputs:
+            items.extend(s._items)
+        items.sort(key=key) if key is not None else items.sort()
+        merged.extend(items)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReservoirSeries(cap={self.cap}, retained={len(self._items)}, "
+            f"appends={self._appends}, stride={self._stride})"
+        )

@@ -61,7 +61,9 @@ from repro.workload.job import Job, JobSpec
 BENCH_SCHEMA = 1
 
 #: Schema version of the BENCH_sim.json payload.
-BENCH_SIM_SCHEMA = 1
+#: 2: per-profile ``obs`` record (tracing-on overhead ratio, byte-
+#:    identity with tracing, event count, phase profile).
+BENCH_SIM_SCHEMA = 2
 
 #: Models sampled for synthetic bench apps (mix of placement-sensitive
 #: and compute-bound profiles so valuations are not all alike).
@@ -472,19 +474,29 @@ def sim_scenario_for(profile: SimBenchProfile):
 
 
 def canonical_result_json(result) -> str:
-    """Byte-stable JSON of a SimulationResult, ``incremental`` flag excluded.
+    """Byte-stable JSON of a SimulationResult, instrumentation excluded.
 
-    The flag is the experiment variable of the incremental-vs-cold
-    comparison; everything else must match byte for byte.
+    The ``incremental`` flag is the experiment variable of the
+    incremental-vs-cold comparison; ``round_stats`` (solver work
+    counters legitimately differ between incremental and cold solves —
+    that difference *is* the optimisation) and ``profile`` (wall-clock
+    timings) are observability, not results.  Everything else must
+    match byte for byte.
     """
     payload = result.to_json()
     payload["config"] = dict(payload["config"])
     payload["config"].pop("incremental", None)
+    payload.pop("round_stats", None)
+    payload.pop("profile", None)
     return json.dumps(payload, sort_keys=True)
 
 
-def run_sim_once(profile: SimBenchProfile, incremental: bool) -> dict:
-    """One full trace replay; returns timing + result + canonical digest."""
+def run_sim_once(profile: SimBenchProfile, incremental: bool, obs=None) -> dict:
+    """One full trace replay; returns timing + result + canonical digest.
+
+    ``obs`` optionally attaches an :class:`~repro.obs.Observability`
+    bundle (the tracing-overhead pass of :func:`run_sim_bench`).
+    """
     from dataclasses import replace as dc_replace
 
     from repro.schedulers.registry import make_scheduler
@@ -499,6 +511,7 @@ def run_sim_once(profile: SimBenchProfile, incremental: bool) -> dict:
         scheduler=scheduler,
         config=dc_replace(scenario.build_sim_config(), incremental=incremental),
         perf_model=scenario.build_perf_model(),
+        obs=obs,
     )
     if profile.failures:
         injector = FailureInjector(
@@ -521,10 +534,24 @@ def run_sim_once(profile: SimBenchProfile, incremental: bool) -> dict:
 
 
 def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
-    """Benchmark one sim profile (incremental vs cold); returns its record."""
+    """Benchmark one sim profile; returns its record.
 
-    def _timed(incremental: bool) -> dict:
-        runs = [run_sim_once(profile, incremental) for _ in range(max(1, repeats))]
+    Three passes: incremental (the default pipeline), cold rebuild (the
+    speedup baseline), and incremental again with full tracing plus the
+    phase profiler attached.  The traced pass proves observability is
+    pay-for-what-you-use: its results must stay byte-identical and its
+    ``trace_overhead`` ratio (traced / untraced, same machine and
+    process) is the machine-independent number the CI guard gates.
+    """
+    from repro.obs import Observability, PhaseProfiler, RingTracer
+
+    def _timed(incremental: bool, make_obs=None) -> dict:
+        runs = []
+        for _ in range(max(1, repeats)):
+            obs = make_obs() if make_obs is not None else None
+            run = run_sim_once(profile, incremental, obs=obs)
+            run["_obs"] = obs
+            runs.append(run)
         best = min(runs, key=lambda r: r["seconds"])
         seconds = best["seconds"]
         result = best["result"]
@@ -536,14 +563,35 @@ def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
             "rho_probes": best["rho_probes"],
             "_digest": best["digest"],
             "_result": result,
+            "_obs": best["_obs"],
         }
 
     fast = _timed(True)
     cold = _timed(False)
+    traced = _timed(
+        True,
+        make_obs=lambda: Observability(
+            tracer=RingTracer(capacity=1 << 20), profiler=PhaseProfiler()
+        ),
+    )
     result = fast.pop("_result")
     cold.pop("_result")
+    fast.pop("_obs")
+    cold.pop("_obs")
     fast_digest = fast.pop("_digest")
     cold_digest = cold.pop("_digest")
+    traced_obs = traced["_obs"]
+    traced_result = traced["_result"]
+    obs_record = {
+        "seconds": traced["seconds"],
+        "trace_overhead": (
+            traced["seconds"] / fast["seconds"] if fast["seconds"] > 0 else None
+        ),
+        "events": traced_obs.tracer.events_written,
+        "events_dropped": traced_obs.tracer.dropped,
+        "identical_with_tracing": traced["_digest"] == fast_digest,
+        "profile": traced_result.profile,
+    }
     return {
         "gpus": profile.gpus,
         "contention": profile.contention,
@@ -562,6 +610,7 @@ def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
         "cold": cold,
         "speedup": cold["seconds"] / fast["seconds"] if fast["seconds"] > 0 else None,
         "identical_results": fast_digest == cold_digest,
+        "obs": obs_record,
     }
 
 
@@ -595,7 +644,11 @@ def check_sim_regression(
     Gates on the machine-independent incremental-over-cold *speedup*
     ratio (fail when it falls below ``baseline / max_slowdown`` — the
     default tolerates 30%) and on result divergence, which is always a
-    failure.  Returns failure messages (empty = pass).
+    failure.  The observability record is gated too: a traced run whose
+    results diverge from the untraced run always fails, and the
+    traced-over-untraced overhead ratio (same machine, same process)
+    must stay below ``baseline * max_slowdown``.  Returns failure
+    messages (empty = pass).
     """
     failures: list[str] = []
     for name in gate_profiles:
@@ -605,6 +658,9 @@ def check_sim_regression(
             continue
         if not cur.get("identical_results", False):
             failures.append(f"{name}: incremental and cold results diverged")
+        cur_obs = cur.get("obs") or {}
+        if cur_obs and not cur_obs.get("identical_with_tracing", False):
+            failures.append(f"{name}: tracing changed simulation results")
         base = baseline.get("sim", {}).get(name)
         if base is None:
             continue  # new profile: nothing to compare against yet
@@ -619,6 +675,15 @@ def check_sim_regression(
                 f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
                 f"(floor {floor:.2f}x)"
             )
+        cur_overhead = cur_obs.get("trace_overhead")
+        base_overhead = (base.get("obs") or {}).get("trace_overhead")
+        if cur_overhead is not None and base_overhead is not None:
+            ceiling = base_overhead * max_slowdown
+            if cur_overhead > ceiling:
+                failures.append(
+                    f"{name}: tracing overhead regressed — {cur_overhead:.2f}x "
+                    f"vs baseline {base_overhead:.2f}x (ceiling {ceiling:.2f}x)"
+                )
     return failures
 
 

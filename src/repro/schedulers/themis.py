@@ -70,6 +70,12 @@ class ThemisScheduler(InterAppScheduler):
             config=self.config,
             rng=np.random.default_rng(self.seed),
         )
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None:
+            self.arbiter.tracer = obs.tracer
+            self.arbiter.profiler = obs.profiler
+            self.arbiter.auction.profiler = obs.profiler
+            self.estimator.profiler = obs.profiler
         self.agents = {}
 
     def on_app_arrival(self, now: float, app: App) -> None:

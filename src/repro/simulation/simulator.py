@@ -30,6 +30,9 @@ from typing import Mapping, Optional, Sequence, Union
 from repro.cluster.allocation import Allocation
 from repro.cluster.topology import Cluster, Gpu
 from repro.core.leases import LeaseManager
+from repro.obs import Observability, ObsConfig
+from repro.obs.metrics import MetricsRegistry, percentile_nearest_rank
+from repro.obs.reservoir import ReservoirSeries
 from repro.simulation.engine import Event, EventKind, SimulationEngine, SimulationError
 from repro.workload.app import App, AppState, CompletionSemantics
 from repro.workload.job import Job
@@ -39,41 +42,10 @@ from repro.workload.trace import Trace
 #: Work below this threshold counts as finished (floating-point dust).
 _WORK_EPSILON = 1e-6
 
-
-class DownsampledSeries:
-    """Append-only series bounded to at most ``cap`` retained entries.
-
-    Accepts every ``stride``-th appended item; whenever the retained
-    list would exceed ``cap``, every second retained entry is dropped
-    and the stride doubles.  The retained set is always "every
-    ``stride``-th append", so long traces keep an evenly thinned record
-    instead of growing without bound (or truncating one end).
-    """
-
-    __slots__ = ("cap", "_stride", "_appends", "_items")
-
-    def __init__(self, cap: int) -> None:
-        if cap < 2:
-            raise ValueError(f"downsample cap must be >= 2, got {cap}")
-        self.cap = cap
-        self._stride = 1
-        self._appends = 0
-        self._items: list = []
-
-    def append(self, item) -> None:
-        """Record ``item`` if it falls on the current stride."""
-        if self._appends % self._stride == 0:
-            self._items.append(item)
-            if len(self._items) > self.cap:
-                self._items = self._items[::2]
-                self._stride *= 2
-        self._appends += 1
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __iter__(self):
-        return iter(self._items)
+#: Backward-compatible name: the bounded series grew into the
+#: observability layer's generalised reservoir (merge support,
+#: histogram backing) and lives in :mod:`repro.obs.reservoir` now.
+DownsampledSeries = ReservoirSeries
 
 
 @dataclass(frozen=True)
@@ -154,6 +126,9 @@ class AppStats:
     total_work: float
     #: GPU-minutes split by GPU-generation name (heterogeneity reports).
     gpu_time_by_type: dict = field(default_factory=dict)
+    #: Longest stretch of scheduling rounds the app sat with unmet
+    #: demand and zero GPUs (the starvation metric's per-app maximum).
+    starved_rounds_max: int = 0
 
     def to_json(self) -> dict:
         """Plain-JSON dict; all fields are scalars or plain dicts already."""
@@ -196,6 +171,23 @@ class SimulationResult:
     #: Gang swaps performed by the speed-aware migration policy
     #: (always 0 with ``SimulationConfig.migration`` off).
     num_migrations: int = 0
+    #: Per-round ``(now, fragmentation)`` samples: free-GPU dispersion
+    #: across machines (1 - Herfindahl index of per-machine free
+    #: counts); machines are single-generation, so this doubles as the
+    #: cross-generation dispersion.  Recorded for every scheduler.
+    fragmentation_samples: list = field(default_factory=list)
+    #: Per-round ``(now, p99_rounds_waiting)`` samples: nearest-rank
+    #: p99 over active apps' rounds-since-last-allocation (apps with
+    #: unmet demand and zero GPUs).  Recorded for every scheduler.
+    starvation_samples: list = field(default_factory=list)
+    #: Per-phase ``{name: {"seconds", "calls"}}`` wall breakdown; empty
+    #: unless the run was profiled (``--profile`` / PhaseProfiler).
+    profile: dict = field(default_factory=dict)
+    #: Serialised ARBITER ``RoundStats`` instrumentation (solver moves,
+    #: pair scores, replayed warm-start moves, valuation probes):
+    #: ``{"rounds", "totals", "per_round"}``; empty for schedulers
+    #: without an arbiter.  ``per_round`` is downsample-thinned.
+    round_stats: dict = field(default_factory=dict)
 
     def stats_by_app(self) -> dict[str, AppStats]:
         """Index the per-app stats by app id."""
@@ -253,6 +245,12 @@ class SimulationResult:
             "cluster_gpus_by_type": dict(self.cluster_gpus_by_type),
             "gpu_time_by_type": dict(self.gpu_time_by_type),
             "num_migrations": self.num_migrations,
+            "fragmentation_samples": [
+                list(pair) for pair in self.fragmentation_samples
+            ],
+            "starvation_samples": [list(pair) for pair in self.starvation_samples],
+            "profile": dict(self.profile),
+            "round_stats": dict(self.round_stats),
         }
 
     @classmethod
@@ -280,6 +278,14 @@ class SimulationResult:
             cluster_gpus_by_type=dict(data.get("cluster_gpus_by_type", {})),
             gpu_time_by_type=dict(data.get("gpu_time_by_type", {})),
             num_migrations=data.get("num_migrations", 0),
+            fragmentation_samples=[
+                tuple(pair) for pair in data.get("fragmentation_samples", [])
+            ],
+            starvation_samples=[
+                tuple(pair) for pair in data.get("starvation_samples", [])
+            ],
+            profile=dict(data.get("profile", {})),
+            round_stats=dict(data.get("round_stats", {})),
         )
 
 
@@ -293,10 +299,20 @@ class ClusterSimulator:
         scheduler,
         config: Optional[SimulationConfig] = None,
         perf_model: Optional[PerfModel] = None,
+        obs: Union[Observability, ObsConfig, None] = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
         self.scheduler = scheduler
+        if obs is None:
+            obs = Observability.disabled()
+        elif isinstance(obs, ObsConfig):
+            obs = obs.build()
+        #: Live observability bundle; schedulers read it at bind time
+        #: to wire the tracer/profiler into the arbiter and auction.
+        self.obs = obs
+        self.tracer = obs.tracer
+        self.profiler = obs.profiler
         if perf_model is None:
             # A trace that carries a measured throughput matrix brings
             # its own model; explicit arguments override it.
@@ -353,6 +369,15 @@ class ClusterSimulator:
             DownsampledSeries(cap) if cap else []
         )  # type: ignore[assignment]
         self.timeline = DownsampledSeries(cap) if cap else []  # type: ignore[assignment]
+        #: Streaming metrics registry; owns the fragmentation and
+        #: starvation per-round series (same downsample cap contract).
+        self.metrics = MetricsRegistry(downsample=cap)
+        self._frag_series = self.metrics.series("fragmentation")
+        self._starv_series = self.metrics.series("starvation_p99")
+        #: Rounds since each active app last held a GPU while wanting
+        #: one; pruned on app completion, so O(active apps) memory.
+        self._rounds_since_alloc: dict[str, int] = {}
+        self._starved_rounds_max: dict[str, int] = {}
         for app in self.apps:
             for job in app.jobs:
                 self._job_owner[job.job_id] = app
@@ -378,6 +403,15 @@ class ClusterSimulator:
 
     def run(self) -> SimulationResult:
         """Execute the whole trace and collect results."""
+        if self.tracer.enabled:
+            self.tracer.set_header(
+                scheduler=getattr(
+                    self.scheduler, "name", type(self.scheduler).__name__
+                ),
+                cluster=self.cluster.name,
+                gpus=self.cluster.num_gpus,
+                apps=len(self.apps),
+            )
         for app in self.apps:
             self.engine.schedule(
                 app.arrival_time,
@@ -442,9 +476,12 @@ class ClusterSimulator:
     # Scheduling rounds
     # ------------------------------------------------------------------
     def _run_round(self, now: float) -> None:
-        self._advance_active_jobs(now)
+        profiler = self.profiler
+        with profiler.phase("advance"):
+            self._advance_active_jobs(now)
         self._process_tuners(now)
-        self._sample_contention(now)
+        with profiler.phase("metrics"):
+            self._sample_contention(now)
         pool = self.leases.pool_for_auction(now, self.cluster.gpus)
         pool = [gpu for gpu in pool if gpu.gpu_id not in self._down_gpu_ids]
         for gpu in pool:
@@ -456,10 +493,32 @@ class ClusterSimulator:
             return  # identical round at the same instant; avoid livelock
         self._last_round = round_key
         self.num_rounds += 1
-        assignment = self.scheduler.assign(now, pool)
-        self._apply_assignment(now, pool, assignment)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.round = self.num_rounds
+            tracer.emit(
+                "round_start",
+                now,
+                round=self.num_rounds,
+                pool_gpus=len(pool),
+                active_apps=len(self.active_apps),
+            )
+            lease_of = self.leases.lease_of
+            for gpu in pool:
+                lease = lease_of(gpu)
+                if lease is not None and lease.is_expired(now):
+                    tracer.emit(
+                        "lease_expire", now, gpu=gpu.gpu_id, app=lease.app_id
+                    )
+        with profiler.phase("assign"):
+            assignment = self.scheduler.assign(now, pool)
+        with profiler.phase("placement"):
+            self._apply_assignment(now, pool, assignment)
         if self.config.migration:
-            self._migration_pass(now)
+            with profiler.phase("migration"):
+                self._migration_pass(now)
+        with profiler.phase("metrics"):
+            self._record_round_metrics(now)
 
     def _release_orphaned_lease(self, gpu: Gpu) -> None:
         """Free a pooled GPU whose lease holder vanished mid-round.
@@ -471,6 +530,9 @@ class ClusterSimulator:
         lease = self.leases.lease_of(gpu)
         if lease is not None and lease.app_id not in self.active_apps:
             self.leases.release(gpu)
+            self._emit_lease_revokes(
+                self.engine.now, lease.app_id, (gpu,), "orphaned"
+            )
 
     def _advance_active_jobs(self, now: float) -> None:
         if self.config.incremental:
@@ -520,6 +582,8 @@ class ClusterSimulator:
                 job.kill(now)
                 self._held_jobs.pop(job.job_id, None)
                 self.leases.release_all(released)
+                self._emit_job_state(now, app, job, "killed")
+                self._emit_lease_revokes(now, app.app_id, released, "tuner_kill")
                 event = self._job_events.pop(job.job_id, None)
                 if event is not None:
                     self.engine.cancel(event)
@@ -539,6 +603,53 @@ class ClusterSimulator:
             ratio = math.inf if demand > 0 else 0.0
         self.peak_contention = max(self.peak_contention, ratio)
         self.contention_samples.append((now, ratio))
+
+    def _record_round_metrics(self, now: float) -> None:
+        """Per-round fragmentation and starvation samples (every scheduler).
+
+        Fragmentation: dispersion of free in-service GPUs across
+        machines, ``1 - sum((free_m / free_total)^2)`` summed in
+        machine-id order so the float result is byte-stable across the
+        tracked and scanning lease modes.  Starvation: each active app's
+        rounds-since-last-allocation (counted while it has unmet demand
+        and zero GPUs); the series records the nearest-rank p99 across
+        currently-waiting apps.  Both are O(free GPUs + active jobs).
+        """
+        down = self._down_gpu_ids
+        free_total = 0
+        free_by_machine: dict[int, int] = {}
+        for gpu in self.leases.free_gpus(self.cluster.gpus):
+            if gpu.gpu_id in down:
+                continue
+            free_total += 1
+            free_by_machine[gpu.machine_id] = (
+                free_by_machine.get(gpu.machine_id, 0) + 1
+            )
+        if free_total > 0:
+            acc = 0.0
+            for machine_id in sorted(free_by_machine):
+                share = free_by_machine[machine_id] / free_total
+                acc += share * share
+            frag = 1.0 - acc
+        else:
+            frag = 0.0
+        self._frag_series.append((now, frag))
+
+        waiting: list[int] = []
+        since = self._rounds_since_alloc
+        worst = self._starved_rounds_max
+        for app_id, app in self.active_apps.items():
+            if app.allocation().size > 0 or app.unmet_demand() <= 0:
+                since[app_id] = 0
+                continue
+            rounds = since.get(app_id, 0) + 1
+            since[app_id] = rounds
+            if rounds > worst.get(app_id, 0):
+                worst[app_id] = rounds
+            waiting.append(rounds)
+        self._starv_series.append(
+            (now, float(percentile_nearest_rank(waiting, 0.99)))
+        )
 
     def _apply_assignment(
         self,
@@ -576,6 +687,20 @@ class ClusterSimulator:
                     )
                 new_owner[gpu.gpu_id] = app_id
                 affected.add(app_id)
+
+        tracer = self.tracer
+        if tracer.enabled:
+            for app_id in sorted(assignment):
+                gpus = assignment[app_id]
+                if gpus:
+                    tracer.emit(
+                        "auction_win",
+                        now,
+                        round=self.num_rounds,
+                        app=app_id,
+                        gpus=len(gpus),
+                        gpu_ids=sorted(gpu.gpu_id for gpu in gpus),
+                    )
 
         # Unassigned pooled GPUs stay with their incumbent (lease renewal)
         # when the incumbent is still active — work conservation.
@@ -628,6 +753,7 @@ class ClusterSimulator:
             job.advance_to(now)
             job.set_allocation(now, target, overhead=overhead)
             self._track_held_job(job)
+            self._emit_job_state(now, app, job, "running")
             self._refresh_leases(now, app, job, target)
             self._reschedule_job_finish(job)
         # GPUs the app cannot use (beyond demand) go back to the free pool.
@@ -637,6 +763,34 @@ class ClusterSimulator:
         if self.config.record_timeline:
             self.timeline.append((now, app.app_id, app.allocation().size))
 
+    def _emit_job_state(self, now: float, app: App, job: Job, state: str) -> None:
+        """Trace one job allocation/state change (no-op untraced).
+
+        Emitted at every discrete point a job's held-GPU count changes
+        (``set_allocation`` / ``finish`` / ``kill`` sites), so a trace
+        consumer can integrate per-job GPU time exactly — allocations
+        are piecewise-constant between these events.
+        """
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "job_state_change",
+                now,
+                app=app.app_id,
+                job=job.job_id,
+                state=state,
+                gpus=job.allocation.size,
+            )
+
+    def _emit_lease_revokes(
+        self, now: float, app_id: str, gpus: Sequence[Gpu], reason: str
+    ) -> None:
+        """Trace lease revocations for released GPUs (no-op untraced)."""
+        if self.tracer.enabled:
+            for gpu in gpus:
+                self.tracer.emit(
+                    "lease_revoke", now, gpu=gpu.gpu_id, app=app_id, reason=reason
+                )
+
     def _refresh_leases(self, now: float, app: App, job: Job, target: Allocation) -> None:
         """Grant / renew leases so every held GPU has an unexpired lease."""
         for gpu in target:
@@ -645,6 +799,15 @@ class ClusterSimulator:
                 new_lease = self.leases.grant(
                     gpu, app.app_id, job.job_id, now, self.config.lease_minutes
                 )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lease_grant",
+                        now,
+                        app=app.app_id,
+                        job=job.job_id,
+                        gpu=gpu.gpu_id,
+                        expiry=new_lease.expiry,
+                    )
                 # One expiry event per distinct timestamp: a round that
                 # grants K leases (same ``now``, same duration) used to
                 # schedule K identical wake-ups.
@@ -695,6 +858,7 @@ class ClusterSimulator:
             if lease is not None:
                 affected_apps.add(lease.app_id)
                 self.leases.release(gpu)
+                self._emit_lease_revokes(now, lease.app_id, (gpu,), "failure")
         for app_id in sorted(affected_apps):
             app = self.active_apps.get(app_id)
             if app is None:
@@ -708,6 +872,7 @@ class ClusterSimulator:
                 )
                 job.set_allocation(now, survivors, overhead=0.0)
                 self._track_held_job(job)
+                self._emit_job_state(now, app, job, "running")
                 self._reschedule_job_finish(job)
             if self.config.record_timeline:
                 self.timeline.append((now, app.app_id, app.allocation().size))
@@ -835,6 +1000,18 @@ class ClusterSimulator:
             job.set_allocation(now, target, overhead=overhead)
             self._track_held_job(job)
             self.leases.release_all(released)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "migration",
+                    now,
+                    app=app.app_id,
+                    job=job.job_id,
+                    from_gpus=sorted(g.gpu_id for g in released),
+                    to_gpus=sorted(g.gpu_id for g in candidate),
+                    gain=candidate_rate / current_rate,
+                )
+                self._emit_lease_revokes(now, app.app_id, released, "migration")
+                self._emit_job_state(now, app, job, "running")
             self._refresh_leases(now, app, job, target)
             self._reschedule_job_finish(job)
             for gpu in candidate:
@@ -859,6 +1036,8 @@ class ClusterSimulator:
         self._held_jobs.pop(job.job_id, None)
         self.leases.release_all(released)
         app = self._job_owner[job.job_id]
+        self._emit_job_state(now, app, job, "finished")
+        self._emit_lease_revokes(now, app.app_id, released, "job_finished")
         if app.is_complete():
             self._complete_app(now, app)
         self._request_round()
@@ -871,12 +1050,15 @@ class ClusterSimulator:
             job.kill(now)
             self._held_jobs.pop(job.job_id, None)
             self.leases.release_all(released)
+            self._emit_job_state(now, app, job, "killed")
+            self._emit_lease_revokes(now, app.app_id, released, "app_finished")
             event = self._job_events.pop(job.job_id, None)
             if event is not None:
                 self.engine.cancel(event)
         app.state = AppState.FINISHED
         app.finished_at = now
         self.active_apps.pop(app.app_id, None)
+        self._rounds_since_alloc.pop(app.app_id, None)
         if self.config.record_timeline:
             self.timeline.append((now, app.app_id, 0))
         hook = getattr(self.scheduler, "on_app_finish", None)
@@ -915,6 +1097,7 @@ class ClusterSimulator:
                     num_jobs=app.num_jobs,
                     total_work=app.total_work(),
                     gpu_time_by_type=per_type,
+                    starved_rounds_max=self._starved_rounds_max.get(app.app_id, 0),
                 )
             )
         completed = all(app.state is AppState.FINISHED for app in self.apps)
@@ -936,4 +1119,37 @@ class ClusterSimulator:
             cluster_gpus_by_type=self.cluster.gpus_by_type(),
             gpu_time_by_type=dict(sorted(gpu_time_by_type.items())),
             num_migrations=self.num_migrations,
+            fragmentation_samples=list(self._frag_series),
+            starvation_samples=list(self._starv_series),
+            profile=self.profiler.snapshot() if self.profiler.enabled else {},
+            round_stats=self._round_stats_payload(),
         )
+
+    def _round_stats_payload(self) -> dict:
+        """Serialise the arbiter's per-round solver instrumentation.
+
+        Schedulers without an arbiter (every baseline except themis)
+        yield ``{}``.  ``per_round`` rows go through the same reservoir
+        policy as the other series so a week-long trace cannot bloat
+        the result JSON.
+        """
+        arbiter = getattr(self.scheduler, "arbiter", None)
+        history = getattr(arbiter, "history", None)
+        if not history:
+            return {}
+        totals = {
+            "solver_moves": 0,
+            "solver_pair_scores": 0,
+            "solver_replayed_moves": 0,
+            "valuation_probes": 0,
+        }
+        for rs in history:
+            for key in totals:
+                totals[key] += getattr(rs, key, 0)
+        rows = [asdict(rs) for rs in history]
+        cap = self.config.downsample
+        if cap is not None and len(rows) > cap:
+            thinned = ReservoirSeries(cap)
+            thinned.extend(rows)
+            rows = list(thinned)
+        return {"rounds": len(history), "totals": totals, "per_round": rows}

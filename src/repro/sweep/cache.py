@@ -40,7 +40,10 @@ from repro.sweep.matrix import SweepTask, canonical_json
 #:    throughput matrices; ``num_migrations`` added to
 #:    SimulationResult, ``migration`` knobs to SimulationConfig,
 #:    ``perf_matrix`` to ScenarioConfig/GeneratorConfig/Trace).
-SCHEMA_VERSION = 3
+#: 4: observability (SimulationResult gained fragmentation/starvation
+#:    series, ``profile`` and ``round_stats``; AppStats gained
+#:    ``starved_rounds_max``) — older payloads lack the new fields.
+SCHEMA_VERSION = 4
 
 #: Orphaned ``.tmp-*`` files from a killed writer older than this are
 #: swept by :meth:`ResultCache.prune`.

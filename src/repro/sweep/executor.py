@@ -69,7 +69,9 @@ def execute_task(task: SweepTask) -> tuple[Optional[SimulationResult], Optional[
     start = time.perf_counter()
     try:
         _seed_globals(task)
-        result = run_scenario(task.scenario, task.scheduler, task.kwargs_dict())
+        result = run_scenario(
+            task.scenario, task.scheduler, task.kwargs_dict(), obs=task.obs
+        )
         return result, None, time.perf_counter() - start
     except Exception:
         return None, traceback.format_exc(), time.perf_counter() - start

@@ -19,9 +19,10 @@ import itertools
 import json
 import re
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.experiments.config import ScenarioConfig
+from repro.obs import ObsConfig
 from repro.workload.generator import GeneratorConfig
 
 
@@ -74,6 +75,10 @@ class SweepTask:
     scheduler: str = "themis"
     scheduler_kwargs: tuple[tuple[str, object], ...] = ()
     tags: tuple[tuple[str, object], ...] = ()
+    #: Observability attached to this cell (picklable; materialised in
+    #: the worker).  Excluded from :meth:`spec` — tracing and profiling
+    #: never change results, so cache keys must not depend on them.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(

@@ -8,12 +8,15 @@ failure tracebacks and the reconstructed results, queryable by task id.
 
 from __future__ import annotations
 
+import logging
 import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.simulation.simulator import SimulationResult
+
+logger = logging.getLogger("repro.sweep.progress")
 
 #: z-value of the two-sided 95% normal interval used by
 #: :meth:`SweepReport.aggregate`'s ``*_ci95`` columns.
@@ -55,9 +58,11 @@ class TaskRecord:
 class ProgressTracker:
     """Streams ``[done/total] task status (time)`` lines as cells finish.
 
-    ``print_fn=None`` keeps it silent while still counting — the
-    executor always drives a tracker, so tests can assert on progress
-    without capturing stdout.
+    ``print_fn=None`` routes the lines to the ``repro.sweep.progress``
+    logger at DEBUG instead — silent under the default WARNING level,
+    visible with ``--log-level debug`` — so the executor can always
+    drive a tracker and tests can assert on progress without capturing
+    stdout.
     """
 
     def __init__(
@@ -74,15 +79,16 @@ class ProgressTracker:
     def update(self, record: TaskRecord) -> None:
         """Register one finished cell (and maybe narrate it)."""
         self.done += 1
-        if self._print is None:
-            return
         if self.done % self.every and self.done != self.total:
             return
         line = (
             f"[{self.done}/{self.total}] {record.task_id} "
             f"{record.status} ({record.duration_seconds:.2f}s)"
         )
-        self._print(line)
+        if self._print is None:
+            logger.debug(line)
+        else:
+            self._print(line)
 
 
 @dataclass

@@ -23,6 +23,7 @@ import pytest
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.topology import ClusterSpec, GpuType, MachineSpec, build_cluster
+from repro.perf.bench import canonical_result_json
 from repro.schedulers.registry import make_scheduler
 from repro.simulation.failures import FailureInjector, MachineFailure
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
@@ -301,13 +302,10 @@ def test_migration_byte_identical_incremental_vs_cold():
     for migration in (False, True):
         warm = run_scenario("themis", migration=migration, incremental=True)
         cold = run_scenario("themis", migration=migration, incremental=False)
-        warm_payload = warm.to_json()
-        cold_payload = cold.to_json()
-        warm_payload["config"].pop("incremental")
-        cold_payload["config"].pop("incremental")
-        assert json.dumps(warm_payload, sort_keys=True) == json.dumps(
-            cold_payload, sort_keys=True
-        )
+        # canonical_result_json drops the incremental flag and the
+        # round_stats/profile instrumentation (solver counters
+        # legitimately differ between warm and cold solves).
+        assert canonical_result_json(warm) == canonical_result_json(cold)
 
 
 def test_migration_under_failure_injection_full_run():
@@ -333,7 +331,5 @@ def test_migration_under_failure_injection_full_run():
             assert sum(stats.gpu_time_by_type.values()) == pytest.approx(
                 stats.gpu_time
             )
-        payload = result.to_json()
-        payload["config"].pop("incremental")
-        results[incremental] = json.dumps(payload, sort_keys=True)
+        results[incremental] = canonical_result_json(result)
     assert results[True] == results[False]

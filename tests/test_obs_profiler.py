@@ -1,0 +1,81 @@
+"""Phase profiler: accumulation, nesting, and the null default."""
+
+import time
+
+from repro.experiments.config import tiny_scenario
+from repro.obs import NULL_PROFILER, NullProfiler, Observability, PhaseProfiler
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.simulator import ClusterSimulator
+
+
+def test_profiler_accumulates_seconds_and_calls():
+    profiler = PhaseProfiler()
+    for _ in range(3):
+        with profiler.phase("assign"):
+            pass
+    snapshot = profiler.snapshot()
+    assert snapshot["assign"]["calls"] == 3
+    assert snapshot["assign"]["seconds"] >= 0.0
+    assert profiler.total_seconds() == snapshot["assign"]["seconds"]
+
+
+def test_snapshot_orders_phases_by_cost():
+    profiler = PhaseProfiler()
+    with profiler.phase("slow"):
+        time.sleep(0.005)
+    with profiler.phase("fast"):
+        pass
+    assert list(profiler.snapshot()) == ["slow", "fast"]
+
+
+def test_phases_nest_and_each_accrues_inclusive_time():
+    profiler = PhaseProfiler()
+    with profiler.phase("outer"):
+        with profiler.phase("inner"):
+            pass
+    snapshot = profiler.snapshot()
+    assert snapshot["outer"]["calls"] == 1 and snapshot["inner"]["calls"] == 1
+    assert snapshot["outer"]["seconds"] >= snapshot["inner"]["seconds"]
+    # total_seconds double-counts nesting by design (attribution aid).
+    assert profiler.total_seconds() == sum(
+        entry["seconds"] for entry in snapshot.values()
+    )
+
+
+def test_null_profiler_is_a_shared_no_op():
+    assert NULL_PROFILER.enabled is False
+    assert NullProfiler().phase("a") is NULL_PROFILER.phase("b")
+    with NULL_PROFILER.phase("anything"):
+        pass
+    assert NULL_PROFILER.snapshot() == {}
+    assert NULL_PROFILER.total_seconds() == 0.0
+
+
+def _run(obs=None):
+    scenario = tiny_scenario(num_apps=3, seed=5)
+    simulator = ClusterSimulator(
+        cluster=scenario.build_cluster(),
+        workload=scenario.build_trace(),
+        scheduler=make_scheduler("themis"),
+        config=scenario.build_sim_config(),
+        obs=obs,
+    )
+    return simulator.run()
+
+
+def test_profile_lands_in_simulation_result():
+    unprofiled = _run()
+    assert unprofiled.profile == {}
+
+    profiled = _run(obs=Observability(profiler=PhaseProfiler()))
+    # The engine phases must show up with sane counts: one advance and
+    # one assign per round, valuation/carve nested under assign.
+    assert {"advance", "assign", "valuation", "carve"} <= set(profiled.profile)
+    assert profiled.profile["assign"]["calls"] == profiled.num_rounds
+    for entry in profiled.profile.values():
+        assert entry["seconds"] >= 0.0 and entry["calls"] > 0
+
+    # Profiling is observational: everything but the profile matches.
+    a, b = unprofiled.to_json(), profiled.to_json()
+    a.pop("profile"), b.pop("profile")
+    assert a == b

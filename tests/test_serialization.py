@@ -90,4 +90,9 @@ def test_golden_schema_keys(result):
         "gpu_time_by_type",
         # Added with the performance-model refactor (SCHEMA_VERSION 3).
         "num_migrations",
+        # Added with the observability layer (SCHEMA_VERSION 4).
+        "fragmentation_samples",
+        "starvation_samples",
+        "profile",
+        "round_stats",
     }

@@ -130,8 +130,10 @@ def test_config_flag_is_the_only_config_difference():
     result = simulator.run()
     payload = result.to_json()
     assert payload["config"]["incremental"] is False
-    # canonical_result_json strips exactly that key and nothing else.
+    # canonical_result_json strips exactly that config key (plus the
+    # top-level round_stats/profile instrumentation) and nothing else.
     canon = json.loads(canonical_result_json(result))
     assert "incremental" not in canon["config"]
+    assert "round_stats" not in canon and "profile" not in canon
     payload["config"].pop("incremental")
     assert canon["config"] == payload["config"]
