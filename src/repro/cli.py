@@ -14,6 +14,9 @@ Examples::
     python -m repro bench sim --check BENCH_sim.json --out BENCH_sim.json
     python -m repro cache prune --dir .sweep-cache --max-age-days 30
     python -m repro trace --apps 30 --out trace.jsonl
+    python -m repro serve --dir .service --idle-exit 5 &
+    python -m repro submit --dir .service --kind sim --spec '{"apps": 4}'
+    python -m repro status --dir .service
 
 The CLI is a thin shell over :mod:`repro.experiments` and
 :mod:`repro.sweep`; everything it prints comes from the same
@@ -525,11 +528,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.trace or args.profile:
         tasks = _attach_sweep_obs(tasks, args)
     print(f"expanded {len(tasks)} sweep cells ({len(names)} schedulers)")
+    retry = None
+    if args.retries:
+        from repro.service.retry import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries + 1, base_delay=0.5,
+                            max_delay=10.0)
     report = run_sweep(
         tasks,
         workers=args.workers,
         cache=args.cache_dir,
         progress=print if args.verbose else None,
+        retry=retry,
     )
     rows = []
     for task, record in zip(tasks, report.records):
@@ -905,6 +915,117 @@ def _cmd_trace_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the durable control-plane daemon."""
+    from repro.service import ControlPlane, DurableStore, policies_from_json
+    from repro.service.api import ServiceServer, serve_forever
+
+    admission = None
+    if args.policies:
+        try:
+            with open(args.policies, "r", encoding="utf-8") as handle:
+                admission = policies_from_json(json.load(handle))
+        except (OSError, ValueError, TypeError) as error:
+            print(f"cannot load tenant policies {args.policies!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    store = DurableStore(args.dir, fsync=args.fsync)
+    kwargs = {"admission": admission} if admission is not None else {}
+    plane = ControlPlane(store, **kwargs)
+    server = ServiceServer(plane, host=args.host, port=args.port)
+    endpoint = server.write_endpoint_file(args.dir)
+    host, port = server.endpoint
+    print(f"repro service: epoch {plane.epoch} on http://{host}:{port} "
+          f"(endpoint file {endpoint})")
+    try:
+        serve_forever(
+            plane,
+            server,
+            poll_interval=args.poll_interval,
+            max_seconds=args.max_seconds,
+            idle_exit=args.idle_exit,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _client_for(args: argparse.Namespace):
+    from repro.service.api import ServiceClient
+
+    return ServiceClient.from_dir(args.dir)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: enqueue one job; prints the bare job id."""
+    from repro.service.errors import ServiceError
+
+    spec = {"kind": args.kind}
+    if args.spec:
+        try:
+            extra = json.loads(args.spec)
+            if not isinstance(extra, dict):
+                raise ValueError("--spec must be a JSON object")
+        except ValueError as error:
+            print(f"bad --spec: {error}", file=sys.stderr)
+            return 2
+        spec.update(extra)
+    try:
+        job_id = _client_for(args).submit(
+            spec,
+            tenant=args.tenant,
+            gpus=args.gpus,
+            pool=args.pool,
+            priority=args.priority,
+            job_id=args.job_id,
+        )
+    except ServiceError as error:
+        print(f"submit failed ({error.reason}): {error}", file=sys.stderr)
+        return 1
+    print(job_id)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: one job's record, or a table of every job."""
+    from repro.service.errors import ServiceError
+
+    try:
+        client = _client_for(args)
+        if args.job:
+            print(json.dumps(client.status(args.job), indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs(tenant=args.tenant, state=args.state)
+        health = client.health()
+    except ServiceError as error:
+        print(f"status failed ({error.reason}): {error}", file=sys.stderr)
+        return 1
+    print(f"epoch {health['epoch']}, degraded={health['degraded']}, "
+          f"{sum(health['jobs'].values())} jobs")
+    rows = [
+        [job["job_id"], job["tenant"], job["state"], job["gpus"],
+         job["attempts"], job["detail"][:40]]
+        for job in jobs
+    ]
+    if rows:
+        print(format_table(
+            ["job", "tenant", "state", "gpus", "attempts", "detail"], rows))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    """``repro cancel``: cancel a job (idempotent on terminal states)."""
+    from repro.service.errors import ServiceError
+
+    try:
+        state = _client_for(args).cancel(args.job)
+    except ServiceError as error:
+        print(f"cancel failed ({error.reason}): {error}", file=sys.stderr)
+        return 1
+    print(f"{args.job}: {state}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -961,6 +1082,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write all results as JSON to this path")
     sweep_parser.add_argument("--verbose", action="store_true",
                               help="print one line per completed cell")
+    sweep_parser.add_argument("--retries", type=int, default=0,
+                              help="re-run a cell up to N extra times after "
+                                   "transient failures (worker deaths, IO "
+                                   "errors) with capped backoff")
     _add_obs_args(sweep_parser,
                   trace_help="directory for per-cell decision-event streams "
                              "(one <task_id>.jsonl per executed cell; cached "
@@ -1056,6 +1181,72 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--limit", type=_positive_int, default=None,
                               help="inspect mode: print at most N events")
     trace_parser.set_defaults(func=_cmd_trace)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-safe control-plane daemon",
+        description="Long-lived scheduler service over a durable WAL + "
+                    "snapshot store.  Writes service.json into --dir so "
+                    "'repro submit/status/cancel --dir DIR' find it.",
+    )
+    serve_parser.add_argument("--dir", required=True,
+                              help="durable store directory (WAL, snapshots, "
+                                   "endpoint file)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (0 picks an ephemeral port)")
+    serve_parser.add_argument("--poll-interval", type=float, default=0.1,
+                              help="seconds between control-plane ticks")
+    serve_parser.add_argument("--max-seconds", type=float, default=None,
+                              help="exit after this long (CI smoke knob)")
+    serve_parser.add_argument("--idle-exit", type=float, default=None,
+                              help="exit once idle (no active jobs) this long")
+    serve_parser.add_argument("--fsync", action="store_true",
+                              help="fsync every WAL append (durability over "
+                                   "throughput)")
+    serve_parser.add_argument("--policies", default=None,
+                              help="JSON file with a list of tenant admission "
+                                   "policies (tenant '*' sets the default)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running 'repro serve' daemon"
+    )
+    submit_parser.add_argument("--dir", required=True,
+                               help="store directory of the running service")
+    submit_parser.add_argument("--kind", default="noop",
+                               choices=("noop", "sleep", "fail", "sim"),
+                               help="spec kind the daemon executor interprets")
+    submit_parser.add_argument("--spec", default=None,
+                               help="JSON object merged into the job spec")
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument("--gpus", type=_positive_int, default=1)
+    submit_parser.add_argument("--pool", default="default")
+    submit_parser.add_argument("--priority", type=int, default=0)
+    submit_parser.add_argument("--job-id", default=None,
+                               help="explicit job id (idempotent resubmission)")
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    status_parser = sub.add_parser(
+        "status", help="show one job, or every job, of a running daemon"
+    )
+    status_parser.add_argument("--dir", required=True,
+                               help="store directory of the running service")
+    status_parser.add_argument("job", nargs="?", default=None,
+                               help="job id (omit for the full table)")
+    status_parser.add_argument("--tenant", default=None,
+                               help="table mode: only this tenant's jobs")
+    status_parser.add_argument("--state", default=None,
+                               help="table mode: only jobs in this state")
+    status_parser.set_defaults(func=_cmd_status)
+
+    cancel_parser = sub.add_parser(
+        "cancel", help="cancel a job on a running daemon (idempotent)"
+    )
+    cancel_parser.add_argument("--dir", required=True,
+                               help="store directory of the running service")
+    cancel_parser.add_argument("job", help="job id to cancel")
+    cancel_parser.set_defaults(func=_cmd_cancel)
 
     return parser
 

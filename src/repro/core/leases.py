@@ -53,6 +53,9 @@ class LeaseManager:
     def __init__(self) -> None:
         self._leases: dict[int, Lease] = {}
         self._free: Optional[dict[int, Gpu]] = None
+        #: Forced-revocation tally by reason ("failure", "preemption",
+        #: ...) — ordinary releases/renewals do not count.
+        self.revocations: dict[str, int] = {}
 
     def track(self, all_gpus: Iterable[Gpu]) -> None:
         """Maintain the unleased-GPU set incrementally for ``all_gpus``."""
@@ -88,6 +91,20 @@ class LeaseManager:
         """Drop leases on several GPUs."""
         for gpu in gpus:
             self.release(gpu)
+
+    def revoke(self, gpu: Gpu, reason: str = "forced") -> Optional[Lease]:
+        """Forcibly drop the lease on ``gpu``, recording ``reason``.
+
+        Same state change as :meth:`release`, but counted in
+        :attr:`revocations` — a revocation is an ownership loss the
+        holder did not choose (machine failure, preemption), which the
+        control plane treats as a transient worker loss rather than a
+        job failure.  No-op (and uncounted) when ``gpu`` is unleased.
+        """
+        lease = self.release(gpu)
+        if lease is not None:
+            self.revocations[reason] = self.revocations.get(reason, 0) + 1
+        return lease
 
     # ------------------------------------------------------------------
     # Queries

@@ -25,7 +25,9 @@ from typing import IO, Iterable, Mapping, Optional, Sequence
 
 #: Version of the event schema; bumped whenever an event kind is
 #: added/removed or a required field changes meaning.
-TRACE_SCHEMA_VERSION = 1
+#: v2: added the control-plane kinds ``job_retry`` and
+#: ``dispatch_token``.
+TRACE_SCHEMA_VERSION = 2
 
 #: The ``kind`` of the header record that opens every JSONL trace.
 HEADER_KIND = "trace_header"
@@ -41,6 +43,8 @@ EVENT_SCHEMA: dict[str, frozenset] = {
     "lease_revoke": frozenset({"gpu", "app", "reason"}),
     "migration": frozenset({"app", "job", "from_gpus", "to_gpus", "gain"}),
     "job_state_change": frozenset({"app", "job", "state", "gpus"}),
+    "job_retry": frozenset({"job", "attempt", "failure_kind", "delay"}),
+    "dispatch_token": frozenset({"job", "epoch", "accepted"}),
 }
 
 EVENT_KINDS = tuple(sorted(EVENT_SCHEMA))

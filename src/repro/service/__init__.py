@@ -1,0 +1,93 @@
+"""Crash-safe control plane around the Themis engine.
+
+``repro.service`` turns the library-style simulator into a long-lived
+scheduler service: a durable job state machine (WAL + snapshots),
+epoch-stamped dispatch tokens, a retry/backoff seam shared with the
+sweep executor, per-tenant admission control, and a chaos harness that
+proves the recovery invariants under ``kill -9``.
+"""
+
+from repro.service.admission import (
+    DEFAULT_POOL,
+    AdmissionController,
+    TenantPolicy,
+    in_flight_gpus,
+    policies_from_json,
+)
+from repro.service.daemon import (
+    ControlPlane,
+    Executor,
+    JobOutcome,
+    NoopExecutor,
+    SpecExecutor,
+    TickStats,
+)
+from repro.service.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailable,
+    StateMachineError,
+    TokenError,
+    UnknownJobError,
+)
+from repro.service.retry import (
+    DEFAULT_RETRY_POLICY,
+    FailureKind,
+    RetryPolicy,
+    classify_exception,
+)
+from repro.service.state import (
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JobRecord,
+    JobState,
+    can_transition,
+    transition,
+)
+from repro.service.store import (
+    STORE_SCHEMA_VERSION,
+    DurableStore,
+    StoreCorruption,
+    StoreError,
+    StoreImage,
+    StoreUnavailable,
+)
+from repro.service.tokens import DispatchToken, TokenIssuer
+
+__all__ = [
+    "DEFAULT_POOL",
+    "DEFAULT_RETRY_POLICY",
+    "STORE_SCHEMA_VERSION",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "AdmissionController",
+    "AdmissionError",
+    "ControlPlane",
+    "DispatchToken",
+    "DurableStore",
+    "Executor",
+    "FailureKind",
+    "JobOutcome",
+    "JobRecord",
+    "JobState",
+    "NoopExecutor",
+    "RetryPolicy",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SpecExecutor",
+    "StateMachineError",
+    "StoreCorruption",
+    "StoreError",
+    "StoreImage",
+    "StoreUnavailable",
+    "TenantPolicy",
+    "TickStats",
+    "TokenError",
+    "TokenIssuer",
+    "UnknownJobError",
+    "can_transition",
+    "classify_exception",
+    "in_flight_gpus",
+    "policies_from_json",
+    "transition",
+]

@@ -1,0 +1,159 @@
+"""Per-tenant admission control in front of the Themis auction.
+
+The noisy-neighbor / SLA-tier knobs a multi-tenant service needs
+(the ``tenant_gpu_policies`` shape from the modelops GPU-scheduler
+doc, generalised from its fixed T4/MIG pools to arbitrary named GPU
+pools):
+
+* ``max_queued_jobs`` — gate at *submit* time: a tenant cannot flood
+  the queue,
+* ``pool_gpu_limits`` / ``max_concurrent_gpus`` — gate at *admit*
+  time: a tenant's in-flight GPU demand per pool stays bounded,
+* ``priority_boost`` — additive boost applied at enqueue time;
+  admission and dispatch order by effective priority.
+
+All of this runs *before* jobs reach the auction: the scheduler only
+ever sees work that admission already cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Mapping, Optional
+
+from repro.service.errors import AdmissionError
+from repro.service.state import JobRecord
+
+#: GPU pool jobs land in when they do not name one.
+DEFAULT_POOL = "default"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission knobs for one tenant (or the default for all others)."""
+
+    tenant: str = "*"
+    max_queued_jobs: int = 64
+    max_concurrent_gpus: int = 256  # per-pool fallback limit
+    pool_gpu_limits: tuple = ()  # ((pool, max_gpus), ...) overrides
+    priority_boost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_queued_jobs < 0:
+            raise ValueError(
+                f"max_queued_jobs must be >= 0, got {self.max_queued_jobs}"
+            )
+        if self.max_concurrent_gpus < 0:
+            raise ValueError(
+                f"max_concurrent_gpus must be >= 0, got {self.max_concurrent_gpus}"
+            )
+        object.__setattr__(
+            self,
+            "pool_gpu_limits",
+            tuple((str(pool), int(limit)) for pool, limit in self.pool_gpu_limits),
+        )
+        if any(limit < 0 for _pool, limit in self.pool_gpu_limits):
+            raise ValueError("pool gpu limits must be >= 0")
+
+    def pool_limit(self, pool: str) -> int:
+        """The concurrent-GPU cap for ``pool`` (falls back to the global)."""
+        for name, limit in self.pool_gpu_limits:
+            if name == pool:
+                return limit
+        return self.max_concurrent_gpus
+
+    def to_json(self) -> dict:
+        payload = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            payload[spec_field.name] = (
+                [list(pair) for pair in value]
+                if spec_field.name == "pool_gpu_limits"
+                else value
+            )
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "TenantPolicy":
+        known = {spec_field.name for spec_field in fields(cls)}
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        if "pool_gpu_limits" in kwargs:
+            kwargs["pool_gpu_limits"] = tuple(
+                (str(pool), int(limit)) for pool, limit in kwargs["pool_gpu_limits"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass
+class AdmissionController:
+    """Applies tenant policies at the submit and admit gates."""
+
+    policies: dict = field(default_factory=dict)  # tenant -> TenantPolicy
+    default: TenantPolicy = field(default_factory=TenantPolicy)
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy, or the default when none is registered."""
+        return self.policies.get(tenant, self.default)
+
+    def set_policy(self, policy: TenantPolicy) -> None:
+        """Register/replace one tenant's policy."""
+        self.policies[policy.tenant] = policy
+
+    def effective_priority(self, tenant: str, priority: int) -> int:
+        """Base priority plus the tenant's boost (applied at enqueue)."""
+        return int(priority) + self.policy_for(tenant).priority_boost
+
+    def check_submit(self, tenant: str, queued_jobs: int) -> None:
+        """Gate a new submission on the tenant's queue depth.
+
+        ``queued_jobs`` counts the tenant's jobs in QUEUED/ADMITTED/
+        RETRYING — work accepted but not yet dispatched.
+        """
+        policy = self.policy_for(tenant)
+        if queued_jobs >= policy.max_queued_jobs:
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {queued_jobs} queued jobs "
+                f"(max_queued_jobs={policy.max_queued_jobs})",
+                reason="max_queued_jobs",
+            )
+
+    def may_admit(
+        self, record: JobRecord, in_flight_gpus: Mapping[tuple, int]
+    ) -> bool:
+        """True when dispatching ``record`` keeps its tenant within the
+        pool's concurrent-GPU cap.
+
+        ``in_flight_gpus`` maps ``(tenant, pool)`` to the GPUs of that
+        tenant's DISPATCHED/RUNNING jobs in that pool.
+        """
+        policy = self.policy_for(record.tenant)
+        used = in_flight_gpus.get((record.tenant, record.pool), 0)
+        return used + record.gpus <= policy.pool_limit(record.pool)
+
+
+def in_flight_gpus(records: Iterable[JobRecord]) -> dict:
+    """Aggregate DISPATCHED/RUNNING GPU counts per (tenant, pool)."""
+    from repro.service.state import JobState
+
+    usage: dict[tuple, int] = {}
+    for record in records:
+        if record.state in (JobState.DISPATCHED, JobState.RUNNING):
+            key = (record.tenant, record.pool)
+            usage[key] = usage.get(key, 0) + record.gpus
+    return usage
+
+
+def policies_from_json(payload: Optional[Iterable[Mapping]]) -> AdmissionController:
+    """Build a controller from a JSON list of tenant-policy objects.
+
+    A policy whose ``tenant`` is ``"*"`` becomes the default for
+    unregistered tenants.
+    """
+    controller = AdmissionController()
+    for entry in payload or ():
+        policy = TenantPolicy.from_json(entry)
+        if policy.tenant == "*":
+            controller.default = policy
+        else:
+            controller.set_policy(policy)
+    return controller

@@ -1,0 +1,303 @@
+"""HTTP front door + client for the control plane (stdlib only).
+
+``repro serve`` exposes the same :class:`ControlPlane` API that
+in-process callers use, as a tiny JSON-over-HTTP surface:
+
+* ``POST /submit``  ``{"spec": {...}, "tenant", "gpus", "pool",
+  "priority"}`` -> ``{"job_id"}``
+* ``POST /cancel``  ``{"job_id"}`` -> ``{"job_id", "state"}``
+* ``GET  /status?job=ID`` -> the full job record
+* ``GET  /jobs[?tenant=T][&state=S]`` -> ``{"jobs": [...]}``
+* ``GET  /health`` -> epoch / degradation / per-state counts
+
+The server binds an ephemeral port by default and writes
+``service.json`` (host, port, pid) into the store directory, so the
+CLI verbs find a running daemon from ``--dir`` alone.  Service errors
+map to HTTP statuses: admission -> 429, unavailable store -> 503,
+unknown jobs -> 404, bad requests -> 400.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.daemon import ControlPlane
+from repro.service.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailable,
+    UnknownJobError,
+)
+
+logger = logging.getLogger("repro.service.api")
+
+#: File the server drops into the store directory so CLI clients can
+#: find it from ``--dir`` alone.
+ENDPOINT_FILE = "service.json"
+
+_STATUS_BY_REASON = {
+    "max_queued_jobs": 429,
+    "store_unavailable": 503,
+    "unknown_job": 404,
+    "duplicate_job": 409,
+}
+
+
+class ServiceClient:
+    """Thin urllib client speaking the server's JSON dialect.
+
+    Raises the same :mod:`repro.service.errors` types the in-process
+    API raises, rebuilt from the error payload — CLI code handles both
+    transports identically.
+    """
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    @classmethod
+    def from_dir(cls, root: Union[str, Path], timeout: float = 10.0) -> "ServiceClient":
+        """Locate a running server via the directory's endpoint file."""
+        endpoint = Path(root) / ENDPOINT_FILE
+        if not endpoint.exists():
+            raise ServiceUnavailable(
+                f"no {ENDPOINT_FILE} under {root}; is `repro serve` running?",
+                reason="no_endpoint",
+            )
+        meta = json.loads(endpoint.read_text(encoding="utf-8"))
+        return cls(f"http://{meta['host']}:{meta['port']}", timeout=timeout)
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (ValueError, OSError):
+                body = {}
+            message = body.get("error", str(error))
+            reason = body.get("reason", "error")
+            if reason == "unknown_job":
+                raise UnknownJobError(body.get("job_id", "?"))
+            if error.code == 429:
+                raise AdmissionError(message, reason=reason)
+            if error.code == 503:
+                raise ServiceUnavailable(message, reason=reason)
+            raise ServiceError(message, reason=reason)
+        except urllib.error.URLError as error:
+            raise ServiceUnavailable(
+                f"cannot reach service at {self.url}: {error}",
+                reason="unreachable",
+            )
+
+    def submit(
+        self,
+        spec: Optional[dict] = None,
+        *,
+        tenant: str = "default",
+        gpus: int = 1,
+        pool: str = "default",
+        priority: int = 0,
+        job_id: Optional[str] = None,
+    ) -> str:
+        payload = {
+            "spec": spec or {},
+            "tenant": tenant,
+            "gpus": gpus,
+            "pool": pool,
+            "priority": priority,
+        }
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._request("POST", "/submit", payload)["job_id"]
+
+    def cancel(self, job_id: str) -> str:
+        return self._request("POST", "/cancel", {"job_id": job_id})["state"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/status?job={job_id}")
+
+    def jobs(self, tenant: Optional[str] = None, state: Optional[str] = None) -> list:
+        query = []
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if state:
+            query.append(f"state={state}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._request("GET", f"/jobs{suffix}")["jobs"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the shared, lock-guarded control plane."""
+
+    server: "ServiceServer"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("http: " + format, *args)
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, error: Exception) -> None:
+        if isinstance(error, UnknownJobError):
+            self._reply(404, {"error": str(error), "reason": error.reason,
+                              "job_id": error.job_id})
+        elif isinstance(error, ServiceError):
+            code = _STATUS_BY_REASON.get(error.reason, 400)
+            self._reply(code, {"error": str(error), "reason": error.reason})
+        else:
+            self._reply(500, {"error": str(error), "reason": "internal"})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        data = self.rfile.read(length)
+        payload = json.loads(data.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        try:
+            payload = self._body()
+            with self.server.lock:
+                if path == "/submit":
+                    job_id = self.server.plane.submit(
+                        payload.get("spec") or {},
+                        tenant=str(payload.get("tenant", "default")),
+                        gpus=int(payload.get("gpus", 1)),
+                        pool=str(payload.get("pool", "default")),
+                        priority=int(payload.get("priority", 0)),
+                        job_id=payload.get("job_id"),
+                    )
+                    self._reply(200, {"job_id": job_id})
+                elif path == "/cancel":
+                    job_id = str(payload.get("job_id", ""))
+                    state = self.server.plane.cancel(job_id)
+                    self._reply(200, {"job_id": job_id, "state": state.value})
+                else:
+                    self._reply(404, {"error": f"unknown path {path}",
+                                      "reason": "not_found"})
+        except (ValueError, TypeError, ServiceError) as error:
+            self._fail(error)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        query = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        try:
+            with self.server.lock:
+                if parsed.path == "/status":
+                    self._reply(200, self.server.plane.status(query.get("job", "")))
+                elif parsed.path == "/jobs":
+                    self._reply(200, {
+                        "jobs": self.server.plane.job_list(
+                            tenant=query.get("tenant"), state=query.get("state")
+                        )
+                    })
+                elif parsed.path == "/health":
+                    self._reply(200, self.server.plane.stats())
+                else:
+                    self._reply(404, {"error": f"unknown path {parsed.path}",
+                                      "reason": "not_found"})
+        except (ValueError, ServiceError) as error:
+            self._fail(error)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`ControlPlane` behind one lock."""
+
+    daemon_threads = True
+
+    def __init__(self, plane: ControlPlane, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.plane = plane
+        self.lock = threading.RLock()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def write_endpoint_file(self, root: Union[str, Path]) -> Path:
+        host, port = self.endpoint
+        path = Path(root) / ENDPOINT_FILE
+        path.write_text(
+            json.dumps({"host": host, "port": port, "pid": os.getpid()}),
+            encoding="utf-8",
+        )
+        return path
+
+
+def serve_forever(
+    plane: ControlPlane,
+    server: ServiceServer,
+    *,
+    poll_interval: float = 0.1,
+    max_seconds: Optional[float] = None,
+    idle_exit: Optional[float] = None,
+) -> None:
+    """Run the daemon loop: HTTP in a thread, ticks in this one.
+
+    ``max_seconds`` bounds the total run; ``idle_exit`` stops the loop
+    once no non-terminal jobs existed for that long (both are what the
+    CI smoke uses to keep ``repro serve`` short-lived).  The endpoint
+    file is removed on the way out so stale clients fail fast.
+    """
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    started = time.monotonic()
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            with server.lock:
+                plane.tick()
+                active = plane.active_jobs
+            now = time.monotonic()
+            if active > 0:
+                idle_since = None
+            elif idle_since is None:
+                idle_since = now
+            if max_seconds is not None and now - started >= max_seconds:
+                logger.info("serve: --max-seconds reached, shutting down")
+                return
+            if (
+                idle_exit is not None
+                and idle_since is not None
+                and now - idle_since >= idle_exit
+            ):
+                logger.info("serve: idle for %.1fs, shutting down", idle_exit)
+                return
+            time.sleep(poll_interval)
+    finally:
+        server.shutdown()
+        endpoint = Path(plane.store.root) / ENDPOINT_FILE
+        if endpoint.exists():
+            endpoint.unlink()
+        plane.close()

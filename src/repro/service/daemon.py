@@ -1,0 +1,643 @@
+"""``repro.service`` daemon: the crash-safe control plane around the engine.
+
+:class:`ControlPlane` is the long-lived service object.  Its contract:
+
+* **Durability** — every state change is one WAL append *before* the
+  in-memory state moves on.  ``kill -9`` at any record boundary yields
+  a restart that replays the WAL and converges to the same terminal
+  job states as an uninterrupted run (proven by the chaos suite).
+* **Dispatch tokens** — workers start jobs only via :meth:`start` with
+  the token :meth:`tick` issued.  Tokens are epoch-stamped; the epoch
+  increments at every service start, so pre-crash dispatches replayed
+  after recovery are rejected (``stale_epoch``), never double-started.
+* **Retry/backoff** — reported execution failures consume attempts
+  against the :class:`~repro.service.retry.RetryPolicy`; worker losses
+  (crash recovery, revoked dispatch leases) re-dispatch with backoff
+  but do *not* consume attempts, which is what makes interrupted and
+  uninterrupted runs agree on terminal states.
+* **Admission** — per-tenant queue-depth and per-pool concurrent-GPU
+  gates run before any work reaches the scheduler.
+* **Graceful degradation** — when the store becomes unavailable the
+  service sheds *new* submissions with a clear error but keeps
+  draining admitted work, buffering its transitions and flushing them
+  once the store returns.
+
+Execution is synchronous through the :class:`Executor` seam — the
+point where a real deployment plugs in an async worker pool; the
+in-process model keeps every chaos scenario deterministic.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Union
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.service.admission import (
+    DEFAULT_POOL,
+    AdmissionController,
+    in_flight_gpus,
+)
+from repro.service.errors import (
+    ServiceError,
+    ServiceUnavailable,
+    TokenError,
+    UnknownJobError,
+)
+from repro.service.retry import (
+    DEFAULT_RETRY_POLICY,
+    FailureKind,
+    RetryPolicy,
+    classify_exception,
+)
+from repro.service.state import (
+    JobRecord,
+    JobState,
+    force_state,
+    transition,
+)
+from repro.service.store import DurableStore, StoreUnavailable
+from repro.service.tokens import DispatchToken, TokenIssuer
+
+logger = logging.getLogger("repro.service.daemon")
+
+
+# ----------------------------------------------------------------------
+# Execution seam
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobOutcome:
+    """What one execution of a job reported back."""
+
+    ok: bool
+    failure_kind: Optional[FailureKind] = None
+    detail: str = ""
+    result: Optional[dict] = None
+
+    @classmethod
+    def success(cls, result: Optional[dict] = None) -> "JobOutcome":
+        return cls(ok=True, result=result)
+
+    @classmethod
+    def failure(
+        cls, kind: Union[FailureKind, str], detail: str = ""
+    ) -> "JobOutcome":
+        return cls(ok=False, failure_kind=FailureKind(kind), detail=detail)
+
+
+class Executor:
+    """Runs one job to completion; subclasses override :meth:`execute`."""
+
+    def execute(self, record: JobRecord) -> JobOutcome:  # pragma: no cover
+        raise NotImplementedError
+
+
+class NoopExecutor(Executor):
+    """Finishes every job immediately (tests, smoke runs)."""
+
+    def execute(self, record: JobRecord) -> JobOutcome:
+        return JobOutcome.success()
+
+
+class SpecExecutor(Executor):
+    """Interprets ``record.spec`` — the default executor behind
+    ``repro serve``.
+
+    Spec kinds:
+
+    * ``noop`` — finish immediately,
+    * ``sleep`` — ``{"seconds": s}`` busy the worker, then finish,
+    * ``fail`` — ``{"failure_kind": "transient"|"fatal",
+      "succeed_after": n}`` fail until ``n`` attempts were consumed
+      (chaos / demo knob),
+    * ``sim`` — run one simulation through the same
+      :func:`~repro.experiments.runner.run_scenario` the CLI uses:
+      ``{"scheduler", "apps", "seed", "duration_scale", "cluster"}``;
+      the job result carries the run's headline metrics.
+    """
+
+    def execute(self, record: JobRecord) -> JobOutcome:
+        kind = str(record.spec.get("kind", "noop"))
+        if kind == "noop":
+            return JobOutcome.success()
+        if kind == "sleep":
+            time.sleep(float(record.spec.get("seconds", 0.0)))
+            return JobOutcome.success()
+        if kind == "fail":
+            succeed_after = int(record.spec.get("succeed_after", -1))
+            if 0 <= succeed_after <= record.attempts:
+                return JobOutcome.success()
+            return JobOutcome.failure(
+                record.spec.get("failure_kind", FailureKind.FATAL),
+                detail="spec-directed failure",
+            )
+        if kind == "sim":
+            return self._run_simulation(record)
+        return JobOutcome.failure(
+            FailureKind.FATAL, detail=f"unknown spec kind {kind!r}"
+        )
+
+    def _run_simulation(self, record: JobRecord) -> JobOutcome:
+        from repro.experiments.config import sim_scenario, testbed_scenario
+        from repro.experiments.runner import run_scenario
+        from repro.metrics.fairness import max_fairness
+        from repro.metrics.jct import average_jct
+
+        spec = record.spec
+        builder = (
+            sim_scenario if spec.get("cluster", "testbed") == "sim"
+            else testbed_scenario
+        )
+        scenario = builder(
+            num_apps=int(spec.get("apps", 4)),
+            seed=int(spec.get("seed", 0)),
+            duration_scale=float(spec.get("duration_scale", 0.05)),
+        )
+        result = run_scenario(scenario, str(spec.get("scheduler", "themis")))
+        rhos = result.rhos()
+        return JobOutcome.success(
+            result={
+                "completed": result.completed,
+                "num_apps": len(result.app_stats),
+                "max_rho": max_fairness(rhos) if rhos else None,
+                "avg_jct": (
+                    average_jct(result.completion_times())
+                    if result.completion_times()
+                    else None
+                ),
+                "total_gpu_time": result.total_gpu_time,
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# The control plane
+# ----------------------------------------------------------------------
+@dataclass
+class TickStats:
+    """What one :meth:`ControlPlane.tick` did (for logs and tests)."""
+
+    admitted: int = 0
+    dispatched: int = 0
+    finished: int = 0
+    failed: int = 0
+    retried: int = 0
+    flushed: int = 0
+    compacted: bool = False
+
+
+@dataclass
+class _Pending:
+    """A WAL record buffered while the store is unavailable."""
+
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+
+class ControlPlane:
+    """The durable job service: submit/cancel/status plus the tick loop."""
+
+    def __init__(
+        self,
+        store: DurableStore,
+        *,
+        executor: Optional[Executor] = None,
+        admission: Optional[AdmissionController] = None,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+        clock: Callable[[], float] = time.time,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.store = store
+        self.executor = executor if executor is not None else SpecExecutor()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.retry = retry
+        self.clock = clock
+        self.tracer = tracer
+        self.jobs: dict[str, JobRecord] = {}
+        self.degraded = False
+        self._pending: list[_Pending] = []
+        self._order = 0
+        now = self.clock()
+        prior_epoch = self._recover(now)
+        self.epoch = prior_epoch + 1
+        self.issuer = TokenIssuer(self.epoch)
+        # The epoch record is the first write of the new incarnation; a
+        # store that is down at boot is a hard error (there is nothing
+        # admitted yet to drain).
+        self.store.append("epoch", epoch=self.epoch, at=now)
+        self._orphan_sweep(now)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, now: float) -> int:
+        """Replay snapshot + WAL; returns the highest epoch seen."""
+        image = self.store.recover()
+        epoch = 0
+        if image.snapshot:
+            epoch = int(image.snapshot.get("epoch", 0))
+            for payload in image.snapshot.get("jobs", ()):
+                record = JobRecord.from_json(payload)
+                self.jobs[record.job_id] = record
+        for record in image.records:
+            kind = record.get("kind")
+            if kind == "epoch":
+                epoch = max(epoch, int(record.get("epoch", 0)))
+            elif kind == "submit":
+                job = JobRecord.from_json(record["job"])
+                self.jobs[job.job_id] = job
+            elif kind == "transition":
+                self._replay_transition(record)
+            # Unknown kinds are skipped: forward compatibility with
+            # newer writers, same policy as the trace reader.
+        if image.dropped_tail:
+            logger.warning(
+                "recovered %s: dropped %d torn WAL tail line(s)",
+                self.store.root, image.dropped_tail,
+            )
+        self._order = max(
+            (job.order for job in self.jobs.values()), default=0
+        )
+        return epoch
+
+    def _replay_transition(self, payload: Mapping) -> None:
+        job = self.jobs.get(str(payload.get("job")))
+        if job is None:
+            logger.warning("WAL transition for unknown job %r", payload.get("job"))
+            return
+        force_state(job, payload["state"], float(payload.get("at", 0.0)))
+        for key in ("attempts", "dispatches", "not_before", "detail"):
+            if key in payload:
+                setattr(job, key, payload[key])
+        if "token" in payload:
+            job.token = payload["token"]
+        if "result" in payload:
+            job.result = payload["result"]
+
+    def _orphan_sweep(self, now: float) -> None:
+        """Re-queue work that was in flight when the last epoch died.
+
+        A DISPATCHED/RUNNING job's worker cannot survive the crash (its
+        token is from a dead epoch), so the job re-enters via RETRYING
+        with backoff.  No attempt is consumed: the execution never
+        reported an outcome, so for retry accounting it never happened.
+        """
+        for job in self._jobs_in_order():
+            if job.state in (JobState.DISPATCHED, JobState.RUNNING):
+                delay = self.retry.delay(1, key=f"{job.job_id}:lost")
+                job.not_before = now + delay
+                job.token = None
+                transition(
+                    job, JobState.RETRYING, now,
+                    detail=f"worker lost before epoch {self.epoch}",
+                )
+                self._append_transition(job, at=now)
+                logger.info(
+                    "orphaned job %s re-queued (retry in %.2fs)",
+                    job.job_id, delay,
+                )
+
+    # ------------------------------------------------------------------
+    # WAL plumbing (with graceful degradation)
+    # ------------------------------------------------------------------
+    def _append(self, kind: str, **fields) -> None:
+        if self.degraded:
+            self._pending.append(_Pending(kind, fields))
+            return
+        try:
+            self.store.append(kind, **fields)
+        except StoreUnavailable as error:
+            logger.error("store unavailable, buffering records: %s", error)
+            self.degraded = True
+            self._pending.append(_Pending(kind, fields))
+
+    def _append_transition(self, job: JobRecord, at: float) -> None:
+        self._append(
+            "transition",
+            job=job.job_id,
+            state=job.state.value,
+            at=at,
+            attempts=job.attempts,
+            dispatches=job.dispatches,
+            not_before=job.not_before,
+            detail=job.detail,
+            token=job.token,
+            result=job.result,
+        )
+
+    def _flush_pending(self) -> int:
+        """Try to drain buffered records back into the store."""
+        if not self._pending:
+            self.degraded = False
+            return 0
+        flushed = 0
+        while self._pending:
+            entry = self._pending[0]
+            try:
+                self.store.append(entry.kind, **entry.fields)
+            except StoreUnavailable:
+                return flushed
+            self._pending.pop(0)
+            flushed += 1
+        self.degraded = False
+        logger.info("store recovered; flushed %d buffered record(s)", flushed)
+        return flushed
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "jobs": [job.to_json() for job in self._jobs_in_order()],
+        }
+
+    # ------------------------------------------------------------------
+    # Public API (shared by in-process callers, HTTP and the CLI)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: Optional[Mapping] = None,
+        *,
+        tenant: str = "default",
+        gpus: int = 1,
+        pool: str = DEFAULT_POOL,
+        priority: int = 0,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Accept one job; returns its id.  Raises
+        :class:`~repro.service.errors.AdmissionError` over policy and
+        :class:`~repro.service.errors.ServiceUnavailable` while the
+        store is down (shedding, not queueing in RAM)."""
+        if self.degraded:
+            self._flush_pending()
+        if self.degraded:
+            raise ServiceUnavailable(
+                "durable store is unavailable; new submissions are shed "
+                "(running and admitted work keeps draining)",
+                reason="store_unavailable",
+            )
+        queued = sum(
+            1
+            for job in self.jobs.values()
+            if job.tenant == tenant
+            and job.state in (JobState.QUEUED, JobState.ADMITTED, JobState.RETRYING)
+        )
+        self.admission.check_submit(tenant, queued)
+        self._order += 1
+        if job_id is None:
+            job_id = f"job-{self._order:05d}"
+        if job_id in self.jobs:
+            raise ServiceError(
+                f"job id {job_id!r} already exists", reason="duplicate_job"
+            )
+        now = self.clock()
+        record = JobRecord(
+            job_id=job_id,
+            tenant=tenant,
+            spec=dict(spec or {}),
+            gpus=int(gpus),
+            pool=str(pool),
+            priority=self.admission.effective_priority(tenant, priority),
+            submitted_at=now,
+            updated_at=now,
+            order=self._order,
+        )
+        # Durability before visibility: the submit record hits the WAL
+        # before the job becomes claimable by a tick.  A store that
+        # fails right here sheds this submission (nothing buffered —
+        # the caller was told the job was not accepted).
+        try:
+            self.store.append("submit", job=record.to_json())
+        except StoreUnavailable as error:
+            self.degraded = True
+            self._order -= 1
+            raise ServiceUnavailable(
+                f"durable store is unavailable ({error}); submission shed",
+                reason="store_unavailable",
+            )
+        self.jobs[job_id] = record
+        return job_id
+
+    def cancel(self, job_id: str) -> JobState:
+        """Cancel a job; idempotent on terminal jobs (returns the state)."""
+        job = self._job(job_id)
+        if job.is_terminal:
+            return job.state
+        now = self.clock()
+        job.token = None
+        transition(job, JobState.CANCELLED, now, detail="cancelled by user")
+        self._append_transition(job, at=now)
+        return job.state
+
+    def status(self, job_id: str) -> dict:
+        """One job's full record (JSON-safe)."""
+        return self._job(job_id).to_json()
+
+    def job_list(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[Union[JobState, str]] = None,
+    ) -> list[dict]:
+        """All jobs (optionally filtered), in submission order."""
+        wanted = JobState(state) if state is not None else None
+        return [
+            job.to_json()
+            for job in self._jobs_in_order()
+            if (tenant is None or job.tenant == tenant)
+            and (wanted is None or job.state is wanted)
+        ]
+
+    def stats(self) -> dict:
+        """Service-level health: epoch, degradation, per-state counts."""
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+        return {
+            "epoch": self.epoch,
+            "degraded": self.degraded,
+            "buffered_records": len(self._pending),
+            "jobs": dict(sorted(by_state.items())),
+        }
+
+    @property
+    def active_jobs(self) -> int:
+        """Jobs not yet in a terminal state."""
+        return sum(1 for job in self.jobs.values() if not job.is_terminal)
+
+    # ------------------------------------------------------------------
+    # Worker-facing: token redemption
+    # ------------------------------------------------------------------
+    def start(self, token: DispatchToken) -> JobRecord:
+        """Redeem a dispatch token; the only way work may start.
+
+        Raises :class:`TokenError` for stale-epoch, reused, mismatched
+        or otherwise invalid tokens.  Emits a ``dispatch_token`` trace
+        event either way.
+        """
+        now = self.clock()
+        job = self.jobs.get(token.job_id)
+        try:
+            if job is None:
+                raise TokenError(
+                    f"token names unknown job {token.job_id!r}",
+                    reason="unknown_job",
+                )
+            if job.state is not JobState.DISPATCHED:
+                raise TokenError(
+                    f"job {token.job_id!r} is {job.state.value}, not "
+                    "dispatched; duplicate or out-of-order start rejected",
+                    reason="not_dispatched",
+                )
+            self.issuer.redeem(token, job.token)
+        except TokenError as error:
+            self._emit_token(now, token, accepted=False, reason=error.reason)
+            raise
+        self._emit_token(now, token, accepted=True, reason="ok")
+        transition(job, JobState.RUNNING, now)
+        self._append_transition(job, at=now)
+        return job
+
+    def _emit_token(
+        self, now: float, token: DispatchToken, accepted: bool, reason: str
+    ) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "dispatch_token",
+                now,
+                job=token.job_id,
+                epoch=token.epoch,
+                seq=token.seq,
+                accepted=accepted,
+                reason=reason,
+            )
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> TickStats:
+        """One scheduling pass: flush, re-admit, dispatch, execute."""
+        now = self.clock() if now is None else now
+        stats = TickStats()
+        stats.flushed = self._flush_pending()
+        self._promote_retries(now, stats)
+        self._dispatch(now, stats)
+        if not self.degraded:
+            stats.compacted = self.store.maybe_compact(self._snapshot_state())
+        return stats
+
+    def _jobs_in_order(self) -> list[JobRecord]:
+        return sorted(self.jobs.values(), key=lambda job: job.order)
+
+    def _priority_order(self, records: list[JobRecord]) -> list[JobRecord]:
+        return sorted(records, key=lambda job: (-job.priority, job.order))
+
+    def _promote_retries(self, now: float, stats: TickStats) -> None:
+        due = [
+            job
+            for job in self._jobs_in_order()
+            if job.state is JobState.RETRYING and job.not_before <= now
+        ]
+        for job in self._priority_order(due):
+            transition(job, JobState.ADMITTED, now)
+            self._append_transition(job, at=now)
+            stats.admitted += 1
+
+    def _dispatch(self, now: float, stats: TickStats) -> None:
+        queued = [
+            job for job in self.jobs.values() if job.state is JobState.QUEUED
+        ]
+        for job in self._priority_order(queued):
+            transition(job, JobState.ADMITTED, now)
+            self._append_transition(job, at=now)
+            stats.admitted += 1
+        usage = in_flight_gpus(self.jobs.values())
+        admitted = [
+            job for job in self.jobs.values() if job.state is JobState.ADMITTED
+        ]
+        for job in self._priority_order(admitted):
+            if not self.admission.may_admit(job, usage):
+                continue  # stays ADMITTED until capacity frees up
+            token = self.issuer.issue(job.job_id)
+            job.token = token.to_json()
+            job.dispatches += 1
+            transition(job, JobState.DISPATCHED, now)
+            self._append_transition(job, at=now)
+            key = (job.tenant, job.pool)
+            usage[key] = usage.get(key, 0) + job.gpus
+            stats.dispatched += 1
+            self._run_one(now, job, token, stats)
+
+    def _run_one(
+        self, now: float, job: JobRecord, token: DispatchToken, stats: TickStats
+    ) -> None:
+        """The in-process worker: redeem the token, execute, report."""
+        try:
+            self.start(token)
+        except TokenError as error:  # pragma: no cover - defensive
+            logger.error("self-dispatch rejected: %s", error)
+            return
+        try:
+            outcome = self.executor.execute(job)
+        except Exception as error:  # noqa: BLE001 - seam boundary
+            outcome = JobOutcome.failure(
+                classify_exception(error), detail=f"{type(error).__name__}: {error}"
+            )
+        self._complete(now, job, outcome, stats)
+
+    def _complete(
+        self, now: float, job: JobRecord, outcome: JobOutcome, stats: TickStats
+    ) -> None:
+        job.token = None
+        if outcome.ok:
+            job.result = outcome.result
+            transition(job, JobState.FINISHED, now)
+            self._append_transition(job, at=now)
+            stats.finished += 1
+            return
+        job.attempts += 1
+        kind = outcome.failure_kind or FailureKind.FATAL
+        if self.retry.should_retry(kind, job.attempts):
+            delay = self.retry.delay(job.attempts, key=job.job_id)
+            job.not_before = now + delay
+            transition(
+                job, JobState.RETRYING, now,
+                detail=outcome.detail or f"{kind.value} failure",
+            )
+            self._append_transition(job, at=now)
+            stats.retried += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "job_retry",
+                    now,
+                    job=job.job_id,
+                    attempt=job.attempts,
+                    failure_kind=kind.value,
+                    delay=delay,
+                )
+            return
+        transition(
+            job, JobState.FAILED, now,
+            detail=outcome.detail
+            or f"{kind.value} failure, attempts exhausted",
+        )
+        self._append_transition(job, at=now)
+        stats.failed += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle helpers
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> JobRecord:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def close(self) -> None:
+        """Release the store (idempotent); the WAL stays replayable."""
+        self.store.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ControlPlane(epoch={self.epoch}, jobs={len(self.jobs)}, "
+            f"degraded={self.degraded})"
+        )

@@ -1,0 +1,52 @@
+"""Error taxonomy of the control plane.
+
+Every failure the service surfaces to a caller is a
+:class:`ServiceError` subclass carrying a machine-readable ``reason``
+slug, so the HTTP layer and the CLI can map errors to status codes and
+messages without string-matching tracebacks.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for control-plane failures.
+
+    ``reason`` is a stable machine-readable slug (e.g.
+    ``"stale_epoch"``, ``"max_queued_jobs"``); the string form stays
+    human-readable.
+    """
+
+    def __init__(self, message: str, reason: str = "error") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class StateMachineError(ServiceError):
+    """An illegal job-state transition was attempted."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="invalid_transition")
+
+
+class UnknownJobError(ServiceError):
+    """A job id the service has never seen."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}", reason="unknown_job")
+        self.job_id = job_id
+
+
+class TokenError(ServiceError):
+    """A dispatch token was rejected (stale epoch, mismatch, reuse...)."""
+
+
+class AdmissionError(ServiceError):
+    """A submission violated the tenant's admission policy."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is shedding work (e.g. the durable store is down)."""
+
+    def __init__(self, message: str, reason: str = "unavailable") -> None:
+        super().__init__(message, reason=reason)

@@ -1,0 +1,90 @@
+"""The retry seam: attempt caps, exponential backoff, failure kinds.
+
+One :class:`RetryPolicy` instance serves three callers — control-plane
+job retries, re-dispatch after a worker/lease loss, and the sweep
+executor's transient-cell retries — so backoff behaviour is configured
+in exactly one place.  Jitter is *deterministic*: it derives from the
+policy seed, the retry key and the attempt number via the same
+SHA-256 stream derivation the simulator's RNG registry uses, so two
+replays of the same schedule produce the same delays (the chaos
+suite's convergence proofs depend on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.simulation.rng import derive_seed
+
+
+class FailureKind(str, Enum):
+    """Classification of one failure for retry purposes."""
+
+    TRANSIENT = "transient"  # machine/infra trouble: retry may succeed
+    FATAL = "fatal"  # the job itself is wrong: retrying cannot help
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Exception types treated as transient infrastructure failures by
+#: :func:`classify_exception`.  ``OSError`` covers the worker-side
+#: IO/process-management family (BrokenProcessPool wraps one).
+_TRANSIENT_EXCEPTIONS = (OSError, ConnectionError, TimeoutError)
+
+
+def classify_exception(error: BaseException) -> FailureKind:
+    """Default exception -> :class:`FailureKind` mapping."""
+    if isinstance(error, _TRANSIENT_EXCEPTIONS):
+        return FailureKind.TRANSIENT
+    return FailureKind.FATAL
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``max_attempts`` bounds *reported execution failures* — attempt
+    ``n`` is allowed while ``n < max_attempts``.  ``delay(attempt,
+    key)`` is the wait before re-admitting after the ``attempt``-th
+    failure: ``base_delay * factor**(attempt-1)`` capped at
+    ``max_delay``, then multiplied by a jitter factor drawn uniformly
+    from ``[1-jitter, 1+jitter)`` using ``(seed, key, attempt)`` — no
+    global RNG is touched.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    factor: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def should_retry(self, kind: FailureKind, attempts: int) -> bool:
+        """True when a failure of ``kind`` after ``attempts`` tries may retry."""
+        return FailureKind(kind) is FailureKind.TRANSIENT and attempts < self.max_attempts
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before the retry that follows failure ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        unit = derive_seed(self.seed, f"retry:{key}:{attempt}") / float(2**64)
+        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+#: Conservative default shared by the daemon and the sweep executor.
+DEFAULT_RETRY_POLICY = RetryPolicy()

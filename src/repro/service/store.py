@@ -1,0 +1,275 @@
+"""The durable store: append-only JSONL WAL + compacted snapshots.
+
+Stdlib-only crash safety:
+
+* every state change is one JSON line appended to ``wal.jsonl`` (an
+  optional ``fsync`` per append for real durability; tests exercise
+  crash points at record granularity, so buffered writes keep the same
+  semantics),
+* a *snapshot* (``snapshot.json``) is written atomically
+  (tmp + ``os.replace``) every ``compact_every`` records and the WAL
+  is then reset, so recovery cost is O(recent records), not
+  O(history),
+* every record carries a monotonically increasing ``seq`` that
+  survives compaction, so a crash between the snapshot rename and the
+  WAL reset replays no record twice — records at or below the
+  snapshot's ``last_seq`` are skipped.
+
+Recovery tolerates a *torn tail*: a partial or garbled final line
+(the classic ``kill -9`` mid-write artifact) is dropped and the file
+is repaired before appends resume.  Garbage in the middle of the WAL
+— valid records after an invalid line — is real corruption and
+raises :class:`StoreCorruption` instead of silently skipping history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.service.errors import ServiceError
+
+#: Version of the on-disk WAL/snapshot layout.
+STORE_SCHEMA_VERSION = 1
+
+#: ``kind`` of the header record opening every WAL file.
+WAL_HEADER_KIND = "wal_header"
+
+
+class StoreError(ServiceError):
+    """The durable store failed in a way recovery cannot hide."""
+
+    def __init__(self, message: str, reason: str = "store_error") -> None:
+        super().__init__(message, reason=reason)
+
+
+class StoreCorruption(StoreError):
+    """Valid records follow garbage — history is untrustworthy."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="store_corruption")
+
+
+class StoreUnavailable(StoreError):
+    """The store cannot accept writes right now (shed, don't crash)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="store_unavailable")
+
+
+@dataclass
+class StoreImage:
+    """What recovery reconstructed: snapshot state + WAL records."""
+
+    snapshot: Optional[dict] = None
+    records: list = field(default_factory=list)
+    last_seq: int = 0
+    dropped_tail: int = 0  # torn-tail lines discarded during repair
+
+
+class DurableStore:
+    """Append-only WAL with periodic compacted snapshots under ``root``."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        fsync: bool = False,
+        compact_every: int = 256,
+    ) -> None:
+        if compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.root / "wal.jsonl"
+        self.snapshot_path = self.root / "snapshot.json"
+        self.fsync = bool(fsync)
+        self.compact_every = int(compact_every)
+        self._fh: Optional[IO[str]] = None
+        self._seq = 0
+        self._since_snapshot = 0
+        self.appends = 0  # lifetime append count (chaos crash points key on it)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> StoreImage:
+        """Load snapshot + WAL, repair a torn tail, open for append."""
+        image = self._load()
+        if image.dropped_tail:
+            self._rewrite_valid_prefix(image)
+        self._seq = image.last_seq
+        self._since_snapshot = len(image.records)
+        self._open_append(write_header=not self.wal_path.exists())
+        return image
+
+    def _load(self) -> StoreImage:
+        image = StoreImage()
+        if self.snapshot_path.exists():
+            try:
+                with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                    snapshot = json.load(fh)
+            except (OSError, json.JSONDecodeError) as error:
+                raise StoreCorruption(
+                    f"snapshot {self.snapshot_path} is unreadable: {error}"
+                )
+            if snapshot.get("schema") != STORE_SCHEMA_VERSION:
+                raise StoreCorruption(
+                    f"snapshot schema {snapshot.get('schema')!r} is not "
+                    f"{STORE_SCHEMA_VERSION}"
+                )
+            image.snapshot = snapshot.get("state") or {}
+            image.last_seq = int(snapshot.get("last_seq", 0))
+        if not self.wal_path.exists():
+            return image
+        # errors="replace": a torn tail can contain arbitrary bytes; the
+        # mangled line fails JSON parsing and is handled as torn, rather
+        # than the whole recovery dying on a decode error.
+        lines = self.wal_path.read_text(
+            encoding="utf-8", errors="replace"
+        ).splitlines()
+        parsed: list[Optional[dict]] = []
+        for line in lines:
+            if not line.strip():
+                parsed.append(None)
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                parsed.append(None)
+                continue
+            parsed.append(record if isinstance(record, dict) else None)
+        # A torn tail is a (possibly empty) run of bad lines at the very
+        # end; a bad line with any valid record after it is corruption.
+        last_valid = -1
+        for index, record in enumerate(parsed):
+            if record is not None:
+                last_valid = index
+        for index in range(last_valid + 1):
+            if parsed[index] is None:
+                raise StoreCorruption(
+                    f"{self.wal_path}:{index + 1}: invalid record followed "
+                    "by valid records — WAL middle is corrupt"
+                )
+        image.dropped_tail = len(parsed) - (last_valid + 1)
+        for record in parsed[: last_valid + 1]:
+            if record.get("kind") == WAL_HEADER_KIND:
+                if record.get("schema") != STORE_SCHEMA_VERSION:
+                    raise StoreCorruption(
+                        f"{self.wal_path}: WAL schema "
+                        f"{record.get('schema')!r} is not {STORE_SCHEMA_VERSION}"
+                    )
+                continue
+            seq = int(record.get("seq", 0))
+            if seq <= image.last_seq and image.snapshot is not None:
+                continue  # already folded into the snapshot
+            image.records.append(record)
+            image.last_seq = max(image.last_seq, seq)
+        return image
+
+    def _rewrite_valid_prefix(self, image: StoreImage) -> None:
+        """Atomically rewrite the WAL without its torn tail."""
+        tmp = self.wal_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(self._header_line())
+            for record in image.records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.wal_path)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _header_line(self) -> str:
+        return (
+            json.dumps({"kind": WAL_HEADER_KIND, "schema": STORE_SCHEMA_VERSION})
+            + "\n"
+        )
+
+    def _open_append(self, write_header: bool) -> None:
+        try:
+            self._fh = open(self.wal_path, "a", encoding="utf-8")
+            if write_header or self.wal_path.stat().st_size == 0:
+                self._fh.write(self._header_line())
+                self._fh.flush()
+        except OSError as error:
+            raise StoreUnavailable(f"cannot open WAL {self.wal_path}: {error}")
+
+    def append(self, kind: str, **fields) -> int:
+        """Durably append one record; returns its ``seq``."""
+        if self._fh is None:
+            raise StoreUnavailable(f"store at {self.root} is not open")
+        record = {"seq": self._seq + 1, "kind": kind}
+        record.update(fields)
+        try:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except OSError as error:
+            raise StoreUnavailable(f"WAL append failed: {error}")
+        self._seq += 1
+        self._since_snapshot += 1
+        self.appends += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    @property
+    def records_since_snapshot(self) -> int:
+        """WAL records not yet folded into a snapshot."""
+        return self._since_snapshot
+
+    def compact(self, state: dict) -> None:
+        """Write an atomic snapshot of ``state`` and reset the WAL.
+
+        Crash-safe ordering: the snapshot lands via ``os.replace``
+        first; only then is the WAL truncated.  A crash in between
+        leaves old records in the WAL, but their ``seq`` values are at
+        or below the snapshot's ``last_seq`` and recovery skips them.
+        """
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "last_seq": self._seq,
+            "state": state,
+        }
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.snapshot_path)
+            if self._fh is not None:
+                self._fh.close()
+            wal_tmp = self.wal_path.with_suffix(".jsonl.tmp")
+            with open(wal_tmp, "w", encoding="utf-8") as fh:
+                fh.write(self._header_line())
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(wal_tmp, self.wal_path)
+            self._fh = open(self.wal_path, "a", encoding="utf-8")
+        except OSError as error:
+            raise StoreUnavailable(f"compaction failed: {error}")
+        self._since_snapshot = 0
+
+    def maybe_compact(self, state: dict) -> bool:
+        """Compact when the WAL has grown past ``compact_every`` records."""
+        if self._since_snapshot < self.compact_every:
+            return False
+        self.compact(state)
+        return True
+
+    def close(self) -> None:
+        """Flush and release the WAL handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DurableStore({str(self.root)!r}, seq={self._seq})"

@@ -857,7 +857,7 @@ class ClusterSimulator:
             lease = self.leases.lease_of(gpu)
             if lease is not None:
                 affected_apps.add(lease.app_id)
-                self.leases.release(gpu)
+                self.leases.revoke(gpu, reason="failure")
                 self._emit_lease_revokes(now, lease.app_id, (gpu,), "failure")
         for app_id in sorted(affected_apps):
             app = self.active_apps.get(app_id)

@@ -32,7 +32,7 @@ Quickstart::
 """
 
 from repro.sweep.cache import SCHEMA_VERSION, CacheEntry, PruneStats, ResultCache
-from repro.sweep.executor import execute_task, run_sweep
+from repro.sweep.executor import classify_traceback, execute_task, run_sweep
 from repro.sweep.matrix import SweepMatrix, SweepTask, canonical_json, jsonable
 from repro.sweep.progress import (
     STATUS_CACHED,
@@ -59,6 +59,7 @@ __all__ = [
     "SweepTask",
     "TaskRecord",
     "canonical_json",
+    "classify_traceback",
     "execute_task",
     "jsonable",
     "run_sweep",

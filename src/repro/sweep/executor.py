@@ -13,7 +13,11 @@
   ``random``/``numpy`` calls cannot make serial and parallel runs
   diverge,
 * a raising cell is captured as a per-task failure record (traceback
-  included) instead of poisoning the pool or the whole sweep.
+  included) instead of poisoning the pool or the whole sweep,
+* an optional :class:`~repro.service.retry.RetryPolicy` re-runs
+  *transient* failures (worker deaths, IO trouble) with capped
+  exponential backoff; deterministic cells that raise keep failing
+  fast because their errors classify as fatal.
 
 Workers ship results back as ``to_json`` payloads rather than live
 objects — smaller pickles, and exactly what the cache stores.
@@ -21,6 +25,7 @@ objects — smaller pickles, and exactly what the cache stores.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 import traceback
@@ -31,6 +36,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.service.retry import FailureKind, RetryPolicy
 from repro.simulation.rng import derive_seed
 from repro.simulation.simulator import SimulationResult
 from repro.sweep.cache import ResultCache
@@ -45,6 +51,8 @@ from repro.sweep.progress import (
 )
 
 CacheLike = Union[ResultCache, str, Path, None]
+
+logger = logging.getLogger("repro.sweep.executor")
 
 
 def _seed_globals(task: SweepTask) -> None:
@@ -84,6 +92,44 @@ def _execute_task_payload(task: SweepTask) -> tuple[str, Optional[dict], Optiona
     return task.task_id, payload, error, seconds
 
 
+#: Exception names (a traceback's last line) classified as transient —
+#: the same infra/IO family :func:`repro.service.retry.classify_exception`
+#: treats as retryable, by name because worker tracebacks arrive as text.
+_TRANSIENT_ERROR_NAMES = frozenset({
+    "OSError",
+    "IOError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "ConnectionAbortedError",
+    "ConnectionRefusedError",
+    "BrokenPipeError",
+    "TimeoutError",
+    "BrokenProcessPool",
+    "EOFError",
+})
+
+
+def classify_traceback(error: Optional[str]) -> FailureKind:
+    """Classify a captured traceback string for retry purposes.
+
+    Looks at the exception name on the last non-empty line
+    (``"Name: message"``); unknown or unparsable errors are fatal — a
+    deterministic cell that raised will raise again, so retrying it
+    only wastes workers.
+    """
+    if not error:
+        return FailureKind.FATAL
+    lines = [line for line in error.strip().splitlines() if line.strip()]
+    if not lines:
+        return FailureKind.FATAL
+    name = lines[-1].split(":", 1)[0].strip()
+    # "module.path.ExcName" from `raise module.Exc(...)` tracebacks.
+    name = name.rsplit(".", 1)[-1]
+    if name in _TRANSIENT_ERROR_NAMES:
+        return FailureKind.TRANSIENT
+    return FailureKind.FATAL
+
+
 def _normalize_cache(cache: CacheLike) -> Optional[ResultCache]:
     if cache is None or isinstance(cache, ResultCache):
         return cache
@@ -104,12 +150,18 @@ def run_sweep(
     cache: CacheLike = None,
     progress: Optional[Callable[[str], None]] = None,
     progress_every: int = 1,
+    retry: Optional[RetryPolicy] = None,
 ) -> SweepReport:
     """Execute every task, through the cache and (optionally) a pool.
 
     ``cache`` accepts a :class:`ResultCache` or a directory path.
     ``progress`` is an optional ``print``-like callable that receives
-    one status line per completed cell.
+    one status line per completed cell.  ``retry`` (a
+    :class:`RetryPolicy`) re-runs cells whose failure classifies as
+    transient — pool-level worker deaths always do, in-task tracebacks
+    via :func:`classify_traceback` — waiting out the policy's capped
+    backoff between attempts; each record's ``attempts`` reports the
+    executions it took.
     """
     tasks = list(tasks)
     if workers < 1:
@@ -137,21 +189,52 @@ def run_sweep(
         else:
             pending.append(task)
 
+    attempts: dict[str, int] = {}
+    elapsed: dict[str, float] = {}
+
     def finish(task: SweepTask, result: Optional[SimulationResult],
                error: Optional[str], seconds: float) -> None:
+        total_seconds = elapsed.get(task.task_id, 0.0) + seconds
+        tried = attempts.get(task.task_id, 1)
         if result is not None:
-            record = TaskRecord(task.task_id, STATUS_OK, seconds)
+            record = TaskRecord(task.task_id, STATUS_OK, total_seconds,
+                                attempts=tried)
             results[task.task_id] = result
             if store is not None:
                 store.store(task, result)
         else:
-            record = TaskRecord(task.task_id, STATUS_FAILED, seconds, error=error)
+            record = TaskRecord(task.task_id, STATUS_FAILED, total_seconds,
+                                error=error, attempts=tried)
         records[task.task_id] = record
         tracker.update(record)
 
+    def should_retry(task: SweepTask, kind: FailureKind, seconds: float) -> bool:
+        """Consume one attempt; True when the cell goes around again."""
+        if retry is None:
+            return False
+        tried = attempts.get(task.task_id, 1)
+        if not retry.should_retry(kind, tried):
+            return False
+        delay = retry.delay(tried, key=task.task_id)
+        attempts[task.task_id] = tried + 1
+        elapsed[task.task_id] = elapsed.get(task.task_id, 0.0) + seconds
+        logger.info(
+            "retrying %s after %s failure (attempt %d, backoff %.2fs)",
+            task.task_id, kind.value, tried, delay,
+        )
+        if delay > 0:
+            time.sleep(delay)
+        return True
+
     if workers == 1 or len(pending) <= 1:
         for task in pending:
-            finish(task, *execute_task(task))
+            while True:
+                result, error, seconds = execute_task(task)
+                if result is not None or not should_retry(
+                    task, classify_traceback(error), seconds
+                ):
+                    finish(task, result, error, seconds)
+                    break
     else:
         by_id = {task.task_id: task for task in pending}
         with ProcessPoolExecutor(
@@ -167,14 +250,26 @@ def run_sweep(
                     task = futures[future]
                     error = future.exception()
                     if error is not None:
-                        # Pool-level failure (e.g. a killed worker):
-                        # surface it as a per-task record, not a crash.
+                        # Pool-level failure (e.g. a killed worker) —
+                        # always transient: the cell never got to run.
+                        if should_retry(task, FailureKind.TRANSIENT, 0.0):
+                            resubmitted = pool.submit(_execute_task_payload, task)
+                            futures[resubmitted] = task
+                            remaining.add(resubmitted)
+                            continue
                         finish(task, None, f"{type(error).__name__}: {error}", 0.0)
                         continue
                     task_id, payload, task_error, seconds = future.result()
                     result = (
                         None if payload is None else SimulationResult.from_json(payload)
                     )
+                    if result is None and should_retry(
+                        task, classify_traceback(task_error), seconds
+                    ):
+                        resubmitted = pool.submit(_execute_task_payload, task)
+                        futures[resubmitted] = task
+                        remaining.add(resubmitted)
+                        continue
                     finish(by_id[task_id], result, task_error, seconds)
 
     return SweepReport(

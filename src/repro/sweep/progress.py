@@ -47,12 +47,18 @@ class SweepError(RuntimeError):
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Outcome of one sweep cell: status, wall time, error if any."""
+    """Outcome of one sweep cell: status, wall time, error if any.
+
+    ``attempts`` counts executions of the cell including the final one
+    — it stays 1 unless the executor's retry policy re-ran a transient
+    failure; ``duration_seconds`` sums all attempts.
+    """
 
     task_id: str
     status: str
     duration_seconds: float = 0.0
     error: Optional[str] = None
+    attempts: int = 1
 
 
 class ProgressTracker:
@@ -116,6 +122,11 @@ class SweepReport:
     def num_executed(self) -> int:
         """Cells that actually ran a simulation (ok + failed, not cached)."""
         return self.num_ok + self.num_failed
+
+    @property
+    def num_retried(self) -> int:
+        """Cells that needed more than one execution attempt."""
+        return sum(1 for r in self.records if r.attempts > 1)
 
     def failures(self) -> list[TaskRecord]:
         """Records of failed cells, with tracebacks."""
@@ -204,9 +215,10 @@ class SweepReport:
 
     def summary(self) -> str:
         """Multi-line human-readable wrap-up of the sweep."""
+        retried = f", {self.num_retried} retried" if self.num_retried else ""
         lines = [
             f"sweep: {len(self.records)} tasks | {self.num_ok} ok, "
-            f"{self.num_cached} cached, {self.num_failed} failed | "
+            f"{self.num_cached} cached, {self.num_failed} failed{retried} | "
             f"workers={self.workers}",
             f"wall {self.wall_seconds:.2f}s, task time {self.task_seconds():.2f}s"
             + (

@@ -1,0 +1,112 @@
+"""Tests for the stochastic failure generator (FailureModel)."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import themis_sim_cluster
+from repro.simulation.failures import (
+    FailureInjector,
+    FailureModel,
+    MachineFailure,
+    sample_failures,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return themis_sim_cluster(scale=0.25)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_minutes=0)
+    with pytest.raises(ValueError):
+        FailureModel(mttr_minutes=-1)
+    with pytest.raises(ValueError):
+        FailureModel(horizon_minutes=0)
+    with pytest.raises(ValueError):
+        FailureModel(rack_mtbf_minutes=0)
+
+
+def test_reproducible_per_seed(cluster):
+    model = FailureModel(mtbf_minutes=6 * 60, seed=7, rack_mtbf_minutes=12 * 60)
+    assert sample_failures(cluster, model) == sample_failures(cluster, model)
+    other = FailureModel(mtbf_minutes=6 * 60, seed=8, rack_mtbf_minutes=12 * 60)
+    assert sample_failures(cluster, model) != sample_failures(cluster, other)
+
+
+def test_failures_are_sorted_and_within_horizon(cluster):
+    model = FailureModel(mtbf_minutes=4 * 60, horizon_minutes=600, seed=3)
+    failures = sample_failures(cluster, model)
+    assert failures  # a 26-machine cluster with 4h MTBF fails within 10h
+    keys = [(f.at, f.machine_id) for f in failures]
+    assert keys == sorted(keys)
+    assert all(0 <= f.at < 600 for f in failures)
+    assert all(f.duration > 0 and not math.isinf(f.duration) for f in failures)
+
+
+def test_shorter_mtbf_means_more_failures(cluster):
+    common = dict(horizon_minutes=24 * 60, seed=1)
+    frequent = sample_failures(
+        cluster, FailureModel(mtbf_minutes=2 * 60, **common)
+    )
+    rare = sample_failures(
+        cluster, FailureModel(mtbf_minutes=48 * 60, **common)
+    )
+    assert len(frequent) > len(rare)
+
+
+def test_machine_cannot_fail_while_down(cluster):
+    model = FailureModel(mtbf_minutes=60, mttr_minutes=120, seed=5)
+    failures = sample_failures(cluster, model)
+    by_machine = {}
+    for failure in failures:
+        by_machine.setdefault(failure.machine_id, []).append(failure)
+    for outages in by_machine.values():
+        for earlier, later in zip(outages, outages[1:]):
+            assert later.at >= earlier.repair_at
+
+
+def test_rack_outages_are_correlated(cluster):
+    model = FailureModel(
+        mtbf_minutes=1e9,  # effectively disable independent failures
+        rack_mtbf_minutes=6 * 60,
+        horizon_minutes=24 * 60,
+        seed=2,
+    )
+    failures = sample_failures(cluster, model)
+    assert failures
+    # Every outage instant takes down a whole rack at once.
+    by_at = {}
+    for failure in failures:
+        by_at.setdefault((failure.at, failure.duration), set()).add(
+            failure.machine_id
+        )
+    rack_sets = [
+        {m.machine_id for m in cluster.machines_in_rack(rack_id)}
+        for rack_id in cluster.rack_ids
+    ]
+    for machines in by_at.values():
+        assert machines in rack_sets
+
+
+def test_disabling_racks_drops_correlation(cluster):
+    base = FailureModel(mtbf_minutes=6 * 60, seed=4)
+    with_racks = FailureModel(
+        mtbf_minutes=6 * 60, seed=4, rack_mtbf_minutes=6 * 60
+    )
+    independent = sample_failures(cluster, base)
+    correlated = sample_failures(cluster, with_racks)
+    # Rack outages only add failures; machine-level draws are unchanged
+    # because every stream is keyed by name.
+    assert set(independent) <= set(correlated)
+    assert len(correlated) > len(independent)
+
+
+def test_sampled_schedule_feeds_the_injector(cluster):
+    model = FailureModel(mtbf_minutes=6 * 60, horizon_minutes=12 * 60, seed=9)
+    failures = sample_failures(cluster, model)
+    injector = FailureInjector(failures)
+    assert injector.failures == failures  # already sorted, valid records
+    assert all(isinstance(f, MachineFailure) for f in injector.failures)

@@ -125,3 +125,22 @@ def test_tracked_pool_after_regrant_transfer(small_cluster):
     manager.release(small_cluster.gpu(0))
     pool = manager.pool_for_auction(now=5.0, all_gpus=small_cluster.gpus)
     assert 0 in {gpu.gpu_id for gpu in pool}
+
+
+def test_revoke_counts_by_reason(small_cluster):
+    manager = LeaseManager()
+    gpu = small_cluster.gpu(0)
+    manager.grant(gpu, "a", "j", 0.0, 10.0)
+    revoked = manager.revoke(gpu, reason="failure")
+    assert revoked is not None and revoked.app_id == "a"
+    assert not manager.is_leased(gpu)
+    assert manager.revocations == {"failure": 1}
+    manager.grant(gpu, "b", "k", 0.0, 10.0)
+    manager.revoke(gpu)  # default reason
+    assert manager.revocations == {"failure": 1, "forced": 1}
+
+
+def test_revoke_unleased_is_noop(small_cluster):
+    manager = LeaseManager()
+    assert manager.revoke(small_cluster.gpu(0), reason="failure") is None
+    assert manager.revocations == {}  # no-op revocations are not counted

@@ -208,3 +208,22 @@ def test_tracing_does_not_change_simulation_results():
     assert json.dumps(untraced.to_json(), sort_keys=True) == json.dumps(
         traced.to_json(), sort_keys=True
     )
+
+
+# ----------------------------------------------------------------------
+# Control-plane event kinds (trace schema v2)
+# ----------------------------------------------------------------------
+def test_schema_v2_adds_control_plane_kinds():
+    assert TRACE_SCHEMA_VERSION == 2
+    events = [
+        {"kind": "dispatch_token", "t": 0.0, "job": "j", "epoch": 1,
+         "accepted": True},
+        {"kind": "job_retry", "t": 1.0, "job": "j", "attempt": 1,
+         "failure_kind": "transient", "delay": 0.5},
+    ]
+    assert validate_events(events) == []
+
+
+def test_control_plane_kinds_reject_missing_fields():
+    missing = [{"kind": "job_retry", "t": 0.0, "job": "j"}]
+    assert validate_events(missing)  # attempt/failure_kind/delay absent

@@ -1,0 +1,98 @@
+"""Unit tests for per-tenant admission control."""
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    TenantPolicy,
+    in_flight_gpus,
+    policies_from_json,
+)
+from repro.service.errors import AdmissionError
+from repro.service.state import JobRecord, JobState
+
+
+def test_policy_pool_limits_with_fallback():
+    policy = TenantPolicy(
+        tenant="acme",
+        max_concurrent_gpus=8,
+        pool_gpu_limits=(("a100", 4), ("t4", 2)),
+    )
+    assert policy.pool_limit("a100") == 4
+    assert policy.pool_limit("t4") == 2
+    assert policy.pool_limit("anything-else") == 8
+
+
+def test_policy_json_round_trip():
+    policy = TenantPolicy(
+        tenant="acme",
+        max_queued_jobs=5,
+        max_concurrent_gpus=16,
+        pool_gpu_limits=(("a100", 4),),
+        priority_boost=2,
+    )
+    assert TenantPolicy.from_json(policy.to_json()) == policy
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        TenantPolicy(max_queued_jobs=-1)
+    with pytest.raises(ValueError):
+        TenantPolicy(pool_gpu_limits=(("a100", -2),))
+
+
+def test_check_submit_enforces_queue_depth():
+    controller = AdmissionController()
+    controller.set_policy(TenantPolicy(tenant="acme", max_queued_jobs=2))
+    controller.check_submit("acme", queued_jobs=1)
+    with pytest.raises(AdmissionError) as excinfo:
+        controller.check_submit("acme", queued_jobs=2)
+    assert excinfo.value.reason == "max_queued_jobs"
+    # Unregistered tenants get the default policy.
+    controller.check_submit("someone-else", queued_jobs=10)
+
+
+def test_effective_priority_applies_boost():
+    controller = AdmissionController()
+    controller.set_policy(TenantPolicy(tenant="gold", priority_boost=10))
+    assert controller.effective_priority("gold", 1) == 11
+    assert controller.effective_priority("plain", 1) == 1
+
+
+def test_may_admit_enforces_pool_concurrency():
+    controller = AdmissionController()
+    controller.set_policy(
+        TenantPolicy(tenant="acme", pool_gpu_limits=(("a100", 4),))
+    )
+    job = JobRecord(job_id="j1", tenant="acme", pool="a100", gpus=2)
+    assert controller.may_admit(job, {})
+    assert controller.may_admit(job, {("acme", "a100"): 2})
+    assert not controller.may_admit(job, {("acme", "a100"): 3})
+    # Another tenant's usage never counts against acme.
+    assert controller.may_admit(job, {("other", "a100"): 100})
+
+
+def test_in_flight_gpus_counts_only_dispatched_and_running():
+    records = [
+        JobRecord(job_id="a", tenant="t", pool="p", gpus=2,
+                  state=JobState.RUNNING),
+        JobRecord(job_id="b", tenant="t", pool="p", gpus=3,
+                  state=JobState.DISPATCHED),
+        JobRecord(job_id="c", tenant="t", pool="p", gpus=5,
+                  state=JobState.QUEUED),
+        JobRecord(job_id="d", tenant="t", pool="q", gpus=1,
+                  state=JobState.RUNNING),
+        JobRecord(job_id="e", tenant="t", pool="p", gpus=7,
+                  state=JobState.FINISHED),
+    ]
+    assert in_flight_gpus(records) == {("t", "p"): 5, ("t", "q"): 1}
+
+
+def test_policies_from_json_star_sets_default():
+    controller = policies_from_json([
+        {"tenant": "*", "max_queued_jobs": 1},
+        {"tenant": "acme", "max_queued_jobs": 9, "priority_boost": 3},
+    ])
+    assert controller.policy_for("acme").max_queued_jobs == 9
+    assert controller.policy_for("unknown").max_queued_jobs == 1
+    assert controller.effective_priority("acme", 0) == 3

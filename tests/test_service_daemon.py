@@ -1,0 +1,315 @@
+"""Unit tests for the ControlPlane daemon: lifecycle, tokens, degradation."""
+
+import pytest
+
+from repro.obs.tracer import RingTracer
+from repro.service.admission import AdmissionController, TenantPolicy
+from repro.service.chaos import FakeClock, FlakyStore, ScriptedExecutor
+from repro.service.daemon import ControlPlane, JobOutcome
+from repro.service.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailable,
+    TokenError,
+    UnknownJobError,
+)
+from repro.service.retry import FailureKind, RetryPolicy
+from repro.service.state import JobState
+from repro.service.store import DurableStore
+from repro.service.tokens import DispatchToken
+
+
+NO_JITTER = RetryPolicy(base_delay=1.0, jitter=0.0)
+
+
+def make_plane(tmp_path, **kwargs):
+    clock = kwargs.pop("clock", FakeClock())
+    kwargs.setdefault("retry", NO_JITTER)
+    store = kwargs.pop("store", None) or DurableStore(tmp_path / "store")
+    plane = ControlPlane(store, clock=clock, **kwargs)
+    return plane, clock
+
+
+def drain(plane, clock, max_ticks=50, step=1.0):
+    for _ in range(max_ticks):
+        plane.tick()
+        if plane.active_jobs == 0:
+            return
+        clock.advance(step)
+    raise AssertionError("did not drain")
+
+
+def test_submit_tick_finish(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    job_id = plane.submit({"kind": "noop"}, tenant="acme", gpus=2)
+    assert plane.status(job_id)["state"] == "queued"
+    stats = plane.tick()
+    assert stats.admitted == 1
+    assert stats.dispatched == 1
+    assert stats.finished == 1
+    record = plane.status(job_id)
+    assert record["state"] == "finished"
+    assert record["dispatches"] == 1
+    assert record["attempts"] == 0
+    plane.close()
+
+
+def test_transient_failure_retries_then_succeeds(tmp_path):
+    script = {
+        "j": [
+            JobOutcome.failure(FailureKind.TRANSIENT, "flaky"),
+            JobOutcome.success({"answer": 42}),
+        ]
+    }
+    executor = ScriptedExecutor(script=script)
+    plane, clock = make_plane(tmp_path, executor=executor)
+    plane.submit({}, job_id="j")
+    plane.tick()
+    assert plane.status("j")["state"] == "retrying"
+    assert plane.status("j")["attempts"] == 1
+    # Not due yet: backoff must elapse first.
+    plane.tick()
+    assert plane.status("j")["state"] == "retrying"
+    clock.advance(2.0)
+    plane.tick()
+    record = plane.status("j")
+    assert record["state"] == "finished"
+    assert record["result"] == {"answer": 42}
+    assert executor.executions == [("j", 0), ("j", 1)]
+    plane.close()
+
+
+def test_fatal_failure_does_not_retry(tmp_path):
+    executor = ScriptedExecutor(
+        script={"j": [JobOutcome.failure(FailureKind.FATAL, "bug")]}
+    )
+    plane, clock = make_plane(tmp_path, executor=executor)
+    plane.submit({}, job_id="j")
+    plane.tick()
+    record = plane.status("j")
+    assert record["state"] == "failed"
+    assert record["attempts"] == 1
+    assert "bug" in record["detail"]
+    plane.close()
+
+
+def test_retries_exhaust_to_failed(tmp_path):
+    always_fail = ScriptedExecutor(
+        default=JobOutcome.failure(FailureKind.TRANSIENT, "still flaky")
+    )
+    plane, clock = make_plane(
+        tmp_path, executor=always_fail,
+        retry=RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0),
+    )
+    plane.submit({}, job_id="j")
+    drain(plane, clock, step=10.0)
+    record = plane.status("j")
+    assert record["state"] == "failed"
+    assert record["attempts"] == 3
+    plane.close()
+
+
+def test_executor_exception_is_classified(tmp_path):
+    class Exploding(ScriptedExecutor):
+        def execute(self, record):
+            raise ValueError("deterministic bug")
+
+    plane, clock = make_plane(tmp_path, executor=Exploding())
+    plane.submit({}, job_id="j")
+    plane.tick()
+    assert plane.status("j")["state"] == "failed"  # ValueError -> fatal
+    plane.close()
+
+
+def test_cancel_before_dispatch_and_idempotent_after_terminal(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    plane.submit({}, job_id="j")
+    assert plane.cancel("j") is JobState.CANCELLED
+    assert plane.cancel("j") is JobState.CANCELLED  # idempotent
+    plane.tick()
+    assert plane.status("j")["state"] == "cancelled"  # tick skips it
+    with pytest.raises(UnknownJobError):
+        plane.cancel("nope")
+    plane.close()
+
+
+def test_duplicate_job_id_rejected(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    plane.submit({}, job_id="j")
+    with pytest.raises(ServiceError) as excinfo:
+        plane.submit({}, job_id="j")
+    assert excinfo.value.reason == "duplicate_job"
+    plane.close()
+
+
+def test_priority_orders_dispatch(tmp_path):
+    executor = ScriptedExecutor()
+    admission = AdmissionController()
+    admission.set_policy(TenantPolicy(tenant="gold", priority_boost=10))
+    plane, clock = make_plane(tmp_path, executor=executor, admission=admission)
+    plane.submit({}, job_id="low", tenant="plain")
+    plane.submit({}, job_id="high", tenant="gold")
+    plane.tick()
+    assert [job_id for job_id, _ in executor.executions] == ["high", "low"]
+    plane.close()
+
+
+def test_pool_concurrency_gates_dispatch_until_capacity_frees(tmp_path):
+    """A tenant over its pool cap keeps jobs ADMITTED, not dispatched."""
+    blocker = ScriptedExecutor(
+        script={"wide": [JobOutcome.failure(FailureKind.TRANSIENT, "hold")]},
+    )
+    admission = AdmissionController(
+        default=TenantPolicy(max_concurrent_gpus=4)
+    )
+    plane, clock = make_plane(
+        tmp_path, executor=blocker, admission=admission,
+        retry=RetryPolicy(max_attempts=2, base_delay=100.0, jitter=0.0),
+    )
+    plane.submit({}, job_id="wide", gpus=4)
+    plane.submit({}, job_id="blocked", gpus=4)
+    plane.tick()
+    # "wide" consumed the whole pool budget this tick (it fails into a
+    # long backoff); "blocked" stayed ADMITTED because 4+4 > 4.
+    assert plane.status("blocked")["state"] == "admitted"
+    assert plane.status("blocked")["dispatches"] == 0
+    plane.tick()
+    # Capacity freed ("wide" is RETRYING): "blocked" dispatches now.
+    assert plane.status("blocked")["state"] == "finished"
+    plane.close()
+
+
+def test_queue_depth_gate_sheds_submissions(tmp_path):
+    admission = AdmissionController(default=TenantPolicy(max_queued_jobs=2))
+    plane, clock = make_plane(
+        tmp_path, executor=ScriptedExecutor(), admission=admission
+    )
+    plane.submit({}, job_id="a")
+    plane.submit({}, job_id="b")
+    with pytest.raises(AdmissionError):
+        plane.submit({}, job_id="c")
+    plane.tick()  # a and b finish -> queue depth back to 0
+    plane.submit({}, job_id="c")
+    plane.close()
+
+
+def test_start_requires_issued_token(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    with pytest.raises(TokenError) as excinfo:
+        plane.start(DispatchToken(job_id="ghost", epoch=plane.epoch, seq=1))
+    assert excinfo.value.reason == "unknown_job"
+    plane.close()
+
+
+def test_start_rejects_double_redemption(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    plane.submit({}, job_id="j")
+    plane.tick()  # dispatch + run + finish
+    token = plane.issuer.issue("j")  # a fresh seq, but job is terminal
+    with pytest.raises(TokenError) as excinfo:
+        plane.start(token)
+    assert excinfo.value.reason == "not_dispatched"
+    plane.close()
+
+
+def test_degraded_mode_sheds_submissions_but_drains_work(tmp_path):
+    flaky = FlakyStore(tmp_path / "store")
+    script = {
+        "j": [
+            JobOutcome.failure(FailureKind.TRANSIENT, "flaky"),
+            JobOutcome.success(),
+        ]
+    }
+    plane, clock = make_plane(
+        tmp_path, store=flaky, executor=ScriptedExecutor(script=script)
+    )
+    plane.submit({}, job_id="j")
+    flaky.available = False
+    # Admitted work keeps draining while the store is down...
+    plane.tick()
+    assert plane.degraded
+    assert plane.status("j")["state"] == "retrying"
+    assert plane.stats()["buffered_records"] > 0
+    # ...but new submissions are shed with a clear error.
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        plane.submit({}, job_id="shed-me")
+    assert excinfo.value.reason == "store_unavailable"
+    assert "shed-me" not in plane.jobs
+    # Store comes back: buffered records flush, job completes.
+    flaky.available = True
+    clock.advance(2.0)
+    stats = plane.tick()
+    assert stats.flushed > 0
+    assert not plane.degraded
+    drain(plane, clock)
+    assert plane.status("j")["state"] == "finished"
+    plane.close()
+
+    # The WAL now contains everything, including the buffered window.
+    replayed = ControlPlane(
+        DurableStore(tmp_path / "store"), executor=ScriptedExecutor(),
+        retry=NO_JITTER, clock=FakeClock(),
+    )
+    assert replayed.status("j")["state"] == "finished"
+    replayed.close()
+
+
+def test_tracer_events_for_retry_and_token(tmp_path):
+    tracer = RingTracer()
+    script = {
+        "j": [
+            JobOutcome.failure(FailureKind.TRANSIENT, "flaky"),
+            JobOutcome.success(),
+        ]
+    }
+    plane, clock = make_plane(
+        tmp_path, executor=ScriptedExecutor(script=script), tracer=tracer
+    )
+    plane.submit({}, job_id="j")
+    drain(plane, clock, step=2.0)
+    kinds = [event["kind"] for event in tracer.events]
+    assert kinds.count("dispatch_token") == 2  # one per dispatch
+    assert kinds.count("job_retry") == 1
+    retry_event = next(e for e in tracer.events if e["kind"] == "job_retry")
+    assert retry_event["job"] == "j"
+    assert retry_event["attempt"] == 1
+    assert retry_event["failure_kind"] == "transient"
+    token_events = [e for e in tracer.events if e["kind"] == "dispatch_token"]
+    assert all(e["accepted"] for e in token_events)
+    assert all(e["epoch"] == plane.epoch for e in token_events)
+    plane.close()
+
+
+def test_stats_and_job_list_filters(tmp_path):
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    plane.submit({}, job_id="a", tenant="x")
+    plane.submit({}, job_id="b", tenant="y")
+    plane.tick()
+    plane.submit({}, job_id="c", tenant="x")
+    assert [j["job_id"] for j in plane.job_list(tenant="x")] == ["a", "c"]
+    assert [j["job_id"] for j in plane.job_list(state="queued")] == ["c"]
+    stats = plane.stats()
+    assert stats["jobs"] == {"finished": 2, "queued": 1}
+    assert stats["epoch"] == 1
+    plane.close()
+
+
+def test_compaction_through_the_daemon(tmp_path):
+    store = DurableStore(tmp_path / "store", compact_every=5)
+    plane, clock = make_plane(tmp_path, store=store,
+                              executor=ScriptedExecutor())
+    for index in range(4):
+        plane.submit({}, job_id=f"j{index}")
+    stats = plane.tick()
+    assert stats.compacted
+    plane.close()
+    # Recovery from snapshot + short WAL sees every terminal state.
+    replayed = ControlPlane(
+        DurableStore(tmp_path / "store"), executor=ScriptedExecutor(),
+        retry=NO_JITTER, clock=FakeClock(),
+    )
+    assert all(
+        replayed.status(f"j{index}")["state"] == "finished"
+        for index in range(4)
+    )
+    replayed.close()

@@ -1,0 +1,71 @@
+"""Unit tests for the retry/backoff seam."""
+
+import pytest
+
+from repro.service.retry import (
+    FailureKind,
+    RetryPolicy,
+    classify_exception,
+)
+
+
+def test_classification_defaults():
+    assert classify_exception(OSError("disk")) is FailureKind.TRANSIENT
+    assert classify_exception(ConnectionResetError()) is FailureKind.TRANSIENT
+    assert classify_exception(TimeoutError()) is FailureKind.TRANSIENT
+    assert classify_exception(ValueError("bad input")) is FailureKind.FATAL
+    assert classify_exception(RuntimeError("bug")) is FailureKind.FATAL
+
+
+def test_should_retry_only_transient_within_budget():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(FailureKind.TRANSIENT, attempts=1)
+    assert policy.should_retry(FailureKind.TRANSIENT, attempts=2)
+    assert not policy.should_retry(FailureKind.TRANSIENT, attempts=3)
+    assert not policy.should_retry(FailureKind.FATAL, attempts=1)
+
+
+def test_delay_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=1.0, factor=2.0, max_delay=5.0, jitter=0.0)
+    assert policy.delay(1) == pytest.approx(1.0)
+    assert policy.delay(2) == pytest.approx(2.0)
+    assert policy.delay(3) == pytest.approx(4.0)
+    assert policy.delay(4) == pytest.approx(5.0)  # capped
+    assert policy.delay(10) == pytest.approx(5.0)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=10.0, jitter=0.2, seed=7)
+    again = RetryPolicy(base_delay=10.0, jitter=0.2, seed=7)
+    for attempt in (1, 2, 3):
+        delay = policy.delay(attempt, key="job-1")
+        assert delay == again.delay(attempt, key="job-1")
+        raw = min(10.0 * 2.0 ** (attempt - 1), policy.max_delay)
+        assert raw * 0.8 <= delay <= raw * 1.2
+
+
+def test_jitter_varies_with_key_and_seed():
+    policy = RetryPolicy(base_delay=10.0, jitter=0.2, seed=7)
+    other_seed = RetryPolicy(base_delay=10.0, jitter=0.2, seed=8)
+    assert policy.delay(1, key="a") != policy.delay(1, key="b")
+    assert policy.delay(1, key="a") != other_seed.delay(1, key="a")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    policy = RetryPolicy()
+    with pytest.raises(ValueError):
+        policy.delay(0)
+
+
+def test_should_retry_accepts_kind_strings():
+    policy = RetryPolicy(max_attempts=2)
+    assert policy.should_retry("transient", attempts=1)
+    assert not policy.should_retry("fatal", attempts=1)

@@ -4,7 +4,9 @@ import pytest
 
 from repro.experiments.config import tiny_scenario
 from repro.experiments.runner import compare_schedulers
+from repro.service.retry import FailureKind, RetryPolicy
 from repro.sweep import (
+    classify_traceback,
     STATUS_CACHED,
     STATUS_FAILED,
     STATUS_OK,
@@ -142,3 +144,95 @@ def test_compare_schedulers_goes_through_sweep(tmp_path):
     )
     for name in serial:
         assert warm[name].to_json() == serial[name].to_json()
+
+
+# ----------------------------------------------------------------------
+# Transient-failure retries (the RetryPolicy seam)
+# ----------------------------------------------------------------------
+def test_classify_traceback():
+    transient = "Traceback (most recent call last):\n  ...\nOSError: disk\n"
+    assert classify_traceback(transient) is FailureKind.TRANSIENT
+    dotted = "...\nconcurrent.futures.process.BrokenProcessPool: died\n"
+    assert classify_traceback(dotted) is FailureKind.TRANSIENT
+    fatal = "Traceback (most recent call last):\nValueError: bad input\n"
+    assert classify_traceback(fatal) is FailureKind.FATAL
+    assert classify_traceback(None) is FailureKind.FATAL
+    assert classify_traceback("") is FailureKind.FATAL
+
+
+NO_WAIT = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def test_transient_failure_is_retried_serially(monkeypatch):
+    """First execution dies with an IO error; the retry succeeds."""
+    from repro.sweep import executor as executor_module
+
+    task = SweepTask(scenario=tiny_scenario(num_apps=2), scheduler="themis")
+    real_execute = executor_module.execute_task
+    calls = []
+
+    def flaky_execute(t):
+        calls.append(t.task_id)
+        if len(calls) == 1:
+            return None, "Traceback ...\nOSError: transient blip\n", 0.01
+        return real_execute(t)
+
+    monkeypatch.setattr(executor_module, "execute_task", flaky_execute)
+    report = run_sweep([task], workers=1, retry=NO_WAIT)
+    record = report.records[0]
+    assert record.status == STATUS_OK
+    assert record.attempts == 2
+    assert len(calls) == 2
+    assert report.num_retried == 1
+    assert "1 retried" in report.summary()
+
+
+def test_fatal_failure_is_not_retried(monkeypatch):
+    """Deterministic cell bugs fail fast even with a retry policy."""
+    bad = SweepTask(
+        scenario=tiny_scenario(num_apps=2), scheduler="themis",
+        scheduler_kwargs=(("not_a_real_kwarg", 1),),
+    )
+    report = run_sweep([bad], workers=1, retry=NO_WAIT)
+    record = report.records[0]
+    assert record.status == STATUS_FAILED
+    assert record.attempts == 1  # TypeError classifies as fatal
+    assert report.num_retried == 0
+
+
+def test_transient_retries_exhaust_to_failure(monkeypatch):
+    from repro.sweep import executor as executor_module
+
+    task = SweepTask(scenario=tiny_scenario(num_apps=2), scheduler="themis")
+    calls = []
+
+    def always_fail(t):
+        calls.append(t.task_id)
+        return None, "Traceback ...\nConnectionResetError: peer\n", 0.01
+
+    monkeypatch.setattr(executor_module, "execute_task", always_fail)
+    report = run_sweep(
+        [task], workers=1,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+    )
+    record = report.records[0]
+    assert record.status == STATUS_FAILED
+    assert record.attempts == 2
+    assert len(calls) == 2
+
+
+def test_no_policy_means_no_retry(monkeypatch):
+    from repro.sweep import executor as executor_module
+
+    task = SweepTask(scenario=tiny_scenario(num_apps=2), scheduler="themis")
+    calls = []
+
+    def always_fail(t):
+        calls.append(t.task_id)
+        return None, "Traceback ...\nOSError: blip\n", 0.01
+
+    monkeypatch.setattr(executor_module, "execute_task", always_fail)
+    report = run_sweep([task], workers=1)
+    assert report.records[0].status == STATUS_FAILED
+    assert report.records[0].attempts == 1
+    assert len(calls) == 1
