@@ -387,6 +387,7 @@ class ControlPlane:
         if job_id is None:
             job_id = f"job-{self._order:05d}"
         if job_id in self.jobs:
+            self._order -= 1  # rejected submissions must not leave id gaps
             raise ServiceError(
                 f"job id {job_id!r} already exists", reason="duplicate_job"
             )
@@ -522,7 +523,13 @@ class ControlPlane:
         self._promote_retries(now, stats)
         self._dispatch(now, stats)
         if not self.degraded:
-            stats.compacted = self.store.maybe_compact(self._snapshot_state())
+            # Compaction failing must degrade, not kill, the service —
+            # the WAL already holds every record the snapshot would.
+            try:
+                stats.compacted = self.store.maybe_compact(self._snapshot_state())
+            except StoreUnavailable as error:
+                logger.error("store unavailable during compaction: %s", error)
+                self.degraded = True
         return stats
 
     def _jobs_in_order(self) -> list[JobRecord]:

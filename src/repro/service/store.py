@@ -210,7 +210,9 @@ class DurableStore:
             self._fh.flush()
             if self.fsync:
                 os.fsync(self._fh.fileno())
-        except OSError as error:
+        except (OSError, ValueError) as error:
+            # ValueError covers a handle something closed under us
+            # ("I/O operation on closed file") — same shedding contract.
             raise StoreUnavailable(f"WAL append failed: {error}")
         self._seq += 1
         self._since_snapshot += 1
@@ -246,7 +248,11 @@ class DurableStore:
                 os.fsync(fh.fileno())
             os.replace(tmp, self.snapshot_path)
             if self._fh is not None:
+                # Null the handle before the WAL rewrite: if the rewrite
+                # fails we must not keep a closed file object around
+                # (later appends would die on ValueError, not shed).
                 self._fh.close()
+                self._fh = None
             wal_tmp = self.wal_path.with_suffix(".jsonl.tmp")
             with open(wal_tmp, "w", encoding="utf-8") as fh:
                 fh.write(self._header_line())

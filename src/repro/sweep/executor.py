@@ -30,6 +30,7 @@ import random
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
@@ -159,9 +160,11 @@ def run_sweep(
     one status line per completed cell.  ``retry`` (a
     :class:`RetryPolicy`) re-runs cells whose failure classifies as
     transient — pool-level worker deaths always do, in-task tracebacks
-    via :func:`classify_traceback` — waiting out the policy's capped
-    backoff between attempts; each record's ``attempts`` reports the
-    executions it took.
+    via :func:`classify_traceback` — after the policy's capped backoff;
+    each record's ``attempts`` reports the executions it took.  In the
+    parallel path backoffs are deadlines, not sleeps (other cells keep
+    dispatching and collecting), and a worker death that breaks the
+    process pool recreates the pool before resubmitting.
     """
     tasks = list(tasks)
     if workers < 1:
@@ -208,13 +211,15 @@ def run_sweep(
         records[task.task_id] = record
         tracker.update(record)
 
-    def should_retry(task: SweepTask, kind: FailureKind, seconds: float) -> bool:
-        """Consume one attempt; True when the cell goes around again."""
+    def retry_delay(
+        task: SweepTask, kind: FailureKind, seconds: float
+    ) -> Optional[float]:
+        """Consume one attempt; the backoff (seconds) or None (give up)."""
         if retry is None:
-            return False
+            return None
         tried = attempts.get(task.task_id, 1)
         if not retry.should_retry(kind, tried):
-            return False
+            return None
         delay = retry.delay(tried, key=task.task_id)
         attempts[task.task_id] = tried + 1
         elapsed[task.task_id] = elapsed.get(task.task_id, 0.0) + seconds
@@ -222,55 +227,22 @@ def run_sweep(
             "retrying %s after %s failure (attempt %d, backoff %.2fs)",
             task.task_id, kind.value, tried, delay,
         )
-        if delay > 0:
-            time.sleep(delay)
-        return True
+        return delay
 
     if workers == 1 or len(pending) <= 1:
         for task in pending:
             while True:
                 result, error, seconds = execute_task(task)
-                if result is not None or not should_retry(
-                    task, classify_traceback(error), seconds
-                ):
+                delay = None
+                if result is None:
+                    delay = retry_delay(task, classify_traceback(error), seconds)
+                if delay is None:
                     finish(task, result, error, seconds)
                     break
+                if delay > 0:
+                    time.sleep(delay)
     else:
-        by_id = {task.task_id: task for task in pending}
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=_pool_context()
-        ) as pool:
-            futures = {
-                pool.submit(_execute_task_payload, task): task for task in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures[future]
-                    error = future.exception()
-                    if error is not None:
-                        # Pool-level failure (e.g. a killed worker) —
-                        # always transient: the cell never got to run.
-                        if should_retry(task, FailureKind.TRANSIENT, 0.0):
-                            resubmitted = pool.submit(_execute_task_payload, task)
-                            futures[resubmitted] = task
-                            remaining.add(resubmitted)
-                            continue
-                        finish(task, None, f"{type(error).__name__}: {error}", 0.0)
-                        continue
-                    task_id, payload, task_error, seconds = future.result()
-                    result = (
-                        None if payload is None else SimulationResult.from_json(payload)
-                    )
-                    if result is None and should_retry(
-                        task, classify_traceback(task_error), seconds
-                    ):
-                        resubmitted = pool.submit(_execute_task_payload, task)
-                        futures[resubmitted] = task
-                        remaining.add(resubmitted)
-                        continue
-                    finish(by_id[task_id], result, task_error, seconds)
+        _run_parallel(pending, workers, finish, retry_delay)
 
     return SweepReport(
         records=[records[task.task_id] for task in tasks],
@@ -278,3 +250,92 @@ def run_sweep(
         workers=workers,
         wall_seconds=time.perf_counter() - started,
     )
+
+
+def _run_parallel(
+    pending: Sequence[SweepTask],
+    workers: int,
+    finish: Callable[[SweepTask, Optional[SimulationResult], Optional[str], float], None],
+    retry_delay: Callable[[SweepTask, FailureKind, float], Optional[float]],
+) -> None:
+    """The pool path: dispatch, collect, and retry without blocking.
+
+    Retries wait out their backoff as *deadlines* in ``waiting`` while
+    other futures keep completing — one flaky cell never serializes the
+    sweep.  A worker death marks every in-flight future failed and
+    breaks the pool; resubmission goes through :func:`submit` below,
+    which recreates the pool, so completed results survive the crash
+    and the dead cells either retry (policy permitting) or land as
+    per-task failure records.
+    """
+    max_workers = min(workers, len(pending))
+    pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=_pool_context())
+    futures: dict = {}
+    remaining: set = set()
+    waiting: list[tuple[float, SweepTask]] = []  # (deadline, task) backoffs
+
+    def submit(task: SweepTask) -> None:
+        nonlocal pool
+        try:
+            future = pool.submit(_execute_task_payload, task)
+        except BrokenProcessPool:
+            logger.warning(
+                "process pool broken; recreating it to resubmit %s", task.task_id
+            )
+            pool.shutdown(wait=False)
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=_pool_context()
+            )
+            future = pool.submit(_execute_task_payload, task)
+        futures[future] = task
+        remaining.add(future)
+
+    try:
+        for task in pending:
+            submit(task)
+        while remaining or waiting:
+            now = time.monotonic()
+            if waiting:
+                due = [entry for entry in waiting if entry[0] <= now]
+                if due:
+                    waiting = [entry for entry in waiting if entry[0] > now]
+                    for _, task in due:
+                        submit(task)
+            if not remaining:
+                # Everything left is waiting out a backoff deadline.
+                time.sleep(max(0.0, min(when for when, _ in waiting) - now))
+                continue
+            timeout = (
+                max(0.0, min(when for when, _ in waiting) - now)
+                if waiting else None
+            )
+            done, remaining = wait(
+                remaining, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task = futures.pop(future)
+                error = future.exception()
+                if error is not None:
+                    # Pool-level failure (e.g. a killed worker) —
+                    # always transient: the cell never got to run.
+                    delay = retry_delay(task, FailureKind.TRANSIENT, 0.0)
+                    if delay is None:
+                        finish(task, None, f"{type(error).__name__}: {error}", 0.0)
+                    else:
+                        waiting.append((time.monotonic() + delay, task))
+                    continue
+                _, payload, task_error, seconds = future.result()
+                result = (
+                    None if payload is None else SimulationResult.from_json(payload)
+                )
+                delay = None
+                if result is None:
+                    delay = retry_delay(
+                        task, classify_traceback(task_error), seconds
+                    )
+                if delay is None:
+                    finish(task, result, task_error, seconds)
+                else:
+                    waiting.append((time.monotonic() + delay, task))
+    finally:
+        pool.shutdown(wait=True)

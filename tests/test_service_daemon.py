@@ -15,7 +15,7 @@ from repro.service.errors import (
 )
 from repro.service.retry import FailureKind, RetryPolicy
 from repro.service.state import JobState
-from repro.service.store import DurableStore
+from repro.service.store import DurableStore, StoreUnavailable
 from repro.service.tokens import DispatchToken
 
 
@@ -252,6 +252,43 @@ def test_degraded_mode_sheds_submissions_but_drains_work(tmp_path):
     )
     assert replayed.status("j")["state"] == "finished"
     replayed.close()
+
+
+def test_compaction_failure_degrades_instead_of_crashing(tmp_path):
+    """StoreUnavailable out of maybe_compact must not kill the tick
+    loop: the service marks itself degraded and keeps draining."""
+
+    class CompactionBomb(DurableStore):
+        def maybe_compact(self, state):
+            raise StoreUnavailable("compaction refused")
+
+    plane, clock = make_plane(
+        tmp_path,
+        store=CompactionBomb(tmp_path / "store"),
+        executor=ScriptedExecutor(),
+    )
+    plane.submit({}, job_id="j")
+    stats = plane.tick()
+    assert plane.degraded
+    assert not stats.compacted
+    assert plane.status("j")["state"] == "finished"
+    # Subsequent ticks keep working (and keep re-degrading) quietly.
+    plane.submit({}, job_id="k")
+    plane.tick()
+    assert plane.status("k")["state"] == "finished"
+    assert plane.degraded
+    plane.close()
+
+
+def test_duplicate_job_id_does_not_leak_order(tmp_path):
+    """A rejected duplicate submission leaves no gap in generated ids."""
+    plane, clock = make_plane(tmp_path, executor=ScriptedExecutor())
+    plane.submit({}, job_id="explicit")
+    with pytest.raises(ServiceError) as excinfo:
+        plane.submit({}, job_id="explicit")
+    assert excinfo.value.reason == "duplicate_job"
+    assert plane.submit({}) == "job-00002"
+    plane.close()
 
 
 def test_tracer_events_for_retry_and_token(tmp_path):

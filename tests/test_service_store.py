@@ -76,6 +76,30 @@ def test_maybe_compact_respects_threshold(tmp_path):
     store.close()
 
 
+def test_compaction_failure_mid_rewrite_sheds_cleanly(tmp_path, monkeypatch):
+    """A compaction dying after the WAL handle closed (mid-rewrite)
+    leaves the store shedding: later appends raise StoreUnavailable,
+    never a bare ValueError from a closed file object."""
+    import os
+
+    from repro.service import store as store_module
+
+    store = open_store(tmp_path)
+    store.append("submit", job={"job_id": "a"})
+    real_replace = os.replace
+
+    def flaky_replace(src, dst, *args, **kwargs):
+        if str(dst).endswith("wal.jsonl"):
+            raise OSError("disk full")
+        return real_replace(src, dst, *args, **kwargs)
+
+    monkeypatch.setattr(store_module.os, "replace", flaky_replace)
+    with pytest.raises(StoreUnavailable):
+        store.compact({"jobs": ["a"]})
+    with pytest.raises(StoreUnavailable):
+        store.append("transition", job="a", state="admitted")
+
+
 def test_crash_between_snapshot_and_wal_reset_replays_nothing_twice(tmp_path):
     """Old WAL records at/below the snapshot's last_seq are skipped."""
     store = open_store(tmp_path)

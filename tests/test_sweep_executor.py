@@ -1,5 +1,8 @@
 """Executor behaviour: determinism, caching, failure capture."""
 
+import os
+import signal
+
 import pytest
 
 from repro.experiments.config import tiny_scenario
@@ -219,6 +222,83 @@ def test_transient_retries_exhaust_to_failure(monkeypatch):
     assert record.status == STATUS_FAILED
     assert record.attempts == 2
     assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# Parallel-path resilience: killed workers and non-blocking backoff.
+# The monkeypatched execute_task reaches pool workers because the pool
+# forks them from the (already patched) test process; cross-attempt
+# state lives in sentinel files since each attempt may run in a fresh
+# worker process.
+# ----------------------------------------------------------------------
+def _sentinel(tmp_path, task):
+    safe = "".join(c if c.isalnum() else "_" for c in task.task_id)
+    return tmp_path / f"seen-{safe}"
+
+
+def test_killed_worker_is_retried_after_pool_recreation(tmp_path, monkeypatch):
+    """SIGKILLing a worker breaks the whole pool; the sweep must
+    recreate it and retry the dead cells instead of crashing."""
+    from repro.sweep import executor as executor_module
+
+    tasks = _matrix_tasks(seeds=(1,))
+    victim = tasks[0].task_id
+    marker = tmp_path / "killed-once"
+    real_execute = executor_module.execute_task
+
+    def kill_first(task):
+        if task.task_id == victim and not marker.exists():
+            marker.write_text("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real_execute(task)
+
+    monkeypatch.setattr(executor_module, "execute_task", kill_first)
+    report = run_sweep(tasks, workers=2, retry=NO_WAIT)
+    by_id = {r.task_id: r for r in report.records}
+    assert all(r.status == STATUS_OK for r in report.records)
+    assert by_id[victim].attempts >= 2
+    assert set(report.results) == {t.task_id for t in tasks}
+
+
+def test_killed_worker_without_retry_records_failures(tmp_path, monkeypatch):
+    """No retry policy: a broken pool yields per-task failure records —
+    run_sweep itself must not raise BrokenProcessPool."""
+    from repro.sweep import executor as executor_module
+
+    tasks = _matrix_tasks(seeds=(1,))
+
+    def kill_always(task):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    monkeypatch.setattr(executor_module, "execute_task", kill_always)
+    report = run_sweep(tasks, workers=2)
+    assert all(r.status == STATUS_FAILED for r in report.records)
+    assert any("BrokenProcessPool" in (r.error or "") for r in report.records)
+
+
+def test_parallel_transient_retry_waits_out_backoff(tmp_path, monkeypatch):
+    """In-task transient failures retry through the parallel deadline
+    queue (nonzero backoff) and still converge to OK."""
+    from repro.sweep import executor as executor_module
+
+    tasks = _matrix_tasks(seeds=(1,))
+    real_execute = executor_module.execute_task
+
+    def flaky(task):
+        marker = _sentinel(tmp_path, task)
+        if not marker.exists():
+            marker.write_text("x")
+            return None, "Traceback ...\nOSError: transient blip\n", 0.01
+        return real_execute(task)
+
+    monkeypatch.setattr(executor_module, "execute_task", flaky)
+    report = run_sweep(
+        tasks, workers=2,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.0),
+    )
+    assert all(r.status == STATUS_OK for r in report.records)
+    assert all(r.attempts == 2 for r in report.records)
+    assert report.num_retried == len(tasks)
 
 
 def test_no_policy_means_no_retry(monkeypatch):
