@@ -730,26 +730,36 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
         check_sim_regression,
         load_bench,
         run_sim_suite,
-        write_bench,
+        write_sim_bench,
     )
 
-    profiles = list(args.profiles or SIM_PROFILES)
+    # sim-xl is explicit-only: the scale gate costs minutes per mode,
+    # so a bare ``repro bench sim`` must not pick it up by default.
+    default_profiles = [p for p in SIM_PROFILES if p != "sim-xl"]
+    profiles = list(args.profiles or default_profiles)
     repeats = args.repeats
     if args.quick:
         # CI smoke mode: the two small profiles only — the scalar
         # baseline and the throughput-matrix variant, so the per-family
         # carve kernel is gated from day one.  Two repeats per mode
         # (min-of-N) so the gated speedup ratio is not a single
-        # unaveraged timing pair on a noisy shared runner.
+        # unaveraged timing pair on a noisy shared runner.  sim-xl is
+        # additionally allowed through when asked for by name (the CI
+        # scale smoke), at a single repeat — its gate is byte-identity
+        # under a wall-clock budget, not a timing ratio.
         quick_set = ("sim-small", "sim-matrix")
-        dropped = [p for p in profiles if p not in quick_set]
+        quick_allowed = quick_set + ("sim-xl",)
+        dropped = [p for p in profiles if p not in quick_allowed]
         if args.profiles and dropped:
             logger.warning(
                 "--quick runs only %s; dropping explicitly requested "
-                "profiles %s", list(quick_set), dropped,
+                "profiles %s", list(quick_allowed), dropped,
             )
-        profiles = [p for p in profiles if p in quick_set] or list(quick_set)
-        repeats = min(repeats, 2) if repeats else 2
+        profiles = [p for p in profiles if p in quick_allowed] or list(quick_set)
+        if "sim-xl" in profiles:
+            repeats = 1
+        else:
+            repeats = min(repeats, 2) if repeats else 2
     unknown = [p for p in profiles if p not in SIM_PROFILES]
     if unknown:
         print(
@@ -787,15 +797,17 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
         if obs.get("profile"):
             _print_profile(obs["profile"], title=f"\n{name} traced-run phase profile:")
     if args.out:
-        write_bench(payload, args.out)
-        print(f"wrote {args.out}")
+        write_sim_bench(payload, args.out)
+        print(f"wrote {args.out} (trajectory appended)")
     if baseline is not None:
         gate = tuple(
-            p for p in ("sim-small", "sim-medium", "sim-matrix") if p in profiles
+            p
+            for p in ("sim-small", "sim-medium", "sim-matrix", "sim-xl")
+            if p in profiles
         )
         if not gate:
             print("regression check skipped: no gated profile "
-                  "(sim-small/sim-medium/sim-matrix) in this run")
+                  "(sim-small/sim-medium/sim-matrix/sim-xl) in this run")
             return 0
         failures = check_sim_regression(
             payload, baseline, max_slowdown=args.max_slowdown, gate_profiles=gate
@@ -1108,7 +1120,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated profiles; defaults to every profile of the "
              "selected suite (auction: small,medium,hetero-medium,large; "
              "sim: sim-small,sim-medium,sim-8x,sim-hetero,sim-failures,"
-             "sim-matrix,sim-migration)",
+             "sim-matrix,sim-migration; the sim-xl scale gate runs only "
+             "when named explicitly)",
     )
     bench_parser.add_argument(
         "--e2e", type=lambda t: [p.strip() for p in t.split(",") if p.strip()],
@@ -1120,7 +1133,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--quick", action="store_true",
                               help="CI smoke mode: 1 repeat; auction suite skips "
                                    "large/e2e-medium, sim suite runs "
-                                   "sim-small + sim-matrix only")
+                                   "sim-small + sim-matrix only (plus sim-xl "
+                                   "when requested by name, at 1 repeat)")
     bench_parser.add_argument("--out", default=None,
                               help="write the bench payload to this JSON path")
     bench_parser.add_argument("--check", default=None,

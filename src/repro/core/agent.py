@@ -59,18 +59,28 @@ class Agent:
         """The wrapped app's identifier."""
         return self.app.app_id
 
-    def report_rho(self, now: float, salt: int = 0) -> float:
+    def report_rho(
+        self, now: float, salt: int = 0, refresh_token: int | None = None
+    ) -> float:
         """Answer the ARBITER's probe with the current (noisy) rho estimate.
 
         Starved apps report ``inf`` — the unbounded metric that keeps
         them in every subsequent auction until they win (Section 5.1).
+        ``refresh_token`` stamps the scheduling round so repeat
+        refreshes within it are free (incremental pipeline only).
         """
-        rho = self.state.current_rho(now)
+        rho = self.state.current_rho(now, refresh_token)
         if math.isinf(rho):
             return rho
         return rho * _noise_factor(salt, self.app_id, ("probe",), self.noise_theta)
 
-    def prepare_bid(self, now: float, offered_counts: dict[int, int], salt: int = 0) -> Bid:
+    def prepare_bid(
+        self,
+        now: float,
+        offered_counts: dict[int, int],
+        salt: int = 0,
+        refresh_token: int | None = None,
+    ) -> Bid:
         """Turn a resource offer into a bid (PREPAREBIDS of Pseudocode 1)."""
         self.bids_prepared += 1
         return Bid(
@@ -81,6 +91,7 @@ class Agent:
             noise_theta=self.noise_theta,
             noise_salt=salt,
             state=self.state,
+            refresh_token=refresh_token,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -75,6 +75,8 @@ class RoundStats:
     solver_pair_scores: int = 0
     solver_replayed_moves: int = 0
     valuation_probes: int = 0
+    heap_warm_hits: int = 0
+    heap_warm_misses: int = 0
 
 
 class Arbiter:
@@ -97,6 +99,13 @@ class Arbiter:
         # Observability hooks; the simulator rewires these at bind time.
         self.tracer = NULL_TRACER
         self.profiler = NULL_PROFILER
+        #: Set by the scheduler at bind time when the incremental
+        #: valuation pipeline is on: enables the per-round refresh token
+        #: and the batched round-start rho priming.  ``estimator`` is the
+        #: shared FairnessEstimator the batch prime runs through.
+        self.incremental = False
+        self.estimator = None
+        self._refresh_token = 0
 
     # ------------------------------------------------------------------
     # Participant selection (fairness knob)
@@ -139,10 +148,29 @@ class Arbiter:
         pool_counts = {m: len(gpus) for m, gpus in pool_by_machine.items()}
 
         # Step 1: probe all apps for rho; only apps that still want GPUs
-        # are eligible bidders.
+        # are eligible bidders.  Under the incremental pipeline the
+        # round is stamped with a refresh token (repeat refreshes within
+        # it are one comparison) and every agent's base-bundle carve is
+        # primed in a single batch before the scalar probes — which then
+        # all hit the kernel caches.
+        token: Optional[int] = None
         with self.profiler.phase("valuation"):
+            if self.incremental and self.estimator is not None:
+                self._refresh_token += 1
+                token = self._refresh_token
+                prime = []
+                for agent in agents.values():
+                    state = agent.state
+                    state.refresh(token)
+                    marker = (state.cache_generation, state.base_key)
+                    if state.base_primed != marker:
+                        state.base_primed = marker
+                        prime.append((state, state.base_key))
+                if prime:
+                    self.estimator.batch_prime(prime)
             rhos = {
-                app_id: agent.report_rho(now, salt) for app_id, agent in agents.items()
+                app_id: agent.report_rho(now, salt, token)
+                for app_id, agent in agents.items()
             }
         eligible = [
             app_id for app_id, agent in agents.items() if agent.app.unmet_demand() > 0
@@ -163,8 +191,10 @@ class Arbiter:
 
         # Step 3: offers out, bids back.
         with self.profiler.phase("valuation"):
+            # ``Bid.__init__`` copies (and >0-filters) the offer counts,
+            # so the shared dict can be passed as-is.
             bids = {
-                app_id: agents[app_id].prepare_bid(now, dict(pool_counts), salt)
+                app_id: agents[app_id].prepare_bid(now, pool_counts, salt, token)
                 for app_id in participants
             }
         if self.tracer.enabled:
@@ -213,6 +243,8 @@ class Arbiter:
                 solver_pair_scores=solve_stats.pair_scores,
                 solver_replayed_moves=solve_stats.replayed_moves,
                 valuation_probes=sum(bid.rho_probes for bid in bids.values()),
+                heap_warm_hits=solve_stats.warm_hits,
+                heap_warm_misses=solve_stats.warm_misses,
             )
         )
         return concretise(assignments, pool_by_machine)
@@ -247,29 +279,46 @@ class Arbiter:
             for app_id, agent in agents.items()
         }
         unassigned = 0
+        # One sort for the whole round; the per-GPU loops only filter.
+        # Non-participants are a round constant, so hoist that check
+        # out of the per-GPU candidate scans too.  Total headroom gates
+        # the whole scan: once nobody wants another GPU, every further
+        # leftover is unassigned by definition (the fallback candidate
+        # list is exactly "apps with headroom"), so idle rounds on a
+        # mostly-free cluster cost O(machines), not O(GPUs x apps).
+        # The rng stream is untouched by the early exit — draws only
+        # ever happened when some app still had headroom.
+        total_headroom = sum(headroom.values())
+        ordered_apps = sorted(agents)
+        ordered_non_participants = [
+            app_id for app_id in ordered_apps if app_id not in participant_set
+        ]
         machine_order = sorted(
             leftover, key=lambda m: (-self._speed_of.get(m, 1.0), m)
         )
         for machine_id in machine_order:
-            for _ in range(leftover[machine_id]):
+            count = leftover[machine_id]
+            if total_headroom <= 0:
+                unassigned += count
+                continue
+            for seen in range(count):
+                if total_headroom <= 0:
+                    unassigned += count - seen
+                    break
                 candidates = [
                     app_id
-                    for app_id in sorted(agents)
-                    if app_id not in participant_set
-                    and headroom[app_id] > 0
-                    and machine_id in machines_of[app_id]
+                    for app_id in ordered_non_participants
+                    if headroom[app_id] > 0 and machine_id in machines_of[app_id]
                 ]
                 if not candidates:
                     candidates = [
-                        app_id for app_id in sorted(agents) if headroom[app_id] > 0
+                        app_id for app_id in ordered_apps if headroom[app_id] > 0
                     ]
-                if not candidates:
-                    unassigned += 1
-                    continue
                 choice = candidates[int(self.rng.integers(len(candidates)))]
                 bundle = assignments.setdefault(choice, {})
                 bundle[machine_id] = bundle.get(machine_id, 0) + 1
                 headroom[choice] -= 1
+                total_headroom -= 1
                 machines_of[choice].add(machine_id)
         return unassigned
 

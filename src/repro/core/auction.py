@@ -152,16 +152,34 @@ class AuctionSolveStats:
     at most two valuation probes — and is the quantity the lazy heap
     exists to minimise; ``replayed_moves`` counts warm-start moves the
     payment re-solves applied without any scoring at all.
+
+    When warm starts are enabled, ``warm_hits`` counts candidate work
+    satisfied from warm state (pair-score memo hits plus initial-heap
+    bundles already in the kernel caches) and ``warm_misses`` the
+    candidates that had to be computed fresh (memo misses plus batch
+    carves).  Both stay zero on the cold path.
     """
 
     solves: int = 0
     moves: int = 0
     replayed_moves: int = 0
     pair_scores: int = 0
+    warm_hits: int = 0
+    warm_misses: int = 0
 
 
 #: One applied greedy move: (app_id, machine_id, step, value after move).
 _Move = tuple[str, int, int, float]
+
+#: Sentinel distinguishing "memoised as None" from "not memoised".
+_MEMO_MISS = object()
+
+#: Smallest candidate batch worth sending to the vector carve kernel
+#: from the heap warm start.  Below this the per-call numpy overhead
+#: loses to the scalar on-demand path, so the prime skips the carve
+#: entirely (the candidates stay byte-identical either way — they are
+#: simply computed lazily instead of eagerly).
+_HEAP_PRIME_MIN = 64
 
 
 class PartialAllocationAuction:
@@ -188,6 +206,19 @@ class PartialAllocationAuction:
         self.last_stats = AuctionSolveStats()
         # Observability hook; the simulator rewires this at bind time.
         self.profiler = NULL_PROFILER
+        #: Warm starts (set by the scheduler at bind time alongside the
+        #: incremental valuation pipeline).  Raw heap entries cannot
+        #: survive a round — scores embed elapsed-dependent values — but
+        #: two elapsed-invariant layers can: (1) the initial heap
+        #: build's candidate bundles are batch-primed through
+        #: ``estimator.batch_prime`` (one vectorized carve; bundles a
+        #: previous round already carved are free), and (2) each bid
+        #: memoises whole scored pairs, so every re-solve of the round
+        #: (one per winner for hidden payments) rebuilds its heap from
+        #: dict hits instead of re-probing valuations.  Both layers
+        #: reproduce the cold path byte-identically.
+        self.warm_enabled = False
+        self.estimator = None
 
     # ------------------------------------------------------------------
     # Stage 1: proportional-fair (max Nash welfare) assignment
@@ -236,13 +267,33 @@ class PartialAllocationAuction:
         current_key: _BundleKey,
         current_value: float,
         headroom: int,
+        stats: Optional[AuctionSolveStats] = None,
     ) -> Optional[tuple[tuple, _Move]]:
         """Best (key, move) for one (app, machine) pair, or ``None``.
 
         Keys order rescues before gains (leading 0/1) and reproduce the
         rescan solver's tie-breaks exactly; they are unique per entry
         because they embed (step, app_id, machine_id).
+
+        With warm starts on, results are memoised per bid.  The score is
+        a pure function of ``(machine_id, current_key, free,
+        min(headroom, chunk_size))`` — ``current_value`` is itself
+        ``bid.value_from_key(current_key)``, step sizes depend on
+        headroom only through ``min(chunk_size, free, headroom)``, and
+        the rescue tie-break reads ``free`` directly — so that tuple is
+        the memo key.
         """
+        memo: Optional[dict[tuple, object]] = None
+        if self.warm_enabled:
+            memo = bid._pair_memo
+            memo_key = (machine_id, current_key, free, min(headroom, self.chunk_size))
+            cached = memo.get(memo_key, _MEMO_MISS)
+            if cached is not _MEMO_MISS:
+                if stats is not None:
+                    stats.warm_hits += 1
+                return cached  # type: ignore[return-value]
+            if stats is not None:
+                stats.warm_misses += 1
         if current_value <= 0.0:
             # Rescue with the smallest possible grab: one GPU already
             # makes the app's value positive, and lexicographic
@@ -278,6 +329,8 @@ class PartialAllocationAuction:
                 key = (1, -gain, step, app_id, machine_id)
             if best is None or key < best[0]:
                 best = (key, move)
+        if memo is not None:
+            memo[memo_key] = best
         return best
 
     def _solve_lazy(
@@ -332,6 +385,7 @@ class PartialAllocationAuction:
                 bundle_keys[app_id],
                 values[app_id],
                 headroom,
+                stats,
             )
             if scored is None:
                 return
@@ -371,6 +425,62 @@ class PartialAllocationAuction:
                 push_pair(app_id, other_machine)
         return assignment, moves
 
+    def _prime_heap(
+        self,
+        pool: Mapping[int, int],
+        bids: Mapping[str, Bid],
+        stats: Optional[AuctionSolveStats],
+    ) -> None:
+        """Batch-prime the kernel caches for the initial heap build.
+
+        Enumerates the single-machine candidate bundles the round's
+        solves will probe and carves their total keys in one vectorized
+        pass.  For each pool machine every step up to
+        ``min(chunk_size, free, headroom)`` is covered — free counts
+        only drain during a solve, so this closes over the initial heap
+        build *and* every later re-score and payment-re-solve rebuild
+        at smaller frees.  (Compound bundles — an app extending a
+        multi-machine holding mid-solve — are trajectory-dependent and
+        stay on the scalar path.)
+
+        Two gates keep the prime from ever costing more than it saves
+        (both are pure perf knobs — priming never changes a value):
+
+        * only bids whose kernel caches were invalidated since their
+          last prime are enumerated (``cache_generation`` vs
+          ``primed_generation``) — a stable starved app re-bidding the
+          same book round after round costs one integer compare;
+        * the batch is only carved when it is large enough for the
+          vector kernel to beat the scalar path
+          (:data:`_HEAP_PRIME_MIN`); a trickle of candidates falls
+          through to on-demand scalar carves, byte-identically.  Small
+          clusters rarely clear the bar; ``sim-xl``-sized pools do.
+        """
+        estimator = self.estimator
+        if estimator is None:
+            return
+        pairs = []
+        for app_id in sorted(bids):
+            bid = bids[app_id]
+            headroom = bid.demand
+            if headroom <= 0:
+                continue
+            state = bid.state
+            if state.primed_generation == state.cache_generation:
+                continue
+            state.primed_generation = state.cache_generation
+            max_step = self.chunk_size if bid.value_from_key(()) > 0.0 else 1
+            for machine_id, free in pool.items():
+                top = min(max_step, free, headroom)
+                for step in range(1, top + 1):
+                    pairs.append((state, bid.total_key_of(((machine_id, step),))))
+        if len(pairs) < _HEAP_PRIME_MIN:
+            return
+        carves, hits = estimator.batch_prime(pairs)
+        if stats is not None:
+            stats.warm_misses += carves
+            stats.warm_hits += hits
+
     # ------------------------------------------------------------------
     # Stage 2: hidden payments
     # ------------------------------------------------------------------
@@ -385,6 +495,7 @@ class PartialAllocationAuction:
         pf_allocation: Mapping[str, Mapping[int, int]],
         full_moves: Sequence[_Move] = (),
         stats: Optional[AuctionSolveStats] = None,
+        pf_values: Optional[Mapping[str, float]] = None,
     ) -> float:
         """``c_i`` of Pseudocode 2: the externality app ``i`` imposes.
 
@@ -419,7 +530,10 @@ class PartialAllocationAuction:
         )
         log_ratio = 0.0
         for other in others:
-            v_with = bids[other].value_of(pf_allocation.get(other, {}))
+            if pf_values is not None:
+                v_with = pf_values[other]
+            else:
+                v_with = bids[other].value_of(pf_allocation.get(other, {}))
             v_without = bids[other].value_of(without_i.get(other, {}))
             if v_with > 0.0 and v_without > 0.0:
                 log_ratio += math.log(v_with) - math.log(v_without)
@@ -473,11 +587,20 @@ class PartialAllocationAuction:
                 leftover=dict(pool),
                 participants=participants,
             )
+        if self.warm_enabled:
+            with self.profiler.phase("heap_warm_start"):
+                self._prime_heap(pool, bids, stats)
         with self.profiler.phase("auction_solve"):
             pf_allocation, full_moves = self._solve(pool, bids, stats=stats)
         payments: dict[str, float] = {}
         winners: dict[str, dict[int, int]] = {}
         with self.profiler.phase("payment_resolves"):
+            # The proportional-fair values are fixed for the round; every
+            # ``without_i`` ratio reads the same numerators.
+            pf_values = {
+                app_id: bids[app_id].value_of(pf_allocation.get(app_id, {}))
+                for app_id in participants
+            }
             for app_id in participants:
                 bundle = pf_allocation.get(app_id, {})
                 if not bundle:
@@ -485,7 +608,8 @@ class PartialAllocationAuction:
                     continue
                 if apply_hidden_payments:
                     fraction = self._payment_fraction(
-                        app_id, pool, bids, pf_allocation, full_moves, stats
+                        app_id, pool, bids, pf_allocation, full_moves, stats,
+                        pf_values,
                     )
                 else:
                     fraction = 1.0

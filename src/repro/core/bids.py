@@ -104,6 +104,7 @@ class Bid:
         noise_theta: float = 0.0,
         noise_salt: int = 0,
         state: AppValuationState | None = None,
+        refresh_token: int | None = None,
     ) -> None:
         self.app = app
         self.app_id = app.app_id
@@ -121,6 +122,13 @@ class Bid:
         # harness reports both.
         self._rho_cache: dict[tuple, float] = {}
         self._value_cache: dict[tuple, float] = {}
+        # Warm-started solves additionally memoise whole scored
+        # (app, machine) heap entries here, keyed on everything the
+        # score depends on; the payment re-solves rebuild their initial
+        # heaps over mostly-identical greedy states, so the memo turns
+        # those rebuilds into dict lookups.  Like the rho cache it dies
+        # with the bid — scores embed clock-dependent values.
+        self._pair_memo: dict[tuple, object] = {}
         self.rho_probes = 0
         self.rho_lookups = 0
         # The app's holdings and job states are fixed for the duration
@@ -131,15 +139,31 @@ class Bid:
         # while ad-hoc callers get a fresh single-auction state.
         if state is None:
             state = AppValuationState(app, estimator, reuse=False)
-        snap = state.refresh()
+        snap = state.refresh(refresh_token)
         self._state = state
         # The app's (single) model family selects its throughput-matrix
         # row for speed-class tie-breaks; mixed-family apps fall back to
-        # the scalar generation speeds.
-        families = {job_tuple[4] for job_tuple in snap.job_tuples}
-        self._family = next(iter(families)) if len(families) == 1 else None
+        # the scalar generation speeds.  Memoised on the snapshot — a
+        # starved app's snapshot survives many rounds of bids.
+        self._family = snap.family
         self.demand = app.unmet_demand()
         self.current_rho = self.rho_of({})
+
+    @property
+    def state(self) -> AppValuationState:
+        """The cross-round valuation state backing this bid."""
+        return self._state
+
+    def total_key_of(
+        self, key: tuple[tuple[int, int], ...]
+    ) -> tuple[tuple[int, int], ...]:
+        """Canonical key of the app's holdings plus bundle ``key``.
+
+        This is the key :meth:`rho_from_key` will probe the estimator
+        with — the auction's warm start uses it to batch-prime the
+        kernel caches before the heap build issues scalar probes.
+        """
+        return _merge_keys(self._state.base_key, key)
 
     # ------------------------------------------------------------------
     # Valuation queries
@@ -150,6 +174,8 @@ class Bid:
         Raises when the bundle exceeds the offer — an AGENT cannot bid
         on GPUs it was not shown.
         """
+        if not extra_counts:
+            return self.rho_from_key(())
         return self.rho_from_key(_bundle_key(extra_counts))
 
     def rho_from_key(self, key: tuple[tuple[int, int], ...]) -> float:
@@ -193,6 +219,8 @@ class Bid:
         the solver's log-gain keys and ``nash_log_welfare`` must stay
         finite and totally ordered.
         """
+        if not extra_counts:
+            return self.value_from_key(())
         return self.value_from_key(_bundle_key(extra_counts))
 
     def value_from_key(self, key: tuple[tuple[int, int], ...]) -> float:

@@ -30,8 +30,19 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+import warnings
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Mapping, Optional, Sequence
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    if os.environ.get("REPRO_NO_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from repro.cluster.placement import LocalityLevel, SensitivityProfile
 from repro.cluster.topology import Cluster
@@ -534,6 +545,222 @@ def _carve_reference(
     return out, index + 1
 
 
+#: One batch-carve instance: (job_tuples, canonical counts key).
+_CarveInstance = tuple[Sequence[_JobTuple], tuple[tuple[int, int], ...]]
+
+#: Below this many instances the per-call numpy overhead outweighs the
+#: vectorisation; the scalar kernel is run in a loop instead.  Purely a
+#: perf knob — both paths are byte-identical.
+_BATCH_MIN = 6
+
+_batch_fallback_warned = False
+
+
+def _carve_batch(
+    instances: Sequence[_CarveInstance],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int,
+    speed_of: Optional[Mapping[int, float]] = None,
+    family_speed_of: FamilySpeedFn = None,
+) -> list[tuple[list[_Carved], int]]:
+    """Carve many (job_tuples, counts-key) instances in one pass.
+
+    Returns one ``(allotments, next_index)`` per instance, byte-identical
+    to calling :func:`_carve_fast` on each (property-tested in
+    tests/test_batch_carve.py).  With numpy available and enough
+    instances, all rows advance in lockstep through a padded 2-D machine
+    layout — one masked argmax replaces the per-instance linear scans.
+    Without numpy the batch degrades to the scalar kernel with a
+    one-time warning.
+    """
+    global _batch_fallback_warned
+    if _np is None:
+        if not _batch_fallback_warned:
+            warnings.warn(
+                "numpy unavailable: batch carve falling back to the scalar "
+                "python kernel (results are identical, only slower)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _batch_fallback_warned = True
+    if _np is None or len(instances) < _BATCH_MIN:
+        return [
+            _carve_fast(
+                tuples,
+                dict(counts_key),
+                rack_of,
+                nvlink_group_size,
+                speed_of,
+                family_speed_of,
+            )
+            for tuples, counts_key in instances
+        ]
+    return _carve_batch_numpy(
+        instances, rack_of, nvlink_group_size, speed_of, family_speed_of
+    )
+
+
+def _carve_batch_numpy(
+    instances: Sequence[_CarveInstance],
+    rack_of: Mapping[int, int],
+    nvlink_group_size: int,
+    speed_of: Optional[Mapping[int, float]],
+    family_speed_of: FamilySpeedFn,
+) -> list[tuple[list[_Carved], int]]:
+    """Numpy lockstep edition of :func:`_carve_fast` over many instances.
+
+    Data layout: machines live in padded ``(B, Mmax)`` arrays (counts,
+    rack ids, per-row speeds), one row per instance, columns ordered by
+    machine id (the canonical key order) so ``argmax`` — which returns
+    the *first* maximum — reproduces the scalar kernel's lower-id
+    tie-break exactly.  Every float is produced by the same IEEE-754
+    operation sequence as the scalar kernel (``count * speed`` products,
+    one ``grab * speed`` accumulation per grab in grab order), so rates
+    are byte-identical, not merely close.  Job transitions (locality
+    classification, sensitivity lookup) stay in python — they touch
+    profile objects and happen once per *served job*, not per grab.
+    """
+    np = _np
+    num = len(instances)
+    rows: list[list[tuple[int, int]]] = [
+        [(m, c) for m, c in counts_key if c > 0] for _tuples, counts_key in instances
+    ]
+    width = max((len(row) for row in rows), default=0)
+    results: list[Optional[tuple[list[_Carved], int]]] = [None] * num
+    if width == 0:
+        for i, (tuples, _counts_key) in enumerate(instances):
+            results[i] = ([], 0 if tuples else 1)
+        return results  # type: ignore[return-value]
+    scalar_mode = family_speed_of is None
+    cnt = np.zeros((num, width), dtype=np.int64)
+    rid = np.full((num, width), -1, dtype=np.int64)
+    spd = np.ones((num, width), dtype=np.float64)
+    for i, row in enumerate(rows):
+        for j, (machine_id, count) in enumerate(row):
+            cnt[i, j] = count
+            rid[i, j] = rack_of[machine_id]
+            if scalar_mode and speed_of is not None:
+                spd[i, j] = speed_of.get(machine_id, 1.0)
+    fam_cache: list[dict[str, object]] = [{} for _ in range(num)]
+
+    need = np.zeros(num, dtype=np.int64)
+    effective = np.zeros(num, dtype=np.float64)
+    taken = np.zeros(num, dtype=np.int64)
+    first_cnt = np.zeros(num, dtype=np.int64)
+    nracks = np.zeros(num, dtype=np.int64)
+    rack_used = np.zeros((num, width), dtype=bool)
+    active = np.zeros(num, dtype=bool)
+    jidx = [0] * num
+    cap = [0] * num
+    out: list[list[_Carved]] = [[] for _ in range(num)]
+
+    def finalize(i: int) -> bool:
+        """Close out row ``i``'s current job; True if it got GPUs."""
+        total = cap[i] - int(need[i])
+        if total <= 0:
+            return False
+        job = instances[i][0][jidx[i]]
+        if int(taken[i]) == 1:
+            level = (
+                LocalityLevel.SLOT
+                if int(first_cnt[i]) <= nvlink_group_size
+                else LocalityLevel.MACHINE
+            )
+        elif int(nracks[i]) == 1:
+            level = LocalityLevel.RACK
+        else:
+            level = LocalityLevel.CLUSTER
+        eff = float(effective[i])
+        factor = 1.0 if total <= 1 else job[2].at(level)
+        out[i].append((job, total, level, eff * factor, eff))
+        return True
+
+    def setup(i: int) -> None:
+        """Start row ``i``'s next job, or record its final result."""
+        tuples = instances[i][0]
+        j = jidx[i]
+        if j >= len(tuples):
+            active[i] = False
+            results[i] = (out[i], len(tuples) if tuples else 1)
+            return
+        if not cnt[i].any():
+            active[i] = False
+            results[i] = (out[i], j)
+            return
+        job = tuples[j]
+        job_cap = job[1]
+        if job_cap <= 0:
+            active[i] = False
+            results[i] = (out[i], j)
+            return
+        cap[i] = job_cap
+        need[i] = job_cap
+        taken[i] = 0
+        first_cnt[i] = 0
+        effective[i] = 0.0
+        nracks[i] = 0
+        rack_used[i, :] = False
+        if not scalar_mode:
+            fam = job[4]
+            vec = fam_cache[i].get(fam)
+            if vec is None:
+                speed_map = family_speed_of(fam)
+                padded = [speed_map.get(m, 1.0) for m, _c in rows[i]]
+                padded.extend([1.0] * (width - len(padded)))
+                vec = np.asarray(padded, dtype=np.float64)
+                fam_cache[i][fam] = vec
+            spd[i] = vec
+        active[i] = True
+
+    def advance(i: int) -> None:
+        """Scalar-kernel job boundary: append, step, or stop the row."""
+        if finalize(i):
+            jidx[i] += 1
+            setup(i)
+        else:
+            active[i] = False
+            results[i] = (out[i], jidx[i])
+
+    for i in range(num):
+        setup(i)
+
+    while True:
+        act = np.nonzero(active)[0]
+        if act.size == 0:
+            break
+        sub_cnt = cnt[act]
+        eff = sub_cnt * spd[act]
+        valid = sub_cnt > 0
+        pref = valid & rack_used[act]
+        has_pref = pref.any(axis=1)
+        mask = np.where(has_pref[:, None], pref, valid)
+        eff = np.where(mask, eff, -1.0)
+        best = eff.argmax(axis=1)
+        lanes = np.arange(act.size)
+        grabbed = mask[lanes, best]
+        for i in act[~grabbed]:
+            # Pool drained mid-job: the scalar kernel breaks, closes the
+            # partial job, then stops at the next index.
+            advance(int(i))
+        if not grabbed.any():
+            continue
+        hit = act[grabbed]
+        col = best[grabbed]
+        grab = np.minimum(need[hit], cnt[hit, col])
+        cnt[hit, col] -= grab
+        effective[hit] += grab * spd[hit, col]
+        taken[hit] += 1
+        first = taken[hit] == 1
+        first_cnt[hit[first]] = grab[first]
+        grabbed_rack = rid[hit, col]
+        nracks[hit] += ~rack_used[hit, col]
+        rack_used[hit] = rack_used[hit] | (rid[hit] == grabbed_rack[:, None])
+        need[hit] -= grab
+        for i in hit[need[hit] == 0]:
+            advance(int(i))
+    return results  # type: ignore[return-value]
+
+
 def _job_tuples(jobs: Sequence[Job]) -> list[_JobTuple]:
     """Sorted job descriptors for active jobs (shortest remaining first)."""
     tuples = []
@@ -651,6 +878,17 @@ class AppSnapshot:
     total_remaining: float
     t_ideal: float
 
+    @cached_property
+    def family(self) -> Optional[str]:
+        """The single model family of all jobs, or ``None`` when mixed.
+
+        Selects the app's throughput-matrix row for speed-class
+        tie-breaks; computed once per snapshot rather than once per bid
+        (a starved app's snapshot survives many rounds).
+        """
+        families = {job_tuple[4] for job_tuple in self.job_tuples}
+        return next(iter(families)) if len(families) == 1 else None
+
 
 class FairnessEstimator:
     """Computes ``rho`` for current and hypothetical allocations.
@@ -747,6 +985,15 @@ class FairnessEstimator:
         """
         if not machine_counts:
             return 0.0
+        carved = self._carved(snap, machine_counts)
+        return sum(rate for *_, rate, _effective in carved)
+
+    def _carved(
+        self, snap: AppSnapshot, machine_counts: Mapping[int, int]
+    ) -> list[_Carved]:
+        """One counted, profiled carve — the single ``.enabled`` guard
+        shared by both valuation kernels (the obs overhead gate asserts
+        the disabled-profiler path costs nothing)."""
         self.carve_count += 1
         if self.profiler.enabled:
             with self.profiler.phase("carve"):
@@ -758,16 +1005,16 @@ class FairnessEstimator:
                     self._speed_of,
                     self._family_speed_fn,
                 )
-        else:
-            carved, _ = _carve_fast(
-                snap.job_tuples,
-                machine_counts,
-                self._rack_of,
-                self.nvlink_group_size,
-                self._speed_of,
-                self._family_speed_fn,
-            )
-        return sum(rate for *_, rate, _effective in carved)
+            return carved
+        carved, _ = _carve_fast(
+            snap.job_tuples,
+            machine_counts,
+            self._rack_of,
+            self.nvlink_group_size,
+            self._speed_of,
+            self._family_speed_fn,
+        )
+        return carved
 
     def carve_pairs_from_snapshot(
         self, snap: AppSnapshot, machine_counts: Mapping[int, int]
@@ -781,31 +1028,88 @@ class FairnessEstimator:
         :class:`AppValuationState` caches these pairs across rounds and
         re-divides by the current remaining work in O(pairs).
         """
-        self.carve_count += 1
+        carved = self._carved(snap, machine_counts)
+        return tuple(
+            (job[3], rate)
+            for job, _gpus, _level, rate, _effective in carved
+            if rate > 0
+        )
+
+    def batch_prime(
+        self,
+        pairs: Sequence[tuple["AppValuationState", tuple[tuple[int, int], ...]]],
+    ) -> tuple[int, int]:
+        """Pre-fill many states' kernel caches in one vectorized carve.
+
+        ``pairs`` holds ``(state, canonical_total_key)`` bundles about to
+        be probed (round-start base rhos, the auction's initial heap
+        candidates).  Bundles already cached are skipped; the misses run
+        through :func:`_carve_batch` in one numpy pass and land in the
+        exact cache slot :meth:`AppValuationState.delta_of` would have
+        filled scalar-ly — same floats, same ``carve_count`` accounting —
+        so every later probe is a pure cache hit.  Returns
+        ``(carves, cache_hits)``: bundles carved fresh versus bundles
+        already warm from an earlier round (or earlier in this batch).
+        """
+        first_winner = self.semantics is CompletionSemantics.FIRST_WINNER
+        todo: list[tuple[AppValuationState, tuple[tuple[int, int], ...], AppSnapshot]] = []
+        seen: set[tuple[int, tuple]] = set()
+        hits = 0
+        for state, key in pairs:
+            snap = state.snapshot
+            if snap is None or not key or not snap.job_tuples:
+                continue
+            if first_winner:
+                if key in state._fw_pair_cache or key in state._delta_cache:
+                    hits += 1
+                    continue
+            else:
+                if snap.total_remaining <= 0 or key in state._rate_cache:
+                    hits += 1
+                    continue
+            handle = (id(state), key)
+            if handle in seen:
+                hits += 1
+                continue
+            seen.add(handle)
+            todo.append((state, key, snap))
+        if not todo:
+            return 0, hits
+        instances = [(snap.job_tuples, key) for _state, key, snap in todo]
         if self.profiler.enabled:
-            with self.profiler.phase("carve"):
-                carved, _ = _carve_fast(
-                    snap.job_tuples,
-                    machine_counts,
+            with self.profiler.phase("batch_carve"):
+                carved_all = _carve_batch(
+                    instances,
                     self._rack_of,
                     self.nvlink_group_size,
                     self._speed_of,
                     self._family_speed_fn,
                 )
         else:
-            carved, _ = _carve_fast(
-                snap.job_tuples,
-                machine_counts,
+            carved_all = _carve_batch(
+                instances,
                 self._rack_of,
                 self.nvlink_group_size,
                 self._speed_of,
                 self._family_speed_fn,
             )
-        return tuple(
-            (job[3], rate)
-            for job, _gpus, _level, rate, _effective in carved
-            if rate > 0
-        )
+        self.carve_count += len(todo)
+        for (state, key, _snap), (carved, _next_index) in zip(todo, carved_all):
+            if first_winner:
+                fw_pairs = tuple(
+                    (job[3], rate)
+                    for job, _gpus, _level, rate, _effective in carved
+                    if rate > 0
+                )
+                if len(state._fw_pair_cache) >= _DELTA_CACHE_LIMIT:
+                    state._fw_pair_cache.clear()
+                state._fw_pair_cache[key] = fw_pairs
+            else:
+                aggregate = sum(rate for *_, rate, _effective in carved)
+                if len(state._rate_cache) >= _DELTA_CACHE_LIMIT:
+                    state._rate_cache.clear()
+                state._rate_cache[key] = aggregate
+        return len(todo), hits
 
     def shared_delta_from_snapshot(
         self, snap: AppSnapshot, machine_counts: Mapping[int, int]
@@ -970,6 +1274,11 @@ class AppValuationState:
         "_statics_epoch",
         "_job_statics",
         "_base_alloc",
+        "_refresh_token",
+        "_sorted_jobs",
+        "cache_generation",
+        "primed_generation",
+        "base_primed",
     )
 
     def __init__(
@@ -997,10 +1306,43 @@ class AppValuationState:
         self._statics_epoch = -1
         self._job_statics: Optional[list] = None
         self._base_alloc = None
+        #: Round token of the last refresh — the ARBITER stamps each
+        #: scheduling round so the repeated refreshes within one round
+        #: (rho probe, then bid preparation, then auction probes) cost
+        #: one comparison instead of a snapshot walk.
+        self._refresh_token: Optional[int] = None
+        #: Job objects aligned with ``snapshot.job_tuples`` — the drift
+        #: fast path re-reads each job's remaining work along this order.
+        self._sorted_jobs: Optional[list[Job]] = None
+        #: Bumped whenever the kernel caches are invalidated (rate
+        #: signature change).  The auction's heap warm start compares it
+        #: against ``primed_generation`` to prime a state's candidate
+        #: bundles exactly once per cache lifetime instead of
+        #: re-enumerating them every round.  ``base_primed`` plays the
+        #: same role for the arbiter's round-start base-bundle prime:
+        #: the ``(generation, base_key)`` pair last submitted, so an
+        #: app whose holdings and rates are unchanged is not re-probed.
+        self.cache_generation = 0
+        self.primed_generation = -1
+        self.base_primed: Optional[tuple] = None
 
-    def refresh(self) -> AppSnapshot:
-        """Rebuild the snapshot and caches when dirty; no-op when clean."""
+    def refresh(self, token: Optional[int] = None) -> AppSnapshot:
+        """Rebuild the snapshot and caches when dirty; no-op when clean.
+
+        ``token`` identifies the scheduling round: within one round an
+        app cannot drift (jobs advance, allocations install and tuners
+        step strictly *between* rounds), so a repeat refresh under the
+        same token returns the snapshot outright.  Only honoured with
+        ``reuse=True`` — the cold baseline stays a full rebuild.
+        """
         app = self.app
+        if (
+            token is not None
+            and self.reuse
+            and token == self._refresh_token
+            and self.snapshot is not None
+        ):
+            return self.snapshot
         if not self.reuse:
             # Cold baseline: rebuild everything from the live app.
             self.rebuilds += 1
@@ -1016,12 +1358,23 @@ class AppValuationState:
             self._fw_pair_cache = {}
             self._refresh_remaining(snap)
             return snap
-        if (
-            self.snapshot is not None
-            and not self.base_counts
-            and self.epoch == app.epoch
-        ):
-            return self.snapshot
+        if self.snapshot is not None and self.epoch == app.epoch:
+            if not self.base_counts:
+                self._refresh_token = token
+                return self.snapshot
+            # Held app, clean epoch: only remaining work has drained
+            # (every discrete change bumps the epoch).  While the drain
+            # has not reordered the jobs, the snapshot survives with a
+            # re-summed total — the carve kernels and the ALL_JOBS delta
+            # never read the per-job remaining-work magnitudes.
+            if (
+                self._sorted_jobs is not None
+                and self.estimator.semantics is CompletionSemantics.ALL_JOBS
+            ):
+                drifted = self._refresh_drift()
+                if drifted is not None:
+                    self._refresh_token = token
+                    return drifted
         self.rebuilds += 1
         self.epoch = app.epoch
         snap = self._rebuild_snapshot(app)
@@ -1039,6 +1392,45 @@ class AppValuationState:
         if self._delta_cache:
             self._delta_cache = {}
         self._refresh_remaining(snap)
+        self._refresh_token = token
+        return snap
+
+    def _refresh_drift(self) -> Optional[AppSnapshot]:
+        """Drift-only snapshot update for a clean-epoch held app.
+
+        Walks the jobs in snapshot order re-reading remaining work: if
+        the sequence is still sorted (the usual case — proportional
+        drains rarely reorder), the snapshot is reused with a freshly
+        summed ``total_remaining`` — summed along the *current* sorted
+        order, so the float matches a cold rebuild bit-for-bit.  The
+        per-job magnitudes inside ``job_tuples`` are left stale: under
+        ``ALL_JOBS`` semantics no consumer reads them (the carve uses
+        caps, profiles and families; the delta divides the fresh total
+        by the cached aggregate rate).  ``t_ideal`` is epoch-memoised on
+        the app, so it cannot have moved.  Returns ``None`` when a
+        reorder forces the full rebuild.
+        """
+        snap = self.snapshot
+        assert snap is not None and self._sorted_jobs is not None
+        total = 0.0
+        prev_work = -math.inf
+        prev_id = ""
+        for job in self._sorted_jobs:
+            work = job.remaining_work
+            if work < prev_work or (work == prev_work and job.job_id < prev_id):
+                return None
+            total += work
+            prev_work = work
+            prev_id = job.job_id
+        if total != snap.total_remaining:
+            snap = AppSnapshot(
+                app_id=snap.app_id,
+                arrival_time=snap.arrival_time,
+                job_tuples=snap.job_tuples,
+                total_remaining=total,
+                t_ideal=snap.t_ideal,
+            )
+            self.snapshot = snap
         return snap
 
     def _refresh_remaining(self, snap: AppSnapshot) -> None:
@@ -1075,11 +1467,15 @@ class AppValuationState:
                     )
             self._job_statics = statics
             self._statics_epoch = app.epoch
-        tuples = [
-            (job.remaining_work, cap, profile, job_id, family)
+        decorated = [
+            ((job.remaining_work, cap, profile, job_id, family), job)
             for job, cap, profile, job_id, family in statics
         ]
-        tuples.sort(key=lambda item: (item[0], item[3]))
+        decorated.sort(key=lambda item: (item[0][0], item[0][3]))
+        tuples = [item[0] for item in decorated]
+        # Aligned Job objects let the drift fast path re-read remaining
+        # work in snapshot order without rebuilding these tuples.
+        self._sorted_jobs = [item[1] for item in decorated]
         # The carve hands machines out in *sorted* job order, so the
         # rate/pair caches are keyed to that sequence — including each
         # job's family (its matrix row): a drain-induced reorder (not
@@ -1089,6 +1485,7 @@ class AppValuationState:
             self.rate_signature = signature
             self._rate_cache = {}
             self._fw_pair_cache = {}
+            self.cache_generation += 1
         return AppSnapshot(
             app_id=app.app_id,
             arrival_time=app.arrival_time,
@@ -1169,7 +1566,7 @@ class AppValuationState:
             elapsed = 0.0
         return (elapsed + self.delta_of(total_key)) / snap.t_ideal
 
-    def current_rho(self, now: float) -> float:
+    def current_rho(self, now: float, token: Optional[int] = None) -> float:
         """rho with the allocation the app holds right now (cheap when clean)."""
-        self.refresh()
+        self.refresh(token)
         return self.rho_at(now, self.base_key)

@@ -23,6 +23,8 @@ KNOWN_PHASES = (
     "assign",
     "valuation",
     "carve",
+    "batch_carve",
+    "heap_warm_start",
     "auction_solve",
     "payment_resolves",
     "leftovers",

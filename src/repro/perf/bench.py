@@ -42,6 +42,7 @@ import random
 import statistics
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Mapping, Optional, Sequence
 
 from repro.cluster.topology import (
@@ -63,7 +64,11 @@ BENCH_SCHEMA = 1
 #: Schema version of the BENCH_sim.json payload.
 #: 2: per-profile ``obs`` record (tracing-on overhead ratio, byte-
 #:    identity with tracing, event count, phase profile).
-BENCH_SIM_SCHEMA = 2
+#: 3: top-level ``trajectory`` list — one timestamped summary entry
+#:    appended per ``repro bench sim --out`` run, so the committed
+#:    baseline carries its own speedup history instead of silently
+#:    overwriting it.
+BENCH_SIM_SCHEMA = 3
 
 #: Models sampled for synthetic bench apps (mix of placement-sensitive
 #: and compute-bound profiles so valuations are not all alike).
@@ -179,6 +184,10 @@ class SimBenchProfile:
     perf_matrix: str = ""
     #: Speed-aware migration knob (exercises the post-round gang swaps).
     migration: bool = False
+    #: Lease duration override (None = the scenario default, 20 min).
+    #: The scale profiles stretch it so round count tracks workload
+    #: churn instead of lease churn.
+    lease_minutes: Optional[float] = None
 
 
 #: The tracked sim profiles: 64-128 GPU traces at 2x/4x/8x contention
@@ -250,6 +259,29 @@ SIM_PROFILES: dict[str, SimBenchProfile] = {
             hetero=True,
             perf_matrix="rate-inversion",
             migration=True,
+        ),
+        # The breadth/scale gate: 2048 GPUs (512 machines) x 512 apps.
+        # What it proves is byte-identity and CI-budget wall clock at an
+        # order of magnitude more machines than every other profile —
+        # NOT a speedup headline.  At this scale the dominant cost is
+        # the auction solver's exact re-scoring after each greedy move
+        # (trajectory-dependent compound bundle keys x 512 machines),
+        # which is identical work in incremental and cold modes, so the
+        # incremental-over-cold ratio is structurally small here.  Tiny
+        # short jobs + a long lease keep the round count tracking
+        # workload churn instead of lease churn, which is what keeps
+        # the whole replay inside the CI budget.  Not in the default
+        # suite — run it explicitly (CI does, under a hard timeout).
+        SimBenchProfile(
+            name="sim-xl",
+            gpus=2048,
+            contention=0.25,
+            num_apps=512,
+            duration_scale=0.03,
+            interarrival_minutes=0.1,
+            jobs_per_app_median=1.0,
+            jobs_per_app_max=2,
+            lease_minutes=120.0,
         ),
     )
 }
@@ -460,12 +492,15 @@ def sim_scenario_for(profile: SimBenchProfile):
         seed=profile.seed,
         duration_scale=profile.duration_scale,
     )
-    scenario = scenario.replace(
-        cluster_scale=profile.gpus / 256.0,
-        downsample=profile.downsample,
-        perf_matrix=profile.perf_matrix or (),
-        migration=profile.migration,
-    )
+    overrides: dict = {
+        "cluster_scale": profile.gpus / 256.0,
+        "downsample": profile.downsample,
+        "perf_matrix": profile.perf_matrix or (),
+        "migration": profile.migration,
+    }
+    if profile.lease_minutes is not None:
+        overrides["lease_minutes"] = profile.lease_minutes
+    scenario = scenario.replace(**overrides)
     return scenario.with_generator(
         mean_interarrival_minutes=profile.interarrival_minutes,
         jobs_per_app_median=profile.jobs_per_app_median,
@@ -786,3 +821,65 @@ def write_bench(payload: Mapping, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+#: Trajectory entries kept in BENCH_sim.json.  Old entries age out so
+#: the committed baseline does not grow without bound.
+SIM_TRAJECTORY_LIMIT = 50
+
+
+def sim_trajectory_entry(payload: Mapping, at: Optional[str] = None) -> dict:
+    """One timestamped summary row of a sim bench run.
+
+    Only the machine-comparable essentials per profile: the min-of-N
+    wall times, the incremental-over-cold speedup ratio, and the byte-
+    identity verdict.  ``at`` overrides the timestamp (tests).
+    """
+    if at is None:
+        at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    profiles = {}
+    for name, record in payload.get("sim", {}).items():
+        profiles[name] = {
+            "incremental_seconds": record["incremental"]["seconds"],
+            "cold_seconds": record["cold"]["seconds"],
+            "repeats": record["incremental"]["repeats"],
+            "speedup": record["speedup"],
+            "identical_results": record["identical_results"],
+        }
+    return {"at": at, "profiles": profiles}
+
+
+def write_sim_bench(payload: Mapping, path: str, at: Optional[str] = None) -> dict:
+    """Write BENCH_sim.json, *appending* to its speedup trajectory.
+
+    Unlike :func:`write_bench`, a prior payload at ``path`` is not
+    discarded wholesale:
+
+    * per-profile records merge — profiles absent from this run keep
+      their committed entries, so ``--profiles sim-8x --out`` refreshes
+      one profile without dropping the rest of the baseline;
+    * the ``trajectory`` list is carried forward and this run's
+      :func:`sim_trajectory_entry` (covering only the profiles actually
+      run) is appended, capped at :data:`SIM_TRAJECTORY_LIMIT`, oldest
+      first out.
+
+    A missing or unparsable prior file starts fresh.  Returns the
+    payload actually written.
+    """
+    trajectory: list = []
+    prior_sim: dict = {}
+    try:
+        prior = load_bench(path)
+        prior_trajectory = prior.get("trajectory", [])
+        if isinstance(prior_trajectory, list):
+            trajectory = list(prior_trajectory)
+        if isinstance(prior.get("sim"), dict):
+            prior_sim = dict(prior["sim"])
+    except (OSError, ValueError):
+        pass
+    trajectory.append(sim_trajectory_entry(payload, at=at))
+    merged = dict(payload)
+    merged["sim"] = {**prior_sim, **payload.get("sim", {})}
+    merged["trajectory"] = trajectory[-SIM_TRAJECTORY_LIMIT:]
+    write_bench(merged, path)
+    return merged

@@ -709,7 +709,15 @@ class ClusterSimulator:
             if gpu.gpu_id not in new_owner and holder is not None and holder in active_apps:
                 new_owner[gpu.gpu_id] = holder
 
-        # Rebuild each affected app's allocation.
+        # Rebuild each affected app's allocation.  One pass groups the
+        # pool's grants per app (in pool order, matching what a per-app
+        # pool scan would collect) instead of rescanning the pool for
+        # every affected app.
+        granted_by_app: dict[str, list[Gpu]] = {}
+        for gpu in pool:
+            owner = new_owner.get(gpu.gpu_id)
+            if owner is not None:
+                granted_by_app.setdefault(owner, []).append(gpu)
         for app_id in sorted(affected):
             app = self.active_apps.get(app_id)
             if app is None:
@@ -717,9 +725,7 @@ class ClusterSimulator:
             retained = [
                 gpu for gpu in app.allocation().gpus if gpu.gpu_id not in pool_ids
             ]
-            granted = [
-                gpu for gpu in pool if new_owner.get(gpu.gpu_id) == app_id
-            ]
+            granted = granted_by_app.get(app_id, [])
             self._install_app_allocation(now, app, Allocation(retained + granted))
 
     def _install_app_allocation(self, now: float, app: App, granted: Allocation) -> None:
@@ -1142,6 +1148,8 @@ class ClusterSimulator:
             "solver_pair_scores": 0,
             "solver_replayed_moves": 0,
             "valuation_probes": 0,
+            "heap_warm_hits": 0,
+            "heap_warm_misses": 0,
         }
         for rs in history:
             for key in totals:

@@ -220,28 +220,29 @@ class Job:
         the job holds (and bills) its GPUs but makes no progress, which
         is how lease churn shows up in the GPU-time efficiency metric.
         """
-        if now < self.last_update - 1e-9:
+        last = self.last_update
+        if now < last - 1e-9:
             raise ValueError(
                 f"job {self.job_id}: time moved backwards "
-                f"({self.last_update:.4f} -> {now:.4f})"
+                f"({last:.4f} -> {now:.4f})"
             )
-        dt = max(0.0, now - self.last_update)
+        dt = max(0.0, now - last)
         self.last_update = now
-        if dt == 0.0 or not self.is_active:
+        if dt == 0.0 or self.state not in (JobState.PENDING, JobState.RUNNING):
             return
-        held = self.allocation.size
+        allocation = self.allocation
+        held = allocation.size
         if held > 0:
             self.gpu_time += held * dt
             # Attained service is measured in *effective* compute so the
             # LAS baseline (Tiresias) ranks a K80-hour below a V100-hour;
             # identical to held * dt on homogeneous clusters.
-            self.attained_service += self.allocation.effective_size * dt
-            self.score_integral += self.allocation.score() * dt
+            self.attained_service += allocation.effective_size * dt
+            self.score_integral += allocation.score() * dt
             self.allocated_time += dt
-            for type_name, count in self.allocation.type_count_items():
-                self.gpu_time_by_type[type_name] = (
-                    self.gpu_time_by_type.get(type_name, 0.0) + count * dt
-                )
+            by_type = self.gpu_time_by_type
+            for type_name, count in allocation.type_count_items():
+                by_type[type_name] = by_type.get(type_name, 0.0) + count * dt
         productive = dt
         if self.overhead_remaining > 0.0:
             consumed = min(self.overhead_remaining, productive)

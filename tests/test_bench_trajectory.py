@@ -1,0 +1,118 @@
+"""BENCH_sim.json trajectory: `--out` appends history, never erases it.
+
+:func:`~repro.perf.bench.write_sim_bench` replaces the old overwrite
+semantics for the sim suite: the committed baseline carries a
+``trajectory`` list — one timestamped per-profile summary appended per
+run, capped at :data:`~repro.perf.bench.SIM_TRAJECTORY_LIMIT` — so the
+speedup history survives baseline refreshes.  The sim-xl scale profile
+is registered but explicit-only.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.bench import (
+    SIM_PROFILES,
+    SIM_TRAJECTORY_LIMIT,
+    load_bench,
+    run_sim_suite,
+    sim_trajectory_entry,
+    write_sim_bench,
+)
+
+
+def fake_payload(speedup: float) -> dict:
+    return {
+        "schema": 3,
+        "sim": {
+            "sim-small": {
+                "incremental": {"seconds": 1.0 / speedup, "repeats": 3},
+                "cold": {"seconds": 1.0, "repeats": 3},
+                "speedup": speedup,
+                "identical_results": True,
+            }
+        },
+    }
+
+
+def test_trajectory_entry_summarises_profiles():
+    entry = sim_trajectory_entry(fake_payload(2.5), at="2026-08-08T00:00:00+00:00")
+    assert entry["at"] == "2026-08-08T00:00:00+00:00"
+    row = entry["profiles"]["sim-small"]
+    assert row["speedup"] == 2.5
+    assert row["identical_results"] is True
+    assert row["incremental_seconds"] == 0.4
+    assert row["cold_seconds"] == 1.0
+    assert row["repeats"] == 3
+
+
+def test_write_sim_bench_appends_across_runs(tmp_path):
+    path = str(tmp_path / "BENCH_sim.json")
+    write_sim_bench(fake_payload(2.0), path, at="t0")
+    write_sim_bench(fake_payload(3.0), path, at="t1")
+    payload = load_bench(path)
+    # The latest run's results win; the history keeps both runs.
+    assert payload["sim"]["sim-small"]["speedup"] == 3.0
+    assert [e["at"] for e in payload["trajectory"]] == ["t0", "t1"]
+    assert payload["trajectory"][0]["profiles"]["sim-small"]["speedup"] == 2.0
+
+
+def test_write_sim_bench_merges_profiles_not_rerun(tmp_path):
+    path = str(tmp_path / "BENCH_sim.json")
+    write_sim_bench(fake_payload(2.0), path, at="t0")
+    xl_only = fake_payload(1.1)
+    xl_only["sim"] = {"sim-xl": xl_only["sim"].pop("sim-small")}
+    write_sim_bench(xl_only, path, at="t1")
+    payload = load_bench(path)
+    # A partial run refreshes its own profiles and keeps the rest.
+    assert payload["sim"]["sim-small"]["speedup"] == 2.0
+    assert payload["sim"]["sim-xl"]["speedup"] == 1.1
+    # Each trajectory entry covers only the profiles actually run.
+    assert list(payload["trajectory"][1]["profiles"]) == ["sim-xl"]
+
+
+def test_write_sim_bench_caps_history(tmp_path):
+    path = str(tmp_path / "BENCH_sim.json")
+    for i in range(SIM_TRAJECTORY_LIMIT + 5):
+        write_sim_bench(fake_payload(2.0), path, at=f"t{i}")
+    payload = load_bench(path)
+    trajectory = payload["trajectory"]
+    assert len(trajectory) == SIM_TRAJECTORY_LIMIT
+    # Oldest entries aged out, newest kept.
+    assert trajectory[0]["at"] == "t5"
+    assert trajectory[-1]["at"] == f"t{SIM_TRAJECTORY_LIMIT + 4}"
+
+
+def test_write_sim_bench_tolerates_corrupt_prior_file(tmp_path):
+    path = tmp_path / "BENCH_sim.json"
+    path.write_text("{not json")
+    written = write_sim_bench(fake_payload(2.0), str(path), at="t0")
+    assert [e["at"] for e in written["trajectory"]] == ["t0"]
+    assert json.loads(path.read_text())["sim"]["sim-small"]["speedup"] == 2.0
+
+
+def test_sim_xl_profile_registered_but_not_default():
+    profile = SIM_PROFILES["sim-xl"]
+    assert profile.gpus == 2048
+    assert profile.num_apps == 512
+    # The scale gate is explicit-only: neither the suite default nor a
+    # bare CLI run may pick up a minutes-long profile by accident.
+    assert "sim-xl" not in run_sim_suite.__defaults__[0]
+
+
+def test_cli_bench_sim_out_appends_trajectory(tmp_path, capsys):
+    from test_cli import run_cli
+
+    out_path = tmp_path / "BENCH_sim.json"
+    for expected_entries in (1, 2):
+        code, out, _ = run_cli(
+            capsys, "bench", "sim", "--profiles", "sim-small",
+            "--repeats", "1", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "trajectory appended" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["sim"]["sim-small"]["identical_results"] is True
+        assert len(payload["trajectory"]) == expected_entries
+        assert "sim-small" in payload["trajectory"][-1]["profiles"]

@@ -168,16 +168,25 @@ def test_state_rebuilds_on_epoch_bump():
     assert state.refresh() is snap  # clean again afterwards
 
 
-def test_state_rebuilds_every_round_while_holding_gpus():
+def test_state_drift_path_skips_rebuild_while_holding_gpus():
+    # A held app's remaining work drains between rounds without an epoch
+    # bump (advance_to never calls on_mutate).  As long as the
+    # shortest-remaining-first job order is intact, the drift fast path
+    # re-sums the total instead of rebuilding the snapshot.
     cluster = small_cluster()
     estimator = FairnessEstimator(cluster)
     app = make_app("a0", num_jobs=1)
     job = app.jobs[0]
     job.set_allocation(0.0, Allocation(cluster.machines[0].gpus[:2]))
     state = AppValuationState(app, estimator, reuse=True)
-    state.refresh()
-    state.refresh()
-    assert state.rebuilds == 2  # base counts non-empty: no verbatim reuse
+    first = state.refresh()
+    assert state.refresh() is first  # nothing drained: verbatim reuse
+    assert state.rebuilds == 1
+    job.remaining_work -= 7.0
+    drifted = state.refresh()
+    assert drifted is not first  # total re-summed into a fresh snapshot
+    assert drifted.total_remaining == job.remaining_work
+    assert state.rebuilds == 1  # ...but no full rebuild
 
 
 def test_state_matches_cold_rebuild_values_everywhere():
