@@ -943,7 +943,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     store = DurableStore(args.dir, fsync=args.fsync)
     kwargs = {"admission": admission} if admission is not None else {}
-    plane = ControlPlane(store, **kwargs)
+    plane = ControlPlane(
+        store,
+        worker_ttl=args.worker_ttl,
+        dispatch_timeout=args.dispatch_timeout,
+        **kwargs,
+    )
     server = ServiceServer(plane, host=args.host, port=args.port)
     endpoint = server.write_endpoint_file(args.dir)
     host, port = server.endpoint
@@ -990,11 +995,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             pool=args.pool,
             priority=args.priority,
             job_id=args.job_id,
+            max_runtime_s=args.max_runtime_s,
         )
     except ServiceError as error:
         print(f"submit failed ({error.reason}): {error}", file=sys.stderr)
         return 1
     print(job_id)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: pull-based executor against a running daemon."""
+    from repro.service.errors import ServiceError
+    from repro.service.worker import WorkerLoop
+
+    try:
+        client = _client_for(args)
+        loop = WorkerLoop(
+            client,
+            name=args.name or "",
+            capacity=args.capacity,
+            poll_interval=args.poll_interval,
+            max_seconds=args.max_seconds,
+            idle_exit=args.idle_exit,
+        )
+        try:
+            executed = loop.run()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            loop.stop()
+            executed = loop.executed
+    except ServiceError as error:
+        print(f"worker failed ({error.reason}): {error}", file=sys.stderr)
+        return 1
+    print(f"worker {loop.worker_id or '?'}: executed {executed} job(s)")
     return 0
 
 
@@ -1221,7 +1254,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--policies", default=None,
                               help="JSON file with a list of tenant admission "
                                    "policies (tenant '*' sets the default)")
+    serve_parser.add_argument("--worker-ttl", type=float, default=5.0,
+                              help="seconds of heartbeat silence before a "
+                                   "worker is reaped and its jobs re-queued")
+    serve_parser.add_argument("--dispatch-timeout", type=float, default=30.0,
+                              help="seconds a claimed job may sit dispatched "
+                                   "before the claim is revoked")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="run a pull-based worker against a 'repro serve' daemon",
+        description="Registers with the daemon found via --dir, then "
+                    "claims, executes (one child process per job) and "
+                    "reports jobs until stopped.  Run several for a "
+                    "fleet; kill any of them freely — leases and "
+                    "dispatch tokens keep every job exactly-once.",
+    )
+    worker_parser.add_argument("--dir", required=True,
+                               help="store directory of the running service")
+    worker_parser.add_argument("--name", default=None,
+                               help="human-readable worker name (logs only)")
+    worker_parser.add_argument("--capacity", type=_positive_int, default=1,
+                               help="jobs this worker may hold at once")
+    worker_parser.add_argument("--poll-interval", type=float, default=0.2,
+                               help="seconds between claim polls when idle")
+    worker_parser.add_argument("--max-seconds", type=float, default=None,
+                               help="exit after this long (CI smoke knob)")
+    worker_parser.add_argument("--idle-exit", type=float, default=None,
+                               help="exit once no work was granted this long")
+    worker_parser.set_defaults(func=_cmd_worker)
 
     submit_parser = sub.add_parser(
         "submit", help="submit a job to a running 'repro serve' daemon"
@@ -1239,6 +1301,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--priority", type=int, default=0)
     submit_parser.add_argument("--job-id", default=None,
                                help="explicit job id (idempotent resubmission)")
+    submit_parser.add_argument("--max-runtime-s", type=float, default=None,
+                               help="deadline: fail the job transiently if "
+                                    "one execution runs longer than this")
     submit_parser.set_defaults(func=_cmd_submit)
 
     status_parser = sub.add_parser(

@@ -27,7 +27,9 @@ from typing import IO, Iterable, Mapping, Optional, Sequence
 #: added/removed or a required field changes meaning.
 #: v2: added the control-plane kinds ``job_retry`` and
 #: ``dispatch_token``.
-TRACE_SCHEMA_VERSION = 2
+#: v3: added the worker-fleet kinds ``worker_register``,
+#: ``worker_lost`` and ``job_report``.
+TRACE_SCHEMA_VERSION = 3
 
 #: The ``kind`` of the header record that opens every JSONL trace.
 HEADER_KIND = "trace_header"
@@ -45,6 +47,9 @@ EVENT_SCHEMA: dict[str, frozenset] = {
     "job_state_change": frozenset({"app", "job", "state", "gpus"}),
     "job_retry": frozenset({"job", "attempt", "failure_kind", "delay"}),
     "dispatch_token": frozenset({"job", "epoch", "accepted"}),
+    "worker_register": frozenset({"worker", "capacity"}),
+    "worker_lost": frozenset({"worker", "reason"}),
+    "job_report": frozenset({"job", "accepted", "reason"}),
 }
 
 EVENT_KINDS = tuple(sorted(EVENT_SCHEMA))

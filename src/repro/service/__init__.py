@@ -3,8 +3,10 @@
 ``repro.service`` turns the library-style simulator into a long-lived
 scheduler service: a durable job state machine (WAL + snapshots),
 epoch-stamped dispatch tokens, a retry/backoff seam shared with the
-sweep executor, per-tenant admission control, and a chaos harness that
-proves the recovery invariants under ``kill -9``.
+sweep executor, per-tenant admission control, a pull-based worker
+fleet with heartbeat leases (``repro worker``), and a chaos harness
+that proves the recovery invariants under ``kill -9`` — of the daemon
+and of any worker.
 """
 
 from repro.service.admission import (
@@ -29,6 +31,7 @@ from repro.service.errors import (
     StateMachineError,
     TokenError,
     UnknownJobError,
+    UnknownWorkerError,
 )
 from repro.service.retry import (
     DEFAULT_RETRY_POLICY,
@@ -53,10 +56,17 @@ from repro.service.store import (
     StoreUnavailable,
 )
 from repro.service.tokens import DispatchToken, TokenIssuer
+from repro.service.workers import (
+    DEFAULT_WORKER_TTL,
+    WorkerRecord,
+    WorkerRegistry,
+    WorkerState,
+)
 
 __all__ = [
     "DEFAULT_POOL",
     "DEFAULT_RETRY_POLICY",
+    "DEFAULT_WORKER_TTL",
     "STORE_SCHEMA_VERSION",
     "TERMINAL_STATES",
     "TRANSITIONS",
@@ -85,6 +95,10 @@ __all__ = [
     "TokenError",
     "TokenIssuer",
     "UnknownJobError",
+    "UnknownWorkerError",
+    "WorkerRecord",
+    "WorkerRegistry",
+    "WorkerState",
     "can_transition",
     "classify_exception",
     "in_flight_gpus",

@@ -4,17 +4,32 @@
 in-process callers use, as a tiny JSON-over-HTTP surface:
 
 * ``POST /submit``  ``{"spec": {...}, "tenant", "gpus", "pool",
-  "priority"}`` -> ``{"job_id"}``
+  "priority", "max_runtime_s"}`` -> ``{"job_id"}``
 * ``POST /cancel``  ``{"job_id"}`` -> ``{"job_id", "state"}``
 * ``GET  /status?job=ID`` -> the full job record
 * ``GET  /jobs[?tenant=T][&state=S]`` -> ``{"jobs": [...]}``
 * ``GET  /health`` -> epoch / degradation / per-state counts
 
+plus the pull-based worker protocol (``repro worker``):
+
+* ``POST /worker/register``  ``{"name", "capacity"}`` ->
+  ``{"worker_id", "epoch", "ttl"}``
+* ``POST /worker/heartbeat`` ``{"worker_id"}`` -> lease renewal + the
+  daemon's view of the worker's claim set
+* ``POST /worker/claim``     ``{"worker_id", "max_jobs"}`` ->
+  ``{"grants": [{"job": ..., "token": ...}]}``
+* ``POST /worker/start``     ``{"token"}`` -> the RUNNING job record
+* ``POST /worker/report``    ``{"token", "outcome"}`` ->
+  ``{"accepted", "reason", "state"}``
+
 The server binds an ephemeral port by default and writes
 ``service.json`` (host, port, pid) into the store directory, so the
 CLI verbs find a running daemon from ``--dir`` alone.  Service errors
 map to HTTP statuses: admission -> 429, unavailable store -> 503,
-unknown jobs -> 404, bad requests -> 400.
+unknown jobs -> 404, reaped workers -> 410, fenced tokens -> 409,
+bad requests -> 400.  :class:`ServiceClient` retries transient
+transport failures (connection refused, 503 store-degraded) with the
+shared capped-backoff :class:`~repro.service.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
@@ -31,13 +46,17 @@ from pathlib import Path
 from typing import Optional, Union
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.daemon import ControlPlane
+from repro.service.daemon import ControlPlane, JobOutcome
 from repro.service.errors import (
     AdmissionError,
     ServiceError,
     ServiceUnavailable,
+    TokenError,
     UnknownJobError,
+    UnknownWorkerError,
 )
+from repro.service.retry import RetryPolicy
+from repro.service.tokens import DispatchToken
 
 logger = logging.getLogger("repro.service.api")
 
@@ -50,7 +69,27 @@ _STATUS_BY_REASON = {
     "store_unavailable": 503,
     "unknown_job": 404,
     "duplicate_job": 409,
+    "unknown_worker": 410,
+    "stale_epoch": 409,
+    "not_dispatched": 409,
+    "token_mismatch": 409,
+    "already_redeemed": 409,
+    "malformed_token": 400,
 }
+
+#: Reasons the client rebuilds as :class:`TokenError` (fencing, not
+#: transport trouble — workers branch on these).
+_TOKEN_REASONS = frozenset(
+    {"stale_epoch", "not_dispatched", "token_mismatch",
+     "already_redeemed", "malformed_token"}
+)
+
+#: Transport retry for the client: fast capped backoff, a few tries.
+#: Kept well under the daemon's job-level policy — this smooths over
+#: hiccups (a daemon mid-restart, a store flapping), it does not queue.
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=4, base_delay=0.2, factor=2.0, max_delay=2.0, jitter=0.1
+)
 
 
 class ServiceClient:
@@ -58,15 +97,38 @@ class ServiceClient:
 
     Raises the same :mod:`repro.service.errors` types the in-process
     API raises, rebuilt from the error payload — CLI code handles both
-    transports identically.
+    transports identically.  Transient transport failures retry with
+    capped backoff, but only when a retry cannot double an effect:
+
+    * 503 ``store_unavailable`` — the daemon *shed* the call before any
+      state changed, so every verb is safe to retry;
+    * connection refused — the request never reached a daemon, so POSTs
+      are safe too;
+    * GETs — idempotent, retried on any unreachable error;
+    * a POST that *timed out* is NOT retried: it may have landed.
     """
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 10.0,
+        *,
+        retry: RetryPolicy = DEFAULT_CLIENT_RETRY,
+        sleep: Optional[callable] = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep if sleep is not None else time.sleep
 
     @classmethod
-    def from_dir(cls, root: Union[str, Path], timeout: float = 10.0) -> "ServiceClient":
+    def from_dir(
+        cls,
+        root: Union[str, Path],
+        timeout: float = 10.0,
+        *,
+        retry: RetryPolicy = DEFAULT_CLIENT_RETRY,
+    ) -> "ServiceClient":
         """Locate a running server via the directory's endpoint file."""
         endpoint = Path(root) / ENDPOINT_FILE
         if not endpoint.exists():
@@ -75,9 +137,42 @@ class ServiceClient:
                 reason="no_endpoint",
             )
         meta = json.loads(endpoint.read_text(encoding="utf-8"))
-        return cls(f"http://{meta['host']}:{meta['port']}", timeout=timeout)
+        return cls(
+            f"http://{meta['host']}:{meta['port']}",
+            timeout=timeout,
+            retry=retry,
+        )
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceUnavailable as error:
+                attempt += 1
+                if (
+                    not self._safe_to_retry(method, error)
+                    or attempt >= self.retry.max_attempts
+                ):
+                    raise
+                delay = self.retry.delay(attempt, key=f"client:{path}")
+                logger.debug(
+                    "retrying %s %s in %.2fs (%s, attempt %d)",
+                    method, path, delay, error.reason, attempt,
+                )
+                self._sleep(delay)
+
+    @staticmethod
+    def _safe_to_retry(method: str, error: ServiceUnavailable) -> bool:
+        if error.reason == "store_unavailable":
+            return True  # the daemon shed the call before any effect
+        if error.reason == "unreachable":
+            return method == "GET" or getattr(error, "connect_refused", False)
+        return False
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.url + path,
@@ -97,16 +192,26 @@ class ServiceClient:
             reason = body.get("reason", "error")
             if reason == "unknown_job":
                 raise UnknownJobError(body.get("job_id", "?"))
+            if reason == "unknown_worker":
+                raise UnknownWorkerError(body.get("worker_id", "?"))
+            if reason in _TOKEN_REASONS:
+                raise TokenError(message, reason=reason)
             if error.code == 429:
                 raise AdmissionError(message, reason=reason)
             if error.code == 503:
                 raise ServiceUnavailable(message, reason=reason)
             raise ServiceError(message, reason=reason)
         except urllib.error.URLError as error:
-            raise ServiceUnavailable(
+            unavailable = ServiceUnavailable(
                 f"cannot reach service at {self.url}: {error}",
                 reason="unreachable",
             )
+            # Connection refused means no daemon ever saw the request,
+            # which is what makes a POST retry safe; a timeout does not.
+            unavailable.connect_refused = isinstance(
+                getattr(error, "reason", None), ConnectionRefusedError
+            )
+            raise unavailable
 
     def submit(
         self,
@@ -117,6 +222,7 @@ class ServiceClient:
         pool: str = "default",
         priority: int = 0,
         job_id: Optional[str] = None,
+        max_runtime_s: Optional[float] = None,
     ) -> str:
         payload = {
             "spec": spec or {},
@@ -127,10 +233,40 @@ class ServiceClient:
         }
         if job_id is not None:
             payload["job_id"] = job_id
+        if max_runtime_s is not None:
+            payload["max_runtime_s"] = max_runtime_s
         return self._request("POST", "/submit", payload)["job_id"]
 
     def cancel(self, job_id: str) -> str:
         return self._request("POST", "/cancel", {"job_id": job_id})["state"]
+
+    # -- the worker protocol ------------------------------------------
+    def register_worker(self, name: str = "", capacity: int = 1) -> dict:
+        return self._request(
+            "POST", "/worker/register", {"name": name, "capacity": capacity}
+        )
+
+    def heartbeat(self, worker_id: str) -> dict:
+        return self._request(
+            "POST", "/worker/heartbeat", {"worker_id": worker_id}
+        )
+
+    def claim(self, worker_id: str, max_jobs: int = 1) -> list:
+        """Grants as ``[{"job": <record>, "token": <token>}, ...]``."""
+        return self._request(
+            "POST", "/worker/claim",
+            {"worker_id": worker_id, "max_jobs": max_jobs},
+        )["grants"]
+
+    def start(self, token: dict) -> dict:
+        """Redeem a dispatch token; returns the RUNNING job record."""
+        return self._request("POST", "/worker/start", {"token": token})
+
+    def report(self, token: dict, outcome: dict) -> dict:
+        """Report one execution's outcome (a JSON ``JobOutcome``)."""
+        return self._request(
+            "POST", "/worker/report", {"token": token, "outcome": outcome}
+        )
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/status?job={job_id}")
@@ -168,6 +304,9 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(error, UnknownJobError):
             self._reply(404, {"error": str(error), "reason": error.reason,
                               "job_id": error.job_id})
+        elif isinstance(error, UnknownWorkerError):
+            self._reply(410, {"error": str(error), "reason": error.reason,
+                              "worker_id": error.worker_id})
         elif isinstance(error, ServiceError):
             code = _STATUS_BY_REASON.get(error.reason, 400)
             self._reply(code, {"error": str(error), "reason": error.reason})
@@ -190,6 +329,7 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._body()
             with self.server.lock:
                 if path == "/submit":
+                    max_runtime = payload.get("max_runtime_s")
                     job_id = self.server.plane.submit(
                         payload.get("spec") or {},
                         tenant=str(payload.get("tenant", "default")),
@@ -197,12 +337,42 @@ class _Handler(BaseHTTPRequestHandler):
                         pool=str(payload.get("pool", "default")),
                         priority=int(payload.get("priority", 0)),
                         job_id=payload.get("job_id"),
+                        max_runtime_s=(
+                            float(max_runtime)
+                            if max_runtime is not None else None
+                        ),
                     )
                     self._reply(200, {"job_id": job_id})
                 elif path == "/cancel":
                     job_id = str(payload.get("job_id", ""))
                     state = self.server.plane.cancel(job_id)
                     self._reply(200, {"job_id": job_id, "state": state.value})
+                elif path == "/worker/register":
+                    self._reply(200, self.server.plane.register_worker(
+                        name=str(payload.get("name", "")),
+                        capacity=int(payload.get("capacity", 1)),
+                    ))
+                elif path == "/worker/heartbeat":
+                    self._reply(200, self.server.plane.worker_heartbeat(
+                        str(payload.get("worker_id", ""))
+                    ))
+                elif path == "/worker/claim":
+                    grants = self.server.plane.claim(
+                        str(payload.get("worker_id", "")),
+                        max_jobs=int(payload.get("max_jobs", 1)),
+                    )
+                    self._reply(200, {"grants": [
+                        {"job": job.to_json(), "token": token.to_json()}
+                        for job, token in grants
+                    ]})
+                elif path == "/worker/start":
+                    token = DispatchToken.from_json(payload.get("token") or {})
+                    job = self.server.plane.start(token)
+                    self._reply(200, job.to_json())
+                elif path == "/worker/report":
+                    token = DispatchToken.from_json(payload.get("token") or {})
+                    outcome = JobOutcome.from_json(payload.get("outcome") or {})
+                    self._reply(200, self.server.plane.report(token, outcome))
                 else:
                     self._reply(404, {"error": f"unknown path {path}",
                                       "reason": "not_found"})

@@ -15,6 +15,14 @@ ISSUE's recovery invariant names:
 * **duplicate dispatch** — replaying a pre-crash token against the
   restarted service must be rejected (``stale_epoch``), and redeeming
   the same token twice in one epoch must be rejected too.
+* **worker faults** — :class:`SimWorker` drives the daemon's pull
+  protocol one explicit step at a time (no HTTP, no threads), so a
+  fault is an *omission*: a killed worker simply never makes its next
+  call (``kill -9`` erases its memory too), a stalled worker
+  heartbeats without progressing, and a zombie holds its report and
+  fires it after the daemon re-queued the job — which the token fence
+  must reject.  :func:`drain_fleet` interleaves ticks (leases, reapers)
+  with each live worker's pull cycle until the plane drains.
 
 :func:`run_with_crashes` is the property-test workhorse: it replays
 one scripted workload through a schedule of crash points (each
@@ -34,6 +42,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 from repro.service.admission import AdmissionController
 from repro.service.daemon import ControlPlane, Executor, JobOutcome
+from repro.service.errors import TokenError, UnknownWorkerError
 from repro.service.retry import RetryPolicy
 from repro.service.state import JobRecord
 from repro.service.store import DurableStore, StoreUnavailable
@@ -154,6 +163,135 @@ class FakeClock:
 
 
 # ----------------------------------------------------------------------
+# The simulated worker fleet
+# ----------------------------------------------------------------------
+class SimWorker:
+    """A deterministic in-process stand-in for one ``repro worker``.
+
+    It speaks the daemon's pull protocol directly — no HTTP, no
+    threads — one explicit step at a time, so fleet chaos tests are
+    exact.  Claimed work moves through three local phases mirroring
+    the real loop: ``pending`` (claimed, not started), ``running``
+    (token redeemed), ``unreported`` (executed, outcome in hand).  A
+    fault is an omission: :meth:`kill` erases all three (a ``kill -9``
+    takes the worker's memory with it); a stalled worker calls
+    :meth:`heartbeat` but never :meth:`step`; a zombie keeps its
+    ``unreported`` entries and fires them late via :meth:`report_all`.
+    """
+
+    def __init__(
+        self,
+        plane: ControlPlane,
+        executor: Optional[Executor] = None,
+        *,
+        name: str = "",
+        capacity: int = 1,
+    ) -> None:
+        self.plane = plane
+        self.executor = executor if executor is not None else ScriptedExecutor()
+        self.capacity = capacity
+        grant = plane.register_worker(name=name, capacity=capacity)
+        self.worker_id = str(grant["worker_id"])
+        self.alive = True
+        self.pending: list = []  # (record, token)
+        self.running: list = []  # (record, token)
+        self.unreported: list = []  # (record, token, outcome)
+        self.fenced: list = []  # (job_id, reason) rejections observed
+
+    # -- protocol steps ------------------------------------------------
+    def heartbeat(self) -> bool:
+        """Renew the lease; False once the daemon reaped this worker."""
+        try:
+            self.plane.worker_heartbeat(self.worker_id)
+        except UnknownWorkerError:
+            return False
+        return True
+
+    def claim(self, max_jobs: Optional[int] = None) -> int:
+        """Pull dispatchable work; returns how many jobs were granted."""
+        try:
+            grants = self.plane.claim(
+                self.worker_id,
+                max_jobs=max_jobs if max_jobs is not None else self.capacity,
+            )
+        except UnknownWorkerError:
+            return 0
+        self.pending.extend(grants)
+        return len(grants)
+
+    def start_all(self) -> None:
+        """Redeem every pending token; fenced starts are recorded."""
+        for record, token in self.pending:
+            try:
+                self.plane.start(token)
+            except TokenError as error:
+                self.fenced.append((record.job_id, error.reason))
+                continue
+            self.running.append((record, token))
+        self.pending = []
+
+    def execute_all(self) -> None:
+        """Run every started job; outcomes wait in ``unreported``."""
+        for record, token in self.running:
+            outcome = self.executor.execute(record)
+            self.unreported.append((record, token, outcome))
+        self.running = []
+
+    def report_all(self) -> None:
+        """Deliver held outcomes; fenced reports are recorded."""
+        for record, token, outcome in self.unreported:
+            verdict = self.plane.report(token, outcome)
+            if not verdict.get("accepted"):
+                self.fenced.append((record.job_id, verdict.get("reason")))
+        self.unreported = []
+
+    def step(self) -> None:
+        """One full pull cycle: claim, start, execute, report."""
+        if not self.alive:
+            return
+        self.claim()
+        self.start_all()
+        self.execute_all()
+        self.report_all()
+
+    # -- faults --------------------------------------------------------
+    def kill(self) -> None:
+        """``kill -9``: stop participating and lose all local state."""
+        self.alive = False
+        self.pending = []
+        self.running = []
+        self.unreported = []
+
+
+def drain_fleet(
+    plane: ControlPlane,
+    clock: FakeClock,
+    workers: Sequence[SimWorker],
+    *,
+    step: float = 1.0,
+    max_rounds: int = 500,
+) -> None:
+    """Interleave ticks with each live worker's pull cycle until drained.
+
+    Each round is one tick (reapers, lease checks, retry promotion)
+    followed by one :meth:`SimWorker.step` per live worker, then the
+    clock advances — so killed workers age past the lease TTL while
+    the survivors keep claiming.
+    """
+    for _ in range(max_rounds):
+        plane.tick()
+        for worker in workers:
+            worker.step()
+        if plane.active_jobs == 0:
+            return
+        clock.advance(step)
+    raise RuntimeError(
+        f"fleet did not drain within {max_rounds} rounds "
+        f"({plane.active_jobs} jobs still active)"
+    )
+
+
+# ----------------------------------------------------------------------
 # Scenario drivers
 # ----------------------------------------------------------------------
 @dataclass
@@ -165,6 +303,8 @@ class ChaosReport:
     epochs: int = 0
     executions: list = field(default_factory=list)
     started_tokens: list = field(default_factory=list)  # (epoch, seq, job)
+    accepted_reports: list = field(default_factory=list)  # (epoch, seq, job)
+    rejected_reports: list = field(default_factory=list)  # (job, reason)
     stale_rejections: int = 0
 
     def states_by_job(self) -> dict:
@@ -194,6 +334,32 @@ def _record_starts(plane: ControlPlane, report: ChaosReport) -> None:
         return job
 
     plane.start = tracked_start  # type: ignore[method-assign]
+
+
+def _record_reports(plane: ControlPlane, report: ChaosReport) -> None:
+    original = plane.report
+
+    def tracked_report(token, outcome):
+        verdict = original(token, outcome)
+        if verdict.get("accepted"):
+            report.accepted_reports.append(
+                (token.epoch, token.seq, token.job_id)
+            )
+        else:
+            report.rejected_reports.append(
+                (token.job_id, verdict.get("reason"))
+            )
+        return verdict
+
+    plane.report = tracked_report  # type: ignore[method-assign]
+
+
+def instrument(plane: ControlPlane) -> ChaosReport:
+    """Wrap a plane's start/report gates; returns the live report."""
+    report = ChaosReport(epochs=1)
+    _record_starts(plane, report)
+    _record_reports(plane, report)
+    return report
 
 
 def run_uninterrupted(
@@ -306,5 +472,18 @@ def assert_no_double_start(report: ChaosReport) -> None:
             raise AssertionError(
                 f"token (epoch={epoch}, seq={seq}) for job {job_id!r} "
                 "started twice"
+            )
+        seen.add(key)
+
+
+def assert_no_double_report(report: ChaosReport) -> None:
+    """Every dispatch landed at most one accepted report."""
+    seen: set[tuple] = set()
+    for epoch, seq, job_id in report.accepted_reports:
+        key = (epoch, seq)
+        if key in seen:
+            raise AssertionError(
+                f"token (epoch={epoch}, seq={seq}) for job {job_id!r} "
+                "reported twice"
             )
         seen.add(key)

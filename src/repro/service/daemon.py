@@ -22,14 +22,22 @@
   draining admitted work, buffering its transitions and flushing them
   once the store returns.
 
-Execution is synchronous through the :class:`Executor` seam — the
-point where a real deployment plugs in an async worker pool; the
-in-process model keeps every chaos scenario deterministic.
+Execution has two planes.  With no live workers registered, the tick
+runs jobs synchronously through the :class:`Executor` seam (the
+single-node mode every chaos scenario drives deterministically).  Once
+out-of-process workers register (``repro worker``), the daemon switches
+to a *pull* protocol — :meth:`register_worker` / :meth:`claim` /
+:meth:`worker_heartbeat` / :meth:`start` / :meth:`report` — with
+heartbeat leases: a worker that stops heartbeating is reaped, its
+in-flight jobs re-queue through the retry path *without consuming
+attempts*, and the epoch/token fencing rejects any late ``start`` or
+``report`` from the zombie, so every job's effects land exactly once.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Union
@@ -60,6 +68,11 @@ from repro.service.state import (
 )
 from repro.service.store import DurableStore, StoreUnavailable
 from repro.service.tokens import DispatchToken, TokenIssuer
+from repro.service.workers import (
+    DEFAULT_WORKER_TTL,
+    WorkerRecord,
+    WorkerRegistry,
+)
 
 logger = logging.getLogger("repro.service.daemon")
 
@@ -85,6 +98,27 @@ class JobOutcome:
         cls, kind: Union[FailureKind, str], detail: str = ""
     ) -> "JobOutcome":
         return cls(ok=False, failure_kind=FailureKind(kind), detail=detail)
+
+    def to_json(self) -> dict:
+        """JSON-safe form (the worker protocol's ``report`` payload)."""
+        return {
+            "ok": self.ok,
+            "failure_kind": (
+                self.failure_kind.value if self.failure_kind else None
+            ),
+            "detail": self.detail,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "JobOutcome":
+        kind = payload.get("failure_kind")
+        return cls(
+            ok=bool(payload.get("ok", False)),
+            failure_kind=FailureKind(kind) if kind else None,
+            detail=str(payload.get("detail", "")),
+            result=payload.get("result"),
+        )
 
 
 class Executor:
@@ -186,6 +220,9 @@ class TickStats:
     retried: int = 0
     flushed: int = 0
     compacted: bool = False
+    reaped_workers: int = 0  # workers whose heartbeat lease lapsed
+    requeued: int = 0  # jobs re-queued after a worker/dispatch loss
+    deadlined: int = 0  # RUNNING jobs failed past their max_runtime_s
 
 
 @dataclass
@@ -208,6 +245,8 @@ class ControlPlane:
         retry: RetryPolicy = DEFAULT_RETRY_POLICY,
         clock: Callable[[], float] = time.time,
         tracer: Tracer = NULL_TRACER,
+        worker_ttl: float = DEFAULT_WORKER_TTL,
+        dispatch_timeout: float = 30.0,
     ) -> None:
         self.store = store
         self.executor = executor if executor is not None else SpecExecutor()
@@ -216,9 +255,28 @@ class ControlPlane:
         self.clock = clock
         self.tracer = tracer
         self.jobs: dict[str, JobRecord] = {}
+        self.workers = WorkerRegistry(ttl=worker_ttl)
+        #: Seconds a claimed job may sit DISPATCHED before the daemon
+        #: decides the worker stalled and re-queues it (fencing the
+        #: worker's late ``start``).  Catches workers that heartbeat
+        #: but never make progress, which the lease alone cannot.
+        self.dispatch_timeout = float(dispatch_timeout)
         self.degraded = False
         self._pending: list[_Pending] = []
         self._order = 0
+        #: Serialises every public entry point: HTTP handler threads
+        #: (heartbeats, claims, reports) interleave with the tick loop.
+        self._lock = threading.RLock()
+        self.counters = {
+            "starts": 0,
+            "start_rejections": 0,
+            "reports": 0,
+            "report_rejections": 0,
+            "workers_lost": 0,
+            "requeued_lost": 0,
+            "stalled_requeued": 0,
+            "deadline_failures": 0,
+        }
         now = self.clock()
         prior_epoch = self._recover(now)
         self.epoch = prior_epoch + 1
@@ -241,6 +299,8 @@ class ControlPlane:
             for payload in image.snapshot.get("jobs", ()):
                 record = JobRecord.from_json(payload)
                 self.jobs[record.job_id] = record
+            for payload in image.snapshot.get("workers", ()):
+                self.workers.restore(payload)
         for record in image.records:
             kind = record.get("kind")
             if kind == "epoch":
@@ -250,6 +310,23 @@ class ControlPlane:
                 self.jobs[job.job_id] = job
             elif kind == "transition":
                 self._replay_transition(record)
+            elif kind == "worker_register":
+                self.workers.restore(
+                    {
+                        "worker_id": record.get("worker", ""),
+                        "name": record.get("name", ""),
+                        "capacity": record.get("capacity", 1),
+                        "epoch": record.get("epoch", 0),
+                        "registered_at": record.get("at", 0.0),
+                        "last_heartbeat": record.get("at", 0.0),
+                    }
+                )
+            elif kind == "worker_lost":
+                self.workers.restore_lost(
+                    str(record.get("worker", "")),
+                    at=float(record.get("at", 0.0)),
+                    reason=str(record.get("reason", "")),
+                )
             # Unknown kinds are skipped: forward compatibility with
             # newer writers, same policy as the trace reader.
         if image.dropped_tail:
@@ -268,7 +345,10 @@ class ControlPlane:
             logger.warning("WAL transition for unknown job %r", payload.get("job"))
             return
         force_state(job, payload["state"], float(payload.get("at", 0.0)))
-        for key in ("attempts", "dispatches", "not_before", "detail"):
+        for key in (
+            "attempts", "dispatches", "not_before", "detail",
+            "worker", "started_at",
+        ):
             if key in payload:
                 setattr(job, key, payload[key])
         if "token" in payload:
@@ -283,21 +363,52 @@ class ControlPlane:
         token is from a dead epoch), so the job re-enters via RETRYING
         with backoff.  No attempt is consumed: the execution never
         reported an outcome, so for retry accounting it never happened.
+        Workers recovered ALIVE are marked lost for the same reason —
+        their leases and tokens belong to the dead epoch; survivors
+        simply re-register against the new one.
         """
         for job in self._jobs_in_order():
             if job.state in (JobState.DISPATCHED, JobState.RUNNING):
-                delay = self.retry.delay(1, key=f"{job.job_id}:lost")
-                job.not_before = now + delay
-                job.token = None
-                transition(
-                    job, JobState.RETRYING, now,
+                self._requeue_lost(
+                    job, now,
                     detail=f"worker lost before epoch {self.epoch}",
                 )
-                self._append_transition(job, at=now)
-                logger.info(
-                    "orphaned job %s re-queued (retry in %.2fs)",
-                    job.job_id, delay,
-                )
+                logger.info("orphaned job %s re-queued", job.job_id)
+        for worker in self.workers.alive():
+            self._lose_worker(worker, now, reason="service_restart")
+
+    def _requeue_lost(self, job: JobRecord, now: float, detail: str) -> None:
+        """Send a DISPATCHED/RUNNING job back through retry *without*
+        consuming an attempt: its execution never reported an outcome,
+        so for retry accounting it never happened.  Clearing the token
+        is the fence — the lost worker's late ``start``/``report`` can
+        no longer match the job's recorded dispatch."""
+        delay = self.retry.delay(1, key=f"{job.job_id}:lost")
+        job.not_before = now + delay
+        job.token = None
+        self._detach_worker(job)
+        transition(job, JobState.RETRYING, now, detail=detail)
+        self._append_transition(job, at=now)
+        self.counters["requeued_lost"] += 1
+
+    def _detach_worker(self, job: JobRecord) -> None:
+        if job.worker is not None:
+            self.workers.release(job.worker, job.job_id)
+            job.worker = None
+
+    def _lose_worker(
+        self, worker: WorkerRecord, now: float, reason: str
+    ) -> None:
+        """Mark one worker LOST, durably and in the trace."""
+        self.workers.mark_lost(worker.worker_id, now, reason=reason)
+        self._append(
+            "worker_lost", worker=worker.worker_id, at=now, reason=reason
+        )
+        self.counters["workers_lost"] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "worker_lost", now, worker=worker.worker_id, reason=reason
+            )
 
     # ------------------------------------------------------------------
     # WAL plumbing (with graceful degradation)
@@ -325,6 +436,8 @@ class ControlPlane:
             detail=job.detail,
             token=job.token,
             result=job.result,
+            worker=job.worker,
+            started_at=job.started_at,
         )
 
     def _flush_pending(self) -> int:
@@ -349,6 +462,7 @@ class ControlPlane:
         return {
             "epoch": self.epoch,
             "jobs": [job.to_json() for job in self._jobs_in_order()],
+            "workers": self.workers.to_json(),
         }
 
     # ------------------------------------------------------------------
@@ -363,11 +477,29 @@ class ControlPlane:
         pool: str = DEFAULT_POOL,
         priority: int = 0,
         job_id: Optional[str] = None,
+        max_runtime_s: Optional[float] = None,
     ) -> str:
         """Accept one job; returns its id.  Raises
         :class:`~repro.service.errors.AdmissionError` over policy and
         :class:`~repro.service.errors.ServiceUnavailable` while the
         store is down (shedding, not queueing in RAM)."""
+        with self._lock:
+            return self._submit_locked(
+                spec, tenant=tenant, gpus=gpus, pool=pool,
+                priority=priority, job_id=job_id, max_runtime_s=max_runtime_s,
+            )
+
+    def _submit_locked(
+        self,
+        spec: Optional[Mapping],
+        *,
+        tenant: str,
+        gpus: int,
+        pool: str,
+        priority: int,
+        job_id: Optional[str],
+        max_runtime_s: Optional[float],
+    ) -> str:
         if self.degraded:
             self._flush_pending()
         if self.degraded:
@@ -402,6 +534,9 @@ class ControlPlane:
             submitted_at=now,
             updated_at=now,
             order=self._order,
+            max_runtime_s=(
+                float(max_runtime_s) if max_runtime_s is not None else None
+            ),
         )
         # Durability before visibility: the submit record hits the WAL
         # before the job becomes claimable by a tick.  A store that
@@ -421,14 +556,16 @@ class ControlPlane:
 
     def cancel(self, job_id: str) -> JobState:
         """Cancel a job; idempotent on terminal jobs (returns the state)."""
-        job = self._job(job_id)
-        if job.is_terminal:
+        with self._lock:
+            job = self._job(job_id)
+            if job.is_terminal:
+                return job.state
+            now = self.clock()
+            job.token = None  # fences any in-flight worker's late report
+            self._detach_worker(job)
+            transition(job, JobState.CANCELLED, now, detail="cancelled by user")
+            self._append_transition(job, at=now)
             return job.state
-        now = self.clock()
-        job.token = None
-        transition(job, JobState.CANCELLED, now, detail="cancelled by user")
-        self._append_transition(job, at=now)
-        return job.state
 
     def status(self, job_id: str) -> dict:
         """One job's full record (JSON-safe)."""
@@ -450,20 +587,164 @@ class ControlPlane:
 
     def stats(self) -> dict:
         """Service-level health: epoch, degradation, per-state counts."""
-        by_state: dict[str, int] = {}
-        for job in self.jobs.values():
-            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
-        return {
-            "epoch": self.epoch,
-            "degraded": self.degraded,
-            "buffered_records": len(self._pending),
-            "jobs": dict(sorted(by_state.items())),
-        }
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for job in self.jobs.values():
+                by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+            return {
+                "epoch": self.epoch,
+                "degraded": self.degraded,
+                "buffered_records": len(self._pending),
+                "jobs": dict(sorted(by_state.items())),
+                "workers": self.workers.counts(),
+                "live_workers": len(self.workers.live(self.clock())),
+                "counters": dict(self.counters),
+            }
 
     @property
     def active_jobs(self) -> int:
         """Jobs not yet in a terminal state."""
         return sum(1 for job in self.jobs.values() if not job.is_terminal)
+
+    # ------------------------------------------------------------------
+    # Worker-facing: the pull protocol
+    # ------------------------------------------------------------------
+    def register_worker(self, name: str = "", capacity: int = 1) -> dict:
+        """Register one worker incarnation; returns its identity + lease.
+
+        Ids are epoch-scoped (``w{epoch}-{n}``), so an identity from a
+        dead epoch can never collide with a live one.  The registration
+        is a WAL record: recovery restores the roster, then the orphan
+        sweep marks every restored worker lost (its lease and tokens
+        belong to the dead epoch), forcing a re-register.
+        """
+        with self._lock:
+            now = self.clock()
+            record = self.workers.register(
+                name=name, capacity=capacity, now=now, epoch=self.epoch
+            )
+            self._append(
+                "worker_register",
+                worker=record.worker_id,
+                name=record.name,
+                capacity=record.capacity,
+                epoch=record.epoch,
+                at=now,
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "worker_register",
+                    now,
+                    worker=record.worker_id,
+                    capacity=record.capacity,
+                )
+            return {
+                "worker_id": record.worker_id,
+                "epoch": self.epoch,
+                "ttl": self.workers.ttl,
+            }
+
+    def worker_heartbeat(self, worker_id: str) -> dict:
+        """Renew a worker's lease; raises
+        :class:`~repro.service.errors.UnknownWorkerError` once reaped.
+
+        The response carries the daemon's view of the worker's claim
+        set, so a worker can notice a job was revoked from under it
+        (deadline, stalled-dispatch reap) and abort the local run.
+        """
+        with self._lock:
+            now = self.clock()
+            record = self.workers.heartbeat(worker_id, now)
+            return {
+                "worker_id": worker_id,
+                "epoch": self.epoch,
+                "jobs": sorted(record.jobs),
+            }
+
+    def claim(
+        self, worker_id: str, max_jobs: int = 1
+    ) -> list[tuple[JobRecord, DispatchToken]]:
+        """Hand up to ``max_jobs`` dispatchable jobs to a live worker.
+
+        A claim counts as a heartbeat — a worker actively pulling work
+        is alive by definition.  Each grant is a full dispatch: token
+        issued, DISPATCHED transition in the WAL, job bound to the
+        worker's claim set (what the reaper re-queues if the lease
+        lapses).
+        """
+        with self._lock:
+            now = self.clock()
+            worker = self.workers.heartbeat(worker_id, now)
+            stats = TickStats()
+            self._promote_retries(now, stats)
+            self._admit_queued(now, stats)
+            granted: list[tuple[JobRecord, DispatchToken]] = []
+            budget = min(int(max_jobs), worker.free_slots)
+            if budget <= 0:
+                return granted
+            usage = in_flight_gpus(self.jobs.values())
+            admitted = [
+                job
+                for job in self.jobs.values()
+                if job.state is JobState.ADMITTED
+            ]
+            for job in self._priority_order(admitted):
+                if len(granted) >= budget:
+                    break
+                if not self.admission.may_admit(job, usage):
+                    continue
+                token = self._issue(job, now, worker=worker)
+                key = (job.tenant, job.pool)
+                usage[key] = usage.get(key, 0) + job.gpus
+                granted.append((job, token))
+            return granted
+
+    def report(self, token: DispatchToken, outcome: JobOutcome) -> dict:
+        """A worker reports one execution's outcome, fenced by the token.
+
+        Exactly-once: the report lands iff the token is the job's
+        *current* dispatch in the *current* epoch and the job is still
+        RUNNING.  Zombies — a reaped worker, a revoked deadline, a
+        recovered epoch — get a structured rejection, not a double
+        effect.
+        """
+        with self._lock:
+            now = self.clock()
+            job = self.jobs.get(token.job_id)
+            accepted, reason = True, "ok"
+            if job is None:
+                accepted, reason = False, "unknown_job"
+            elif token.epoch != self.epoch:
+                accepted, reason = False, "stale_epoch"
+            elif job.token is None or job.token != token.to_json():
+                # The job was re-queued (worker loss, revoke) or already
+                # completed; this report belongs to a fenced dispatch.
+                accepted, reason = False, "token_mismatch"
+            elif job.state is not JobState.RUNNING:
+                accepted, reason = False, "not_running"
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "job_report",
+                    now,
+                    job=token.job_id,
+                    accepted=accepted,
+                    reason=reason,
+                )
+            if not accepted:
+                self.counters["report_rejections"] += 1
+                return {
+                    "accepted": False,
+                    "reason": reason,
+                    "state": job.state.value if job is not None else None,
+                }
+            self.counters["reports"] += 1
+            self._detach_worker(job)
+            self._complete(now, job, outcome, TickStats())
+            return {
+                "accepted": True,
+                "reason": "ok",
+                "state": job.state.value,
+            }
 
     # ------------------------------------------------------------------
     # Worker-facing: token redemption
@@ -475,28 +756,42 @@ class ControlPlane:
         or otherwise invalid tokens.  Emits a ``dispatch_token`` trace
         event either way.
         """
-        now = self.clock()
-        job = self.jobs.get(token.job_id)
-        try:
-            if job is None:
-                raise TokenError(
-                    f"token names unknown job {token.job_id!r}",
-                    reason="unknown_job",
-                )
-            if job.state is not JobState.DISPATCHED:
-                raise TokenError(
-                    f"job {token.job_id!r} is {job.state.value}, not "
-                    "dispatched; duplicate or out-of-order start rejected",
-                    reason="not_dispatched",
-                )
-            self.issuer.redeem(token, job.token)
-        except TokenError as error:
-            self._emit_token(now, token, accepted=False, reason=error.reason)
-            raise
-        self._emit_token(now, token, accepted=True, reason="ok")
-        transition(job, JobState.RUNNING, now)
-        self._append_transition(job, at=now)
-        return job
+        with self._lock:
+            now = self.clock()
+            job = self.jobs.get(token.job_id)
+            try:
+                if token.epoch != self.epoch:
+                    # Checked before the job's state so a zombie from a
+                    # dead epoch learns the real reason, not whatever
+                    # state its re-queued job happens to be in.
+                    raise TokenError(
+                        f"token epoch {token.epoch} != service epoch "
+                        f"{self.epoch}; start from a dead incarnation "
+                        "rejected",
+                        reason="stale_epoch",
+                    )
+                if job is None:
+                    raise TokenError(
+                        f"token names unknown job {token.job_id!r}",
+                        reason="unknown_job",
+                    )
+                if job.state is not JobState.DISPATCHED:
+                    raise TokenError(
+                        f"job {token.job_id!r} is {job.state.value}, not "
+                        "dispatched; duplicate or out-of-order start rejected",
+                        reason="not_dispatched",
+                    )
+                self.issuer.redeem(token, job.token)
+            except TokenError as error:
+                self.counters["start_rejections"] += 1
+                self._emit_token(now, token, accepted=False, reason=error.reason)
+                raise
+            self.counters["starts"] += 1
+            self._emit_token(now, token, accepted=True, reason="ok")
+            job.started_at = now
+            transition(job, JobState.RUNNING, now)
+            self._append_transition(job, at=now)
+            return job
 
     def _emit_token(
         self, now: float, token: DispatchToken, accepted: bool, reason: str
@@ -516,21 +811,37 @@ class ControlPlane:
     # The tick loop
     # ------------------------------------------------------------------
     def tick(self, now: Optional[float] = None) -> TickStats:
-        """One scheduling pass: flush, re-admit, dispatch, execute."""
-        now = self.clock() if now is None else now
-        stats = TickStats()
-        stats.flushed = self._flush_pending()
-        self._promote_retries(now, stats)
-        self._dispatch(now, stats)
-        if not self.degraded:
-            # Compaction failing must degrade, not kill, the service —
-            # the WAL already holds every record the snapshot would.
-            try:
-                stats.compacted = self.store.maybe_compact(self._snapshot_state())
-            except StoreUnavailable as error:
-                logger.error("store unavailable during compaction: %s", error)
-                self.degraded = True
-        return stats
+        """One scheduling pass: flush, reap, re-admit, dispatch.
+
+        With no live workers the tick also executes dispatched work
+        in-process (the synchronous single-node plane every chaos
+        scenario drives deterministically); once workers hold live
+        leases, admitted jobs wait to be claimed instead.
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            stats = TickStats()
+            stats.flushed = self._flush_pending()
+            self._reap_workers(now, stats)
+            self._reap_stalled_dispatches(now, stats)
+            self._reap_deadlines(now, stats)
+            self._promote_retries(now, stats)
+            self._admit_queued(now, stats)
+            if not self.workers.live(now):
+                self._self_execute(now, stats)
+            if not self.degraded:
+                # Compaction failing must degrade, not kill, the service —
+                # the WAL already holds every record the snapshot would.
+                try:
+                    stats.compacted = self.store.maybe_compact(
+                        self._snapshot_state()
+                    )
+                except StoreUnavailable as error:
+                    logger.error(
+                        "store unavailable during compaction: %s", error
+                    )
+                    self.degraded = True
+            return stats
 
     def _jobs_in_order(self) -> list[JobRecord]:
         return sorted(self.jobs.values(), key=lambda job: job.order)
@@ -549,7 +860,7 @@ class ControlPlane:
             self._append_transition(job, at=now)
             stats.admitted += 1
 
-    def _dispatch(self, now: float, stats: TickStats) -> None:
+    def _admit_queued(self, now: float, stats: TickStats) -> None:
         queued = [
             job for job in self.jobs.values() if job.state is JobState.QUEUED
         ]
@@ -557,6 +868,33 @@ class ControlPlane:
             transition(job, JobState.ADMITTED, now)
             self._append_transition(job, at=now)
             stats.admitted += 1
+
+    def _issue(
+        self,
+        job: JobRecord,
+        now: float,
+        worker: Optional[WorkerRecord] = None,
+    ) -> DispatchToken:
+        """Issue a dispatch token and move an ADMITTED job to DISPATCHED.
+
+        The single dispatch path for both planes: ``worker`` binds the
+        job to a claim set; ``None`` means the daemon is dispatching to
+        itself.
+        """
+        token = self.issuer.issue(job.job_id)
+        job.token = token.to_json()
+        job.dispatches += 1
+        job.started_at = 0.0
+        if worker is not None:
+            job.worker = worker.worker_id
+            worker.jobs.add(job.job_id)
+        transition(job, JobState.DISPATCHED, now)
+        self._append_transition(job, at=now)
+        return token
+
+    def _self_execute(self, now: float, stats: TickStats) -> None:
+        """The synchronous single-node plane: with no live workers the
+        daemon dispatches to itself and runs jobs inline."""
         usage = in_flight_gpus(self.jobs.values())
         admitted = [
             job for job in self.jobs.values() if job.state is JobState.ADMITTED
@@ -564,15 +902,92 @@ class ControlPlane:
         for job in self._priority_order(admitted):
             if not self.admission.may_admit(job, usage):
                 continue  # stays ADMITTED until capacity frees up
-            token = self.issuer.issue(job.job_id)
-            job.token = token.to_json()
-            job.dispatches += 1
-            transition(job, JobState.DISPATCHED, now)
-            self._append_transition(job, at=now)
+            token = self._issue(job, now)
             key = (job.tenant, job.pool)
             usage[key] = usage.get(key, 0) + job.gpus
             stats.dispatched += 1
             self._run_one(now, job, token, stats)
+
+    # ------------------------------------------------------------------
+    # Reapers: leases, stalled claims, deadlines
+    # ------------------------------------------------------------------
+    def _reap_workers(self, now: float, stats: TickStats) -> None:
+        """Reap workers whose lease lapsed; re-queue their in-flight jobs
+        without consuming attempts (the executions never reported)."""
+        for worker in self.workers.expired(now):
+            claimed = sorted(worker.jobs)
+            self._lose_worker(worker, now, reason="lease_expired")
+            stats.reaped_workers += 1
+            for job_id in claimed:
+                job = self.jobs.get(job_id)
+                if job is None or job.state not in (
+                    JobState.DISPATCHED, JobState.RUNNING
+                ):
+                    continue
+                self._requeue_lost(
+                    job, now,
+                    detail=(
+                        f"worker {worker.worker_id} lost "
+                        f"(lease expired after {self.workers.ttl:g}s)"
+                    ),
+                )
+                stats.requeued += 1
+
+    def _reap_stalled_dispatches(self, now: float, stats: TickStats) -> None:
+        """Revoke claims that never started.
+
+        A worker can heartbeat forever yet never redeem its token (hung
+        between claim and start).  The lease cannot catch that, so a
+        worker-held DISPATCHED job older than ``dispatch_timeout`` is
+        re-queued; clearing the token fences the stalled worker's
+        eventual late ``start``.
+        """
+        for job in self._jobs_in_order():
+            if (
+                job.state is JobState.DISPATCHED
+                and job.worker is not None
+                and now - job.updated_at > self.dispatch_timeout
+            ):
+                stalled_worker = job.worker
+                self._requeue_lost(
+                    job, now,
+                    detail=(
+                        f"dispatch to {stalled_worker} stalled past "
+                        f"{self.dispatch_timeout:g}s; claim revoked"
+                    ),
+                )
+                self.counters["stalled_requeued"] += 1
+                stats.requeued += 1
+
+    def _reap_deadlines(self, now: float, stats: TickStats) -> None:
+        """Fail RUNNING jobs past their ``max_runtime_s`` deadline.
+
+        Unlike a worker loss, a deadline expiry is an execution that ran
+        and used its budget, so it *does* consume an attempt against the
+        retry policy (as a transient failure).  :meth:`_complete` clears
+        the token, fencing the hung worker's eventual report.
+        """
+        for job in self._jobs_in_order():
+            if job.state is not JobState.RUNNING or job.max_runtime_s is None:
+                continue
+            # updated_at of the RUNNING transition doubles as the start
+            # time for records replayed from WALs without started_at.
+            started = job.started_at if job.started_at else job.updated_at
+            if now - started > job.max_runtime_s:
+                self._detach_worker(job)
+                self.counters["deadline_failures"] += 1
+                stats.deadlined += 1
+                self._complete(
+                    now, job,
+                    JobOutcome.failure(
+                        FailureKind.TRANSIENT,
+                        detail=(
+                            "deadline exceeded: still running past "
+                            f"max_runtime_s={job.max_runtime_s:g}"
+                        ),
+                    ),
+                    stats,
+                )
 
     def _run_one(
         self, now: float, job: JobRecord, token: DispatchToken, stats: TickStats

@@ -37,6 +37,22 @@ class UnknownJobError(ServiceError):
         self.job_id = job_id
 
 
+class UnknownWorkerError(ServiceError):
+    """A worker id the registry does not recognise (or already reaped).
+
+    The fix is always the same — the worker must re-register for a
+    fresh identity — so this is one error, not two.
+    """
+
+    def __init__(self, worker_id: str) -> None:
+        super().__init__(
+            f"unknown or reaped worker {worker_id!r}; re-register for a "
+            "fresh identity",
+            reason="unknown_worker",
+        )
+        self.worker_id = worker_id
+
+
 class TokenError(ServiceError):
     """A dispatch token was rejected (stale epoch, mismatch, reuse...)."""
 

@@ -79,6 +79,12 @@ class JobRecord:
     converge to the same terminal states (the recovery invariant the
     chaos suite proves).  ``dispatches`` counts tokens issued, so
     at-least-once execution stays observable.
+
+    ``worker`` is the id of the worker currently holding the dispatch
+    (None for the daemon's own in-process execution), ``started_at`` is
+    when the token was redeemed, and ``max_runtime_s`` — when set —
+    bounds how long one execution may stay RUNNING before the daemon
+    fails it transiently and fences the hung worker's token.
     """
 
     job_id: str
@@ -97,12 +103,19 @@ class JobRecord:
     token: Optional[dict] = None
     detail: str = ""
     result: Optional[dict] = None
+    worker: Optional[str] = None
+    started_at: float = 0.0
+    max_runtime_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
             raise ValueError("job needs a non-empty job_id")
         if self.gpus < 1:
             raise ValueError(f"job gpus must be >= 1, got {self.gpus}")
+        if self.max_runtime_s is not None and self.max_runtime_s <= 0:
+            raise ValueError(
+                f"max_runtime_s must be > 0, got {self.max_runtime_s}"
+            )
         if isinstance(self.state, str) and not isinstance(self.state, JobState):
             self.state = JobState(self.state)
 

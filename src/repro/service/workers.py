@@ -1,0 +1,234 @@
+"""The worker fleet registry: heartbeat leases over pull-based executors.
+
+A *worker* is an out-of-process executor (``repro worker``) that pulls
+jobs from the control plane instead of the daemon pushing work into its
+own tick.  The daemon knows a worker only through this registry:
+
+* **register** mints a worker id bound to the current service epoch —
+  a worker that restarts (or outlives a daemon restart) registers again
+  and gets a fresh identity; ids from dead epochs can never collide.
+* **heartbeat** renews the worker's lease.  Claims count as
+  heartbeats: a worker actively pulling work is alive by definition.
+* A worker whose lease exceeds the TTL is *reaped*: the daemon marks
+  it LOST, re-queues its in-flight jobs through the retry path without
+  consuming attempts, and rejects its id until it re-registers.  The
+  zombie's dispatch tokens are fenced at ``start``/``report`` time, so
+  a reaped-but-still-running worker cannot double-land any effect.
+
+Worker lifecycle events (register, lost) are WAL records and trace
+events; heartbeats are deliberately neither — they carry no state a
+recovery could use (every worker is lost by definition when the epoch
+dies) and would swamp the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from enum import Enum
+from typing import Mapping, Optional
+
+from repro.service.errors import UnknownWorkerError
+
+#: Default seconds of heartbeat silence before a worker is reaped.
+DEFAULT_WORKER_TTL = 5.0
+
+
+class WorkerState(str, Enum):
+    """Lifecycle states of a registered worker."""
+
+    ALIVE = "alive"  # registered, lease not yet reaped
+    LOST = "lost"  # lease expired or epoch died; terminal for this id
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class WorkerRecord:
+    """Everything the daemon knows about one worker incarnation.
+
+    ``jobs`` is the set of job ids currently claimed by (dispatched to)
+    this worker — the work the reaper re-queues if the lease lapses.
+    """
+
+    worker_id: str
+    name: str = ""
+    capacity: int = 1
+    state: WorkerState = WorkerState.ALIVE
+    epoch: int = 0
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    lost_at: Optional[float] = None
+    lost_reason: str = ""
+    jobs: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise ValueError("worker needs a non-empty worker_id")
+        if self.capacity < 1:
+            raise ValueError(f"worker capacity must be >= 1, got {self.capacity}")
+        if isinstance(self.state, str) and not isinstance(self.state, WorkerState):
+            self.state = WorkerState(self.state)
+        if not isinstance(self.jobs, set):
+            self.jobs = set(self.jobs)
+
+    @property
+    def free_slots(self) -> int:
+        """Claim capacity left on this worker."""
+        return max(0, self.capacity - len(self.jobs))
+
+    def to_json(self) -> dict:
+        """JSON-safe snapshot (WAL replay / snapshots / the health API)."""
+        payload = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "jobs":
+                value = sorted(value)
+            elif isinstance(value, WorkerState):
+                value = value.value
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "WorkerRecord":
+        """Rebuild a record, ignoring unknown keys (forward compatible)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        return cls(**kwargs)
+
+
+class WorkerRegistry:
+    """Tracks worker incarnations and their heartbeat leases."""
+
+    def __init__(self, ttl: float = DEFAULT_WORKER_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError(f"worker ttl must be > 0, got {ttl}")
+        self.ttl = float(ttl)
+        self.workers: dict[str, WorkerRecord] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        *,
+        name: str = "",
+        capacity: int = 1,
+        now: float = 0.0,
+        epoch: int = 0,
+    ) -> WorkerRecord:
+        """Mint a fresh worker incarnation bound to ``epoch``."""
+        self._counter += 1
+        worker_id = f"w{epoch}-{self._counter:03d}"
+        record = WorkerRecord(
+            worker_id=worker_id,
+            name=name or worker_id,
+            capacity=int(capacity),
+            epoch=epoch,
+            registered_at=now,
+            last_heartbeat=now,
+        )
+        self.workers[worker_id] = record
+        return record
+
+    def get(self, worker_id: str) -> WorkerRecord:
+        """The worker's record regardless of state; raises if never seen."""
+        record = self.workers.get(worker_id)
+        if record is None:
+            raise UnknownWorkerError(worker_id)
+        return record
+
+    def heartbeat(self, worker_id: str, now: float) -> WorkerRecord:
+        """Renew a lease.  A LOST (reaped) worker must re-register: its
+        in-flight jobs were already re-queued, so resurrecting the old id
+        would let it race the re-dispatch."""
+        record = self.workers.get(worker_id)
+        if record is None or record.state is not WorkerState.ALIVE:
+            raise UnknownWorkerError(worker_id)
+        record.last_heartbeat = now
+        return record
+
+    def mark_lost(
+        self, worker_id: str, now: float, reason: str = ""
+    ) -> WorkerRecord:
+        """Transition a worker to LOST (idempotent)."""
+        record = self.get(worker_id)
+        if record.state is not WorkerState.LOST:
+            record.state = WorkerState.LOST
+            record.lost_at = now
+            record.lost_reason = reason
+        return record
+
+    def release(self, worker_id: str, job_id: str) -> None:
+        """Drop a job from a worker's claim set (tolerant of lost ids)."""
+        record = self.workers.get(worker_id)
+        if record is not None:
+            record.jobs.discard(job_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def alive(self) -> list[WorkerRecord]:
+        """ALIVE workers (lease freshness not considered), in id order."""
+        return [
+            record
+            for record in self._in_order()
+            if record.state is WorkerState.ALIVE
+        ]
+
+    def live(self, now: float) -> list[WorkerRecord]:
+        """ALIVE workers whose lease is current at ``now``."""
+        return [
+            record
+            for record in self.alive()
+            if now - record.last_heartbeat <= self.ttl
+        ]
+
+    def expired(self, now: float) -> list[WorkerRecord]:
+        """ALIVE workers whose lease lapsed — the reaper's worklist."""
+        return [
+            record
+            for record in self.alive()
+            if now - record.last_heartbeat > self.ttl
+        ]
+
+    def counts(self) -> dict:
+        """Per-state worker counts (the health API)."""
+        by_state: dict[str, int] = {}
+        for record in self.workers.values():
+            by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+        return dict(sorted(by_state.items()))
+
+    def _in_order(self) -> list[WorkerRecord]:
+        return sorted(
+            self.workers.values(),
+            key=lambda record: (record.registered_at, record.worker_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def restore(self, payload: Mapping) -> WorkerRecord:
+        """Re-insert a worker from a snapshot/WAL payload (replay only)."""
+        record = WorkerRecord.from_json(payload)
+        self.workers[record.worker_id] = record
+        return record
+
+    def restore_lost(
+        self, worker_id: str, at: float = 0.0, reason: str = ""
+    ) -> None:
+        """Replay a ``worker_lost`` record (unknown ids are skipped —
+        same forward-compatibility policy as unknown WAL kinds)."""
+        record = self.workers.get(worker_id)
+        if record is not None:
+            record.state = WorkerState.LOST
+            record.lost_at = at
+            record.lost_reason = reason
+
+    def to_json(self) -> list[dict]:
+        """Every worker record, in registration order (snapshots)."""
+        return [record.to_json() for record in self._in_order()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerRegistry(ttl={self.ttl}, workers={len(self.workers)})"

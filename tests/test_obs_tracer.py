@@ -211,15 +211,21 @@ def test_tracing_does_not_change_simulation_results():
 
 
 # ----------------------------------------------------------------------
-# Control-plane event kinds (trace schema v2)
+# Control-plane event kinds (trace schema v2/v3)
 # ----------------------------------------------------------------------
-def test_schema_v2_adds_control_plane_kinds():
-    assert TRACE_SCHEMA_VERSION == 2
+def test_schema_v3_adds_control_plane_kinds():
+    assert TRACE_SCHEMA_VERSION == 3
     events = [
         {"kind": "dispatch_token", "t": 0.0, "job": "j", "epoch": 1,
          "accepted": True},
         {"kind": "job_retry", "t": 1.0, "job": "j", "attempt": 1,
          "failure_kind": "transient", "delay": 0.5},
+        {"kind": "worker_register", "t": 2.0, "worker": "w1-001",
+         "capacity": 2},
+        {"kind": "job_report", "t": 3.0, "job": "j", "accepted": False,
+         "reason": "token_mismatch"},
+        {"kind": "worker_lost", "t": 4.0, "worker": "w1-001",
+         "reason": "lease_expired"},
     ]
     assert validate_events(events) == []
 
