@@ -745,8 +745,9 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
         # (min-of-N) so the gated speedup ratio is not a single
         # unaveraged timing pair on a noisy shared runner.  sim-xl is
         # additionally allowed through when asked for by name (the CI
-        # scale smoke), at a single repeat — its gate is byte-identity
-        # under a wall-clock budget, not a timing ratio.
+        # scale smoke), at a single repeat — its gates are byte-identity
+        # under a wall-clock budget plus the deterministic
+        # rescore-carves-per-move ceiling, not a timing ratio.
         quick_set = ("sim-small", "sim-matrix")
         quick_allowed = quick_set + ("sim-xl",)
         dropped = [p for p in profiles if p not in quick_allowed]
@@ -773,6 +774,8 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     for name in profiles:
         record = payload["sim"][name]
         obs = record.get("obs") or {}
+        solver = record["incremental"].get("solver") or {}
+        carves_per_move = solver.get("rescore_carves_per_move")
         rows.append([
             name,
             record["gpus"],
@@ -783,13 +786,15 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
             round(record["speedup"], 2) if record["speedup"] else "-",
             round(record["incremental"]["events_per_sec"], 1),
             record["incremental"]["rho_probes"],
+            round(carves_per_move, 2) if carves_per_move is not None else "-",
             record["identical_results"],
             round(obs["trace_overhead"], 3) if obs.get("trace_overhead") else "-",
             obs.get("events", "-"),
         ])
     print(format_table(
         ["profile", "gpus", "contention", "rounds", "inc_s", "cold_s",
-         "speedup", "events/s", "probes", "identical", "trace_ovh", "trace_ev"],
+         "speedup", "events/s", "probes", "carve/mv", "identical",
+         "trace_ovh", "trace_ev"],
         rows,
     ))
     for name in profiles:

@@ -46,12 +46,19 @@ class ArbiterConfig:
     noise_theta: float = 0.0
     hidden_payments: bool = True
     leftover_allocation: bool = True
+    #: Post-move re-scoring mode of the auction solver: "gated"
+    #: (bound-gated memo skips + vectorized batch prime, the default)
+    #: or "eager" (the plain precise re-score loop, kept as the oracle
+    #: of the equivalence suite).  Byte-identical either way.
+    rescore: str = "gated"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fairness_knob <= 1.0:
             raise ValueError(f"fairness_knob must be in [0, 1], got {self.fairness_knob}")
         if not 0.0 <= self.noise_theta < 1.0:
             raise ValueError(f"noise_theta must be in [0, 1), got {self.noise_theta}")
+        if self.rescore not in ("gated", "eager"):
+            raise ValueError(f"rescore must be 'gated' or 'eager', got {self.rescore!r}")
 
 
 @dataclass
@@ -63,6 +70,13 @@ class RoundStats:
     scored by the lazy heap, warm-start moves the payment re-solves
     replayed for free, and the number of distinct rho computations
     (valuation-cache misses) the round's bids performed.
+
+    The ``rescore_*`` trio breaks down the post-move re-scoring wall
+    (see :class:`~repro.core.auction.AuctionSolveStats`): scalar kernel
+    carves the re-scores still performed, pair scores the bound-gated
+    memo skipped whole, and carves the vectorized post-move prime did
+    instead of the scalar loop.  Unlike the warm counters these are
+    live in cold mode too — the gated re-score is mode-independent.
     """
 
     now: float
@@ -77,6 +91,9 @@ class RoundStats:
     valuation_probes: int = 0
     heap_warm_hits: int = 0
     heap_warm_misses: int = 0
+    rescore_carves: int = 0
+    rescore_skipped: int = 0
+    rescore_batched: int = 0
 
 
 class Arbiter:
@@ -92,7 +109,9 @@ class Arbiter:
         self.config = config or ArbiterConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._speed_of = cluster.machine_speeds()
-        self.auction = PartialAllocationAuction(chunk_size=self.config.chunk_size)
+        self.auction = PartialAllocationAuction(
+            chunk_size=self.config.chunk_size, rescore=self.config.rescore
+        )
         self.rounds = 0
         self.last_outcome: Optional[AuctionOutcome] = None
         self.history: list[RoundStats] = []
@@ -245,6 +264,9 @@ class Arbiter:
                 valuation_probes=sum(bid.rho_probes for bid in bids.values()),
                 heap_warm_hits=solve_stats.warm_hits,
                 heap_warm_misses=solve_stats.warm_misses,
+                rescore_carves=solve_stats.rescore_carves,
+                rescore_skipped=solve_stats.rescore_skipped,
+                rescore_batched=solve_stats.rescore_batched,
             )
         )
         return concretise(assignments, pool_by_machine)

@@ -52,6 +52,51 @@ without relying on submodularity of the marginal gains.  Per-solve cost
 drops to ``O(A x M)`` initial scores plus ``O(G/chunk x (A + M))``
 maintenance.
 
+Bound-gated, vector-batched re-scoring (``rescore="gated"``)
+------------------------------------------------------------
+
+The ``O(A + M)`` post-move re-scores are *precise* scalar valuation
+probes over trajectory-dependent compound bundles — identical work in
+incremental and cold modes, unprimeable by any cross-round cache, and
+the dominant cost at ``sim-xl`` scale.  Plain lazy-CELF stale-heap
+re-validation is NOT exact here: Themis marginal gains are non-monotone
+(a shrinking machine can *raise* a pair's normalized gain — see
+tests/test_rescore_exactness.py for a pinned counterexample), so the
+default ``"gated"`` mode instead applies two *provably exact*
+reductions; ``rescore="eager"`` keeps the plain re-score loop as the
+oracle the equivalence suite compares against.
+
+**Skip rule (the invalidation algebra).**  :meth:`_score_pair`'s result
+is a pure function of a key narrower than its argument list:
+
+* on the gain path (``current_value > 0``) the probed bundles are
+  ``current_key + {machine: step}`` for ``step in {1, chunk}`` with
+  ``chunk = min(chunk_size, free, headroom)``; ``current_value`` is
+  itself ``bid.value_from_key(current_key)`` and the heap key
+  ``(1, -gain, step, app_id, machine_id)`` never reads ``free`` — so
+  the score is pure in ``(machine_id, current_key, chunk)``.  A column
+  shrink that leaves ``min(chunk_size, free, headroom)`` unchanged
+  therefore *cannot* have changed the score and is served from the
+  memo (the pre-PR-10 memo keyed on raw ``free`` and missed on every
+  shrink);
+* on the rescue path (``current_value <= 0`` — itself pure in
+  ``current_key``) the step is always 1 and ``new_value`` is pure in
+  ``(machine_id, current_key)``; only the tie-break term
+  ``-free * speed`` reads ``free``, so the memo stores ``new_value``
+  and rebuilds the heap key from the live ``free`` with the identical
+  float expression.
+
+**Batch rule.**  The candidates a move by ``(A, Q)`` forces — row
+``A x remaining`` and column ``apps x Q``, minus the memo/value-cache
+hits — are all known the moment the move applies.  The re-score pass
+scores cache-warm pairs immediately and *parks* the rest, keying each
+pair exactly once; the parked pairs' missing bundles run through
+:meth:`FairnessEstimator.batch_prime` in one pass (same IEEE-754 op
+sequence as the scalar kernel, so the floats are byte-identical;
+scalar fallback under ``REPRO_NO_NUMPY``), and the finish pass scores
+them against the warm caches.  Both reductions change *where* a float
+is computed, never *which* float.
+
 Payment re-solves are warm-started: the greedy state of the
 ``without_i`` market evolves identically to the full market until the
 first move the full solve awarded to ``i`` (removing ``i``'s candidate
@@ -158,6 +203,20 @@ class AuctionSolveStats:
     bundles already in the kernel caches) and ``warm_misses`` the
     candidates that had to be computed fresh (memo misses plus batch
     carves).  Both stay zero on the cold path.
+
+    The ``rescore_*`` trio instruments the post-move re-scoring wall
+    (active in *both* incremental and cold modes): ``rescore_carves``
+    counts precise scalar kernel carves the row/column re-scores after
+    applied moves still performed — the quantity the gated mode exists
+    to minimise, and what the ``sim-xl`` CI gate holds a per-move
+    ceiling on; ``rescore_skipped`` counts post-move pair scores served
+    whole from the bound-gated memo (no probe at all); and
+    ``rescore_batched`` counts kernel carves the vectorized post-move
+    prime performed instead of the scalar loop.  Under
+    ``rescore="eager"`` no batch prime runs (``rescore_batched`` is
+    zero; ``rescore_skipped`` only counts the warm-start memo's hits)
+    and ``rescore_carves`` reports the full eager-invalidation cost,
+    so the two modes' counters are directly comparable.
     """
 
     solves: int = 0
@@ -166,6 +225,9 @@ class AuctionSolveStats:
     pair_scores: int = 0
     warm_hits: int = 0
     warm_misses: int = 0
+    rescore_carves: int = 0
+    rescore_skipped: int = 0
+    rescore_batched: int = 0
 
 
 #: One applied greedy move: (app_id, machine_id, step, value after move).
@@ -174,12 +236,24 @@ _Move = tuple[str, int, int, float]
 #: Sentinel distinguishing "memoised as None" from "not memoised".
 _MEMO_MISS = object()
 
+#: Sentinel returned by :meth:`PartialAllocationAuction._score_pair`
+#: when a ``defer`` list was supplied and the pair's probe bundles are
+#: not all cache-warm: the pair is parked for the post-prime finish
+#: pass instead of carving on demand.
+_DEFERRED = object()
+
 #: Smallest candidate batch worth sending to the vector carve kernel
 #: from the heap warm start.  Below this the per-call numpy overhead
 #: loses to the scalar on-demand path, so the prime skips the carve
 #: entirely (the candidates stay byte-identical either way — they are
 #: simply computed lazily instead of eagerly).
 _HEAP_PRIME_MIN = 64
+
+#: Smallest post-move missing-bundle batch worth one prime pass.
+#: Below this the deferred pairs' finish pass simply carves on demand
+#: (counted in ``rescore_carves``), byte-identically — like
+#: :data:`_HEAP_PRIME_MIN` this is purely a perf knob.
+_RESCORE_BATCH_MIN = 16
 
 
 class PartialAllocationAuction:
@@ -194,15 +268,27 @@ class PartialAllocationAuction:
     the pre-refactor full rescan.  Both produce identical assignments
     (see the module docstring); ``"rescan"`` exists for equivalence
     tests and as the ``repro bench`` reference.
+
+    ``rescore`` selects how the lazy solver re-scores the row/column a
+    move invalidates: ``"gated"`` (default) applies the bound-gated
+    memo skips and the vectorized post-move batch prime (module
+    docstring, "Bound-gated, vector-batched re-scoring"), ``"eager"``
+    the plain precise re-score loop.  Both are byte-identical — eager
+    is the oracle tests/test_rescore_exactness.py sweeps against.
     """
 
-    def __init__(self, chunk_size: int = 4, solver: str = "lazy") -> None:
+    def __init__(
+        self, chunk_size: int = 4, solver: str = "lazy", rescore: str = "gated"
+    ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
         if solver not in ("lazy", "rescan"):
             raise ValueError(f"solver must be 'lazy' or 'rescan', got {solver!r}")
+        if rescore not in ("gated", "eager"):
+            raise ValueError(f"rescore must be 'gated' or 'eager', got {rescore!r}")
         self.chunk_size = chunk_size
         self.solver = solver
+        self.rescore = rescore
         self.last_stats = AuctionSolveStats()
         # Observability hook; the simulator rewires this at bind time.
         self.profiler = NULL_PROFILER
@@ -268,6 +354,9 @@ class PartialAllocationAuction:
         current_value: float,
         headroom: int,
         stats: Optional[AuctionSolveStats] = None,
+        rescore: bool = False,
+        defer: Optional[list] = None,
+        prime: Optional[list] = None,
     ) -> Optional[tuple[tuple, _Move]]:
         """Best (key, move) for one (app, machine) pair, or ``None``.
 
@@ -275,26 +364,75 @@ class PartialAllocationAuction:
         rescan solver's tie-breaks exactly; they are unique per entry
         because they embed (step, app_id, machine_id).
 
-        With warm starts on, results are memoised per bid.  The score is
-        a pure function of ``(machine_id, current_key, free,
-        min(headroom, chunk_size))`` — ``current_value`` is itself
-        ``bid.value_from_key(current_key)``, step sizes depend on
-        headroom only through ``min(chunk_size, free, headroom)``, and
-        the rescue tie-break reads ``free`` directly — so that tuple is
-        the memo key.
+        Results are memoised per bid under the *exact purity key* of
+        the score (module docstring, "Skip rule"):
+
+        * gain path — ``(machine_id, current_key, chunk)`` with
+          ``chunk = min(chunk_size, free, headroom)``: the probed
+          bundles and the heap key read ``free``/``headroom`` only
+          through ``chunk``, so a column shrink that leaves ``chunk``
+          unchanged is a guaranteed hit;
+        * rescue path — ``(machine_id, current_key)``: the single
+          step-1 probe never reads ``free``; only the heap key's
+          tie-break term does, so the memo stores ``new_value`` (or
+          ``None`` for "no improving move", equally free-independent)
+          and the key is rebuilt from the live ``free`` with the same
+          float expression the miss path uses.
+
+        Whether a pair *is* a rescue is pure in ``current_key`` (it is
+        ``bid.value_from_key(current_key) <= 0``), and the two key
+        shapes differ in length, so the paths cannot collide.  The memo
+        is consulted under ``rescore="gated"`` in both warm and cold
+        modes; ``rescore="eager"`` preserves the earlier behaviour of
+        memoising only when warm starts are on.  ``rescore=True`` marks
+        a post-move re-score call (counter attribution only).
+
+        With ``defer``/``prime`` lists supplied (the gated re-score's
+        batched pass), a pair whose probe bundles are not all warm in
+        the bid's value/rho caches is *parked*: its missing kernel
+        bundles go on ``prime``, its already-derived keys go on
+        ``defer``, and :data:`_DEFERRED` is returned.  After one
+        vectorized ``batch_prime`` the caller finishes the parked pairs
+        via :meth:`_finish_deferred` — the same
+        :meth:`_score_probes` floats, each pair keyed exactly once.
         """
+        rescue = current_value <= 0.0
         memo: Optional[dict[tuple, object]] = None
-        if self.warm_enabled:
+        memo_key: Optional[tuple] = None
+        if self.warm_enabled or self.rescore == "gated":
             memo = bid._pair_memo
-            memo_key = (machine_id, current_key, free, min(headroom, self.chunk_size))
+            if rescue:
+                memo_key: tuple = (machine_id, current_key)
+            else:
+                memo_key = (
+                    machine_id,
+                    current_key,
+                    min(self.chunk_size, free, headroom),
+                )
             cached = memo.get(memo_key, _MEMO_MISS)
             if cached is not _MEMO_MISS:
                 if stats is not None:
-                    stats.warm_hits += 1
-                return cached  # type: ignore[return-value]
-            if stats is not None:
+                    if self.warm_enabled:
+                        stats.warm_hits += 1
+                    if rescore:
+                        stats.rescore_skipped += 1
+                if not rescue:
+                    return cached  # type: ignore[return-value]
+                if cached is None:
+                    return None
+                new_value: float = cached  # type: ignore[assignment]
+                key = (
+                    0,
+                    -new_value,
+                    1,
+                    -free * bid.machine_speed(machine_id),
+                    app_id,
+                    machine_id,
+                )
+                return (key, (app_id, machine_id, 1, new_value))
+            if stats is not None and self.warm_enabled:
                 stats.warm_misses += 1
-        if current_value <= 0.0:
+        if rescue:
             # Rescue with the smallest possible grab: one GPU already
             # makes the app's value positive, and lexicographic
             # max-Nash-welfare maximises the number of positive-value
@@ -303,15 +441,59 @@ class PartialAllocationAuction:
         else:
             chunk = min(self.chunk_size, free, headroom)
             step_sizes = (1,) if chunk <= 1 else (1, chunk)
+        probes = tuple(
+            (step, _merged_key(current_key, machine_id, step))
+            for step in step_sizes
+        )
+        if defer is not None:
+            value_cache = bid._value_cache
+            rho_cache = bid._rho_cache
+            missing = [
+                extra
+                for _step, extra in probes
+                if extra not in value_cache and extra not in rho_cache
+            ]
+            if missing:
+                for extra in missing:
+                    prime.append((bid.state, bid.total_key_of(extra)))
+                defer.append(
+                    (bid, app_id, machine_id, free, current_value,
+                     rescue, memo, memo_key, probes)
+                )
+                return _DEFERRED  # type: ignore[return-value]
+        best = self._score_probes(
+            bid, app_id, machine_id, free, current_value, rescue, probes
+        )
+        if memo is not None:
+            if rescue:
+                memo[memo_key] = None if best is None else best[1][3]
+            else:
+                memo[memo_key] = best
+        return best
+
+    def _score_probes(
+        self,
+        bid: Bid,
+        app_id: str,
+        machine_id: int,
+        free: int,
+        current_value: float,
+        rescue: bool,
+        probes: tuple[tuple[int, _BundleKey], ...],
+    ) -> Optional[tuple[tuple, _Move]]:
+        """Score pre-keyed ``(step, extra_key)`` probes for one pair.
+
+        The single scoring loop shared by the on-demand path and the
+        deferred finish pass — both produce their floats here, so
+        batching changes *when* a bundle is carved, never the score.
+        """
         best: Optional[tuple[tuple, _Move]] = None
-        for step in step_sizes:
-            new_value = bid.value_from_key(
-                _merged_key(current_key, machine_id, step)
-            )
+        for step, extra in probes:
+            new_value = bid.value_from_key(extra)
             if new_value <= current_value:
                 continue
             move = (app_id, machine_id, step, new_value)
-            if current_value <= 0.0:
+            if rescue:
                 # Rescue: infinite log gain; prefer highest new value,
                 # then machines with the most *effective* free compute
                 # (count x speed class — so the rescued app can grow
@@ -329,8 +511,29 @@ class PartialAllocationAuction:
                 key = (1, -gain, step, app_id, machine_id)
             if best is None or key < best[0]:
                 best = (key, move)
+        return best
+
+    def _finish_deferred(
+        self, record: tuple
+    ) -> Optional[tuple[tuple, _Move]]:
+        """Finish one pair parked by :meth:`_score_pair`'s defer path.
+
+        Runs after the batch prime warmed the missing bundles: the
+        probes (already keyed once) now resolve from caches, and the
+        memo store mirrors the on-demand path exactly.  No memo lookup
+        happens here — the defer path already took (and counted) the
+        miss.
+        """
+        (bid, app_id, machine_id, free, current_value,
+         rescue, memo, memo_key, probes) = record
+        best = self._score_probes(
+            bid, app_id, machine_id, free, current_value, rescue, probes
+        )
         if memo is not None:
-            memo[memo_key] = best
+            if rescue:
+                memo[memo_key] = None if best is None else best[1][3]
+            else:
+                memo[memo_key] = best
         return best
 
     def _solve_lazy(
@@ -366,8 +569,22 @@ class PartialAllocationAuction:
         app_version = {a: 0 for a in apps}
         machine_version = {m: 0 for m in remaining}
         heap: list[tuple] = []
+        gated = self.rescore == "gated"
+        # Carve accounting (and the gated batch prime) need the shared
+        # estimator; the scheduler binds it on the auction, ad-hoc
+        # callers reach it through any bid (all of an auction's bids
+        # share one).  Purely instrumentation + perf — never values.
+        estimator = self.estimator
+        if estimator is None and bids:
+            estimator = next(iter(bids.values()))._estimator
 
-        def push_pair(app_id: str, machine_id: int) -> None:
+        def push_pair(
+            app_id: str,
+            machine_id: int,
+            rescore: bool = False,
+            defer: Optional[list] = None,
+            prime: Optional[list] = None,
+        ) -> None:
             free = remaining.get(machine_id, 0)
             if free <= 0:
                 return
@@ -386,17 +603,74 @@ class PartialAllocationAuction:
                 values[app_id],
                 headroom,
                 stats,
+                rescore,
+                defer,
+                prime,
             )
-            if scored is None:
+            if scored is None or scored is _DEFERRED:
                 return
             key, move = scored
             token = (app_version[app_id], machine_version[machine_id])
             heapq.heappush(heap, (key, app_id, machine_id, token, move))
 
+        def rescore_after_move(app_id: str, machine_id: int) -> None:
+            """Re-score row ``app_id`` and column ``machine_id``.
+
+            Under ``"gated"`` this is a three-pass flow: pairs whose
+            probe bundles are cache-warm score immediately, the rest
+            park on a pending list (each pair keyed exactly once) while
+            their missing kernel bundles collect for one vectorized
+            ``batch_prime``; the finish pass then scores the parked
+            pairs against warm caches.  Under ``"eager"`` every pair
+            carves on demand.  Either way every float comes from the
+            same kernel on the same bundle — byte-identical.
+            """
+            carves_before = (
+                estimator.carve_count
+                if stats is not None and estimator is not None
+                else 0
+            )
+            batched = 0
+            if gated and estimator is not None:
+                pending: list = []
+                prime: list = []
+                if machine_id in remaining:
+                    for other_app in apps:
+                        if other_app != app_id:
+                            push_pair(other_app, machine_id, True, pending, prime)
+                for other_machine in remaining:
+                    push_pair(app_id, other_machine, True, pending, prime)
+                if len(prime) >= _RESCORE_BATCH_MIN:
+                    batched, _hits = estimator.batch_prime(prime)
+                    if stats is not None:
+                        stats.rescore_batched += batched
+                for record in pending:
+                    scored = self._finish_deferred(record)
+                    if scored is None:
+                        continue
+                    key, move = scored
+                    rec_app, rec_machine = record[1], record[2]
+                    token = (app_version[rec_app], machine_version[rec_machine])
+                    heapq.heappush(
+                        heap, (key, rec_app, rec_machine, token, move)
+                    )
+            else:
+                if machine_id in remaining:
+                    for other_app in apps:
+                        if other_app != app_id:
+                            push_pair(other_app, machine_id, True)
+                for other_machine in remaining:
+                    push_pair(app_id, other_machine, True)
+            if stats is not None and estimator is not None:
+                stats.rescore_carves += (
+                    estimator.carve_count - carves_before - batched
+                )
+
         for app_id in apps:
             for machine_id in remaining:
                 push_pair(app_id, machine_id)
 
+        profiler = self.profiler
         while heap:
             key, app_id, machine_id, token, move = heapq.heappop(heap)
             if token != (app_version[app_id], machine_version[machine_id]):
@@ -417,12 +691,11 @@ class PartialAllocationAuction:
             # stays exact.
             app_version[app_id] += 1
             machine_version[machine_id] += 1
-            if machine_id in remaining:
-                for other_app in apps:
-                    if other_app != app_id:
-                        push_pair(other_app, machine_id)
-            for other_machine in remaining:
-                push_pair(app_id, other_machine)
+            if profiler.enabled:
+                with profiler.phase("rescore"):
+                    rescore_after_move(app_id, machine_id)
+            else:
+                rescore_after_move(app_id, machine_id)
         return assignment, moves
 
     def _prime_heap(

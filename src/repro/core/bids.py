@@ -122,11 +122,17 @@ class Bid:
         # harness reports both.
         self._rho_cache: dict[tuple, float] = {}
         self._value_cache: dict[tuple, float] = {}
-        # Warm-started solves additionally memoise whole scored
-        # (app, machine) heap entries here, keyed on everything the
-        # score depends on; the payment re-solves rebuild their initial
-        # heaps over mostly-identical greedy states, so the memo turns
-        # those rebuilds into dict lookups.  Like the rho cache it dies
+        # The solver's pair-score memo, keyed on the *exact purity key*
+        # of a scored (app, machine) pair — gain path
+        # ``(machine, current_key, min(chunk, free, headroom))``, rescue
+        # path ``(machine, current_key)`` storing the free-independent
+        # ``new_value`` (see PartialAllocationAuction._score_pair for
+        # the proof sketch).  Keying on the effective step bound instead
+        # of raw ``free`` means a column shrink that leaves the bound
+        # unchanged is a guaranteed hit: the payment re-solves rebuild
+        # their heaps from dict lookups, and the post-move re-scores of
+        # ``rescore="gated"`` skip every pair a move provably could not
+        # have changed — in cold mode too.  Like the rho cache it dies
         # with the bid — scores embed clock-dependent values.
         self._pair_memo: dict[tuple, object] = {}
         self.rho_probes = 0

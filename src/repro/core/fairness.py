@@ -553,6 +553,13 @@ _CarveInstance = tuple[Sequence[_JobTuple], tuple[tuple[int, int], ...]]
 #: perf knob — both paths are byte-identical.
 _BATCH_MIN = 6
 
+#: Rows narrower than this many machines carve faster through the
+#: scalar kernel than through the lockstep pass (the masked argmax
+#: replaces a linear scan that short, while the per-iteration numpy
+#: overhead and the per-job transitions stay).  Purely a perf knob —
+#: both paths are byte-identical.
+_LOCKSTEP_MIN_WIDTH = 16
+
 _batch_fallback_warned = False
 
 
@@ -595,9 +602,47 @@ def _carve_batch(
             )
             for tuples, counts_key in instances
         ]
-    return _carve_batch_numpy(
-        instances, rack_of, nvlink_group_size, speed_of, family_speed_of
-    )
+    # Width routing: the lockstep pass replaces the scalar kernel's
+    # per-grab linear machine scan with one masked argmax, so it can
+    # only pay its per-iteration numpy overhead back on *wide* rows
+    # (many machines per bundle).  Narrow rows — the overwhelming case
+    # for post-move re-score candidates, whose bundles are one app's
+    # holdings plus a single-machine step — are measurably faster
+    # through the scalar kernel, so they are carved row-by-row here
+    # and only the wide tail goes lockstep.  Pure routing: both sides
+    # produce identical bytes for every instance.
+    narrow: list[int] = []
+    wide: list[int] = []
+    for i, (_tuples, counts_key) in enumerate(instances):
+        rowlen = sum(1 for _m, c in counts_key if c > 0)
+        (narrow if rowlen < _LOCKSTEP_MIN_WIDTH else wide).append(i)
+    results: list = [None] * len(instances)
+    for i in narrow:
+        tuples, counts_key = instances[i]
+        results[i] = _carve_fast(
+            tuples,
+            dict(counts_key),
+            rack_of,
+            nvlink_group_size,
+            speed_of,
+            family_speed_of,
+        )
+    if wide:
+        if len(wide) == len(instances):
+            wide_results = _carve_batch_numpy(
+                instances, rack_of, nvlink_group_size, speed_of, family_speed_of
+            )
+            return wide_results
+        wide_results = _carve_batch_numpy(
+            [instances[i] for i in wide],
+            rack_of,
+            nvlink_group_size,
+            speed_of,
+            family_speed_of,
+        )
+        for i, res in zip(wide, wide_results):
+            results[i] = res
+    return results
 
 
 def _carve_batch_numpy(
@@ -1042,8 +1087,12 @@ class FairnessEstimator:
         """Pre-fill many states' kernel caches in one vectorized carve.
 
         ``pairs`` holds ``(state, canonical_total_key)`` bundles about to
-        be probed (round-start base rhos, the auction's initial heap
-        candidates).  Bundles already cached are skipped; the misses run
+        be probed — round-start base rhos, the auction's initial heap
+        candidates, and the solver's post-move re-score candidates
+        (arbitrary *compound* multi-machine bundles: each key is a full
+        trajectory-dependent holding plus a step extension, not just a
+        single-machine probe).  Bundles already cached are skipped; the
+        misses run
         through :func:`_carve_batch` in one numpy pass and land in the
         exact cache slot :meth:`AppValuationState.delta_of` would have
         filled scalar-ly — same floats, same ``carve_count`` accounting —

@@ -26,6 +26,7 @@ KNOWN_PHASES = (
     "batch_carve",
     "heap_warm_start",
     "auction_solve",
+    "rescore",
     "payment_resolves",
     "leftovers",
     "placement",

@@ -590,12 +590,29 @@ def run_sim_bench(profile: SimBenchProfile, repeats: int = 1) -> dict:
         best = min(runs, key=lambda r: r["seconds"])
         seconds = best["seconds"]
         result = best["result"]
+        # Post-move re-scoring accounting (deterministic per profile
+        # and mode, so machine-independently gateable): scalar carves
+        # the re-scores still did, memo skips, batched carves, and the
+        # headline carves-per-move ratio the sim-xl CI gate holds a
+        # ceiling on.
+        totals = (result.round_stats or {}).get("totals", {})
+        moves = totals.get("solver_moves", 0)
+        solver = {
+            "moves": moves,
+            "rescore_carves": totals.get("rescore_carves", 0),
+            "rescore_skipped": totals.get("rescore_skipped", 0),
+            "rescore_batched": totals.get("rescore_batched", 0),
+            "rescore_carves_per_move": (
+                totals.get("rescore_carves", 0) / moves if moves else None
+            ),
+        }
         return {
             "seconds": seconds,
             "repeats": len(runs),
             "events_per_sec": result.events_processed / seconds if seconds > 0 else None,
             "rounds_per_sec": result.num_rounds / seconds if seconds > 0 else None,
             "rho_probes": best["rho_probes"],
+            "solver": solver,
             "_digest": best["digest"],
             "_result": result,
             "_obs": best["_obs"],
@@ -682,8 +699,14 @@ def check_sim_regression(
     failure.  The observability record is gated too: a traced run whose
     results diverge from the untraced run always fails, and the
     traced-over-untraced overhead ratio (same machine, same process)
-    must stay below ``baseline * max_slowdown``.  Returns failure
-    messages (empty = pass).
+    must stay below ``baseline * max_slowdown``.
+
+    Profiles whose baseline carries the solver re-score accounting are
+    additionally held to a ``rescore_carves_per_move`` ceiling — the
+    counter is *deterministic* per profile and mode (no timing noise at
+    all), so this is the perf gate of choice for ``sim-xl``, where the
+    timing ratio is structurally ~1 and deliberately not gated.
+    Returns failure messages (empty = pass).
     """
     failures: list[str] = []
     for name in gate_profiles:
@@ -718,6 +741,20 @@ def check_sim_regression(
                 failures.append(
                     f"{name}: tracing overhead regressed — {cur_overhead:.2f}x "
                     f"vs baseline {base_overhead:.2f}x (ceiling {ceiling:.2f}x)"
+                )
+        cur_cpm = (cur.get("incremental", {}).get("solver") or {}).get(
+            "rescore_carves_per_move"
+        )
+        base_cpm = (base.get("incremental", {}).get("solver") or {}).get(
+            "rescore_carves_per_move"
+        )
+        if cur_cpm is not None and base_cpm is not None and base_cpm > 0:
+            cpm_ceiling = base_cpm * max_slowdown
+            if cur_cpm > cpm_ceiling:
+                failures.append(
+                    f"{name}: post-move re-scoring regressed — "
+                    f"{cur_cpm:.2f} precise carves/move vs baseline "
+                    f"{base_cpm:.2f} (ceiling {cpm_ceiling:.2f})"
                 )
     return failures
 
@@ -839,13 +876,19 @@ def sim_trajectory_entry(payload: Mapping, at: Optional[str] = None) -> dict:
         at = datetime.now(timezone.utc).isoformat(timespec="seconds")
     profiles = {}
     for name, record in payload.get("sim", {}).items():
-        profiles[name] = {
+        entry = {
             "incremental_seconds": record["incremental"]["seconds"],
             "cold_seconds": record["cold"]["seconds"],
             "repeats": record["incremental"]["repeats"],
             "speedup": record["speedup"],
             "identical_results": record["identical_results"],
         }
+        carves_per_move = (record["incremental"].get("solver") or {}).get(
+            "rescore_carves_per_move"
+        )
+        if carves_per_move is not None:
+            entry["rescore_carves_per_move"] = carves_per_move
+        profiles[name] = entry
     return {"at": at, "profiles": profiles}
 
 

@@ -1150,6 +1150,9 @@ class ClusterSimulator:
             "valuation_probes": 0,
             "heap_warm_hits": 0,
             "heap_warm_misses": 0,
+            "rescore_carves": 0,
+            "rescore_skipped": 0,
+            "rescore_batched": 0,
         }
         for rs in history:
             for key in totals:
